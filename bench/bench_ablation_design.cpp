@@ -1,0 +1,89 @@
+/// Ablation bench for the design choices DESIGN.md Section 5 calls out:
+///   1. sub-sample peak refinement (parabolic interpolation),
+///   2. SFO correction (estimated vs nominal beacon period),
+///   3. linear drift removal (Eq. 4),
+///   4. gyro rotation-error correction (the Fig. 5 architecture box),
+///   5. multi-slide aggregation depth (1 vs 3 vs 5 slides).
+/// Each row reports the 2D error at 6 m (hand-held) with exactly one knob
+/// changed from the full pipeline.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+
+sim::ScenarioConfig scenario(int slides, bool chatting = false) {
+  sim::ScenarioConfig c;
+  c.phone = sim::galaxy_s4();
+  c.environment = chatting ? sim::meeting_room_chatting() : sim::meeting_room_quiet();
+  c.speaker_distance = 6.0;
+  c.speaker_height = 1.3;
+  c.phone_height = 1.3;
+  c.slides_per_stature = slides;
+  c.calibration_duration = 3.0;
+  c.hold_duration = 0.7;
+  c.jitter = sim::hand_jitter();
+  // A little extra clock offset makes the SFO ablation visible.
+  c.speaker_clock_ppm_sigma = 40.0;
+  return c;
+}
+
+std::vector<double> run(int n_trials, int slides,
+                        const std::function<void(core::PipelineOptions&)>& tweak,
+                        bool chatting = false) {
+  std::vector<double> errors;
+  for (int t = 0; t < n_trials; ++t) {
+    Rng rng(2100 + t * 53);
+    const sim::Session s =
+        sim::make_localization_session(scenario(slides, chatting), rng);
+    core::PipelineOptions opts;
+    tweak(opts);
+    const core::LocalizationResult r = core::localize(s, opts);
+    if (!r.valid) continue;
+    errors.push_back(core::localization_error(r, s));
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main() {
+  const int n_trials = bench::trials(8);
+  std::printf("=== Design-choice ablations (S4, hand-held, 6 m, 2D) ===\n");
+
+  bench::print_summary("full pipeline",
+                       run(n_trials, 5, [](core::PipelineOptions&) {}));
+  bench::print_summary("no SFO correction", run(n_trials, 5, [](core::PipelineOptions& o) {
+                         o.asp.sfo_correction = false;
+                       }));
+  bench::print_summary("no drift correction (Eq. 4)",
+                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                         o.ttl.displacement.drift_correction = false;
+                       }));
+  bench::print_summary("no rotation correction",
+                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                         o.ttl.rotation_correction = false;
+                       }));
+  // The band-pass earns its keep against out-of-band noise (Section VII-E),
+  // so its ablation runs in the chatting room.
+  bench::print_summary("full pipeline (chatting room)",
+                       run(n_trials, 5, [](core::PipelineOptions&) {}, true));
+  bench::print_summary("no band-pass (chatting room)",
+                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                         o.asp.bandpass = false;
+                       }, true));
+  bench::print_summary("1-slide session",
+                       run(n_trials, 1, [](core::PipelineOptions&) {}));
+  bench::print_summary("3-slide session",
+                       run(n_trials, 3, [](core::PipelineOptions&) {}));
+  bench::print_summary("5-slide session",
+                       run(n_trials, 5, [](core::PipelineOptions&) {}));
+  return 0;
+}

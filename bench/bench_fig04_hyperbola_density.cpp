@@ -1,0 +1,48 @@
+/// Reproduces the paper's Fig. 4: (a) the TDoA quantization regions are
+/// densest broadside of the microphone pair and sparse toward the endfire
+/// directions; (b) widening the separation makes the regions denser
+/// everywhere. Prints region width (m) over bearing and over separation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "geom/hyperbola.hpp"
+
+int main() {
+  using namespace hyperear;
+  using geom::Vec2;
+
+  const double fs = kAudioSampleRate;
+  const double s = kSpeedOfSound;
+
+  std::printf("=== Fig. 4(a): region width vs bearing (S4, r = 3 m) ===\n");
+  std::printf("bearing 90 deg = broadside (the 'dense' central area)\n");
+  const double d = kGalaxyS4MicSeparation;
+  const Vec2 f1{d / 2.0, 0.0}, f2{-d / 2.0, 0.0};
+  std::printf("%10s %16s\n", "bearing", "region width");
+  for (double bearing_deg = 90.0; bearing_deg >= 10.0; bearing_deg -= 10.0) {
+    const double b = deg2rad(bearing_deg);
+    const Vec2 p{3.0 * std::cos(b), 3.0 * std::sin(b)};
+    std::printf("%8.0f deg %12.3f m\n", bearing_deg,
+                geom::tdoa_region_width(f1, f2, p, fs, s));
+  }
+
+  std::printf("\n=== Fig. 4(b): region width broadside vs separation (r = 5 m) ===\n");
+  std::printf("%12s %10s %16s\n", "separation", "N (Eq.2)", "width @5m");
+  for (double sep : {0.1366, 0.2, 0.3, 0.4, 0.55, 0.8}) {
+    const Vec2 a{sep / 2.0, 0.0}, b{-sep / 2.0, 0.0};
+    const Vec2 p{0.3, 5.0};
+    std::printf("%10.2f cm %10d %12.3f m\n", 100.0 * sep,
+                geom::distinguishable_hyperbola_count(sep, fs, s),
+                geom::tdoa_region_width(a, b, p, fs, s));
+  }
+
+  std::printf("\n=== Fig. 3 trend: broadside region width vs range (S4) ===\n");
+  for (double r : {1.0, 2.0, 3.0, 5.0, 7.0, 10.0}) {
+    const Vec2 p{0.3, r};
+    std::printf("range %4.0f m: width %8.3f m\n", r,
+                geom::tdoa_region_width(f1, f2, p, fs, s));
+  }
+  return 0;
+}

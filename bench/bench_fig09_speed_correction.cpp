@@ -1,0 +1,56 @@
+/// Reproduces the paper's Fig. 9: (a) the acceleration of a typical slide
+/// and (b) the integral velocity drifting away from zero at the slide's end
+/// versus the Eq. 4 linear-error-corrected velocity. Uses a simulated
+/// biased accelerometer on one hand-held slide.
+
+#include <cstdio>
+
+#include "common/math_util.hpp"
+#include "imu/displacement.hpp"
+#include "imu/preprocess.hpp"
+#include "imu/segmentation.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace hyperear;
+
+  sim::ScenarioConfig config;
+  config.phone = sim::galaxy_s4();
+  // A clearly biased accelerometer makes the drift visible, as in Fig. 9.
+  config.phone.imu.accel_bias_sigma = 0.12;
+  config.environment = sim::meeting_room_quiet();
+  config.speaker_distance = 4.0;
+  config.slides_per_stature = 1;
+  config.calibration_duration = 2.0;
+  config.jitter = sim::hand_jitter();
+  Rng rng(9009);
+  const sim::Session s = sim::make_localization_session(config, rng);
+  const imu::MotionSignals motion = imu::preprocess(s.imu);
+  const std::vector<imu::Segment> segs = imu::segment_movements(motion.lin_accel_y);
+  if (segs.empty()) {
+    std::printf("no slide found\n");
+    return 1;
+  }
+  const imu::Segment seg = segs.front();
+  const std::size_t pad = 6;
+  const std::size_t lo = seg.start > pad ? seg.start - pad : 0;
+  const std::size_t hi = std::min(seg.end + pad, motion.size());
+  const std::span<const double> accel(motion.lin_accel_y.data() + lo, hi - lo);
+  const imu::VelocityEstimate vel = imu::estimate_velocity(accel, motion.dt());
+
+  std::printf("=== Fig. 9(a,b): slide acceleration, integral vs corrected speed ===\n");
+  std::printf("drift slope err_a = %.4f m/s^2 (Eq. 4)\n", vel.drift_slope);
+  std::printf("%8s %14s %14s %14s\n", "t (s)", "accel", "integral v", "corrected v");
+  for (std::size_t i = 0; i < accel.size(); i += 2) {
+    std::printf("%8.2f %14.3f %14.4f %14.4f\n", static_cast<double>(i) * motion.dt(),
+                accel[i], vel.raw[i], vel.corrected[i]);
+  }
+  std::printf("\nend-of-slide velocity: integral %+0.4f m/s -> corrected %+0.4f m/s\n",
+              vel.raw.back(), vel.corrected.back());
+  const double disp_raw = trapezoid(vel.raw, motion.dt());
+  const double disp_corr = trapezoid(vel.corrected, motion.dt());
+  const double truth = distance(s.truth.slides[0].to, s.truth.slides[0].from);
+  std::printf("displacement: raw %.3f m, corrected %.3f m, truth %.3f m\n", disp_raw,
+              disp_corr, truth);
+  return 0;
+}

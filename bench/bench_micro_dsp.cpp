@@ -1,0 +1,121 @@
+/// Google-benchmark microbenchmarks of the primitives on HyperEar's hot
+/// path: FFT, cross-correlation, matched-filter detection, FIR band-pass,
+/// the augmented triangulation solve, and acoustic rendering. These bound
+/// the end-to-end processing cost per session (which must run comfortably
+/// on a phone-class core: the paper ships HyperEar as an app).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/matched_filter.hpp"
+#include "geom/triangulation.hpp"
+#include "sim/acoustic_renderer.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<dsp::Complex> x(n);
+  for (auto& v : x) v = dsp::Complex(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_CorrelateValid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> x(n), h(2205);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto& v : h) v = rng.gaussian();
+  for (auto _ : state) {
+    auto c = dsp::correlate_valid(x, h);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CorrelateValid)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_MatchedFilterDetect(benchmark::State& state) {
+  // One second of 44.1 kHz audio with five chirps.
+  const dsp::Chirp chirp{dsp::ChirpParams{}};
+  Rng rng(3);
+  std::vector<double> x(44100);
+  for (auto& v : x) v = rng.gaussian(0.0, 0.01);
+  for (int k = 0; k < 5; ++k) {
+    const double t0 = 0.05 + 0.2 * k;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double t = i / 44100.0 - t0;
+      if (t >= 0.0 && t <= 0.05) x[i] += chirp.value(t);
+    }
+  }
+  const dsp::MatchedFilterDetector det(chirp.reference(44100.0), {});
+  for (auto _ : state) {
+    auto d = det.detect(x);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 44100);
+}
+BENCHMARK(BM_MatchedFilterDetect);
+
+void BM_BandpassFilter(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> x(44100);
+  for (auto& v : x) v = rng.gaussian();
+  const std::vector<double> taps = dsp::design_bandpass(2000.0, 6400.0, 44100.0, 255);
+  for (auto _ : state) {
+    auto y = dsp::filter_same(x, taps);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 44100);
+}
+BENCHMARK(BM_BandpassFilter);
+
+void BM_SolveAugmented(benchmark::State& state) {
+  geom::AugmentedTdoa in;
+  in.slide_distance = 0.55;
+  in.mic_separation = 0.1366;
+  in.range_diff_mic1 = -0.004;
+  in.range_diff_mic2 = -0.014;
+  for (auto _ : state) {
+    auto r = geom::solve_augmented(in);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_SolveAugmented);
+
+void BM_RenderSecond(benchmark::State& state) {
+  // Acoustic rendering cost per second of stereo audio (meeting room).
+  sim::ScenarioConfig c;
+  c.jitter = sim::ruler_jitter();
+  Rng rng(5);
+  const sim::PhoneSpec phone = sim::galaxy_s4();
+  const sim::Speaker speaker(sim::SpeakerSpec{}, {8.0, 6.5, 1.3});
+  sim::TrajectoryBuilder b({5.0, 6.5, 1.3}, 0.0);
+  b.hold(1.0);
+  const sim::Trajectory traj = b.build(sim::ruler_jitter(), rng);
+  const sim::Environment env = sim::meeting_room_quiet();
+  for (auto _ : state) {
+    Rng r2(6);
+    auto rec = sim::render_audio(speaker, phone, env, traj, 1.0, r2);
+    benchmark::DoNotOptimize(rec.mic1.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 44100);
+}
+BENCHMARK(BM_RenderSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// Reproduces the paper's Section II-C analysis: Eq. 2 (number of
+/// distinguishable hyperbolas) and the naive two-pose localization errors
+/// ("18.6 cm at 1 m, 266.7 cm at 5 m" for a Galaxy S4), plus the Fig. 3
+/// trend of ambiguity growing with distance.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/naive.hpp"
+#include "geom/hyperbola.hpp"
+
+int main() {
+  using namespace hyperear;
+  const int n_trials = bench::trials(200);
+
+  std::printf("=== Eq. 2: distinguishable hyperbolas N = floor(2*D*fs/S) ===\n");
+  std::printf("Galaxy S4    (D=13.66cm): N = %d   (paper: 35)\n",
+              geom::distinguishable_hyperbola_count(kGalaxyS4MicSeparation,
+                                                    kAudioSampleRate, kSpeedOfSound));
+  std::printf("Galaxy Note3 (D=15.12cm): N = %d\n",
+              geom::distinguishable_hyperbola_count(kGalaxyNote3MicSeparation,
+                                                    kAudioSampleRate, kSpeedOfSound));
+  std::printf("Slide aperture D'=55cm  : N = %d   (the augmentation's win)\n\n",
+              geom::distinguishable_hyperbola_count(0.55, kAudioSampleRate, kSpeedOfSound));
+
+  std::printf("=== Naive two-pose localization vs range (S4, quantized TDoA) ===\n");
+  std::printf("Paper reference points: up to 18.6cm at 1m, up to 266.7cm at 5m.\n");
+  core::NaiveOptions opts;  // S4 defaults
+  for (double range : {1.0, 2.0, 3.0, 5.0, 7.0}) {
+    Rng rng(900 + static_cast<std::uint64_t>(range * 10));
+    const Summary s = core::naive_error_study(range, n_trials, rng, opts);
+    std::printf("range %.0fm: mean=%7.1fcm  p90=%7.1fcm  max=%7.1fcm  analytic~%7.1fcm\n",
+                range, 100.0 * s.mean, 100.0 * s.p90, 100.0 * s.max,
+                100.0 * core::naive_range_ambiguity(range, opts));
+  }
+
+  std::printf("\n=== Same scheme with the HyperEar-sized aperture (D'=55cm move) ===\n");
+  core::NaiveOptions wide = opts;
+  wide.move_distance = 0.55;
+  for (double range : {1.0, 5.0, 7.0}) {
+    Rng rng(950 + static_cast<std::uint64_t>(range * 10));
+    const Summary s = core::naive_error_study(range, n_trials, rng, wide);
+    std::printf("range %.0fm: mean=%7.1fcm  p90=%7.1fcm\n", range, 100.0 * s.mean,
+                100.0 * s.p90);
+  }
+  return 0;
+}

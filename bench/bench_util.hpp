@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/stats.hpp"
+
+/// @file bench_util.hpp
+/// Shared helpers for the figure/table reproduction harnesses. Each bench
+/// binary prints the series the corresponding paper figure plots: CDF rows
+/// on a fixed error grid plus mean / 90th-percentile summary lines, so
+/// EXPERIMENTS.md can record paper-vs-measured side by side.
+
+namespace hyperear::bench {
+
+/// Number of Monte-Carlo trials per configuration. Controlled by the
+/// HYPEREAR_TRIALS environment variable (single-core machines want small
+/// defaults; CI or a final run can raise it).
+inline int trials(int fallback) {
+  if (const char* env = std::getenv("HYPEREAR_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Print one labelled CDF as "x F(x)" rows (grid of `points` values up to
+/// `x_max`), followed by a summary line. Mirrors the paper's figure axes
+/// (error in meters on x, CDF on y).
+inline void print_cdf(const std::string& label, const std::vector<double>& errors,
+                      double x_max, std::size_t points = 21) {
+  if (errors.empty()) {
+    std::printf("# CDF %s: NO DATA\n", label.c_str());
+    return;
+  }
+  const EmpiricalCdf cdf(errors);
+  std::fputs(cdf.to_table(x_max, points, label).c_str(), stdout);
+  const Summary s = summarize(errors);
+  std::printf("# summary %-28s n=%zu mean=%.1fcm median=%.1fcm p90=%.1fcm max=%.1fcm\n",
+              label.c_str(), s.count, 100.0 * s.mean, 100.0 * s.median, 100.0 * s.p90,
+              100.0 * s.max);
+}
+
+/// Print only the summary line (for table-style outputs).
+inline void print_summary(const std::string& label, const std::vector<double>& errors) {
+  if (errors.empty()) {
+    std::printf("%-32s NO DATA\n", label.c_str());
+    return;
+  }
+  const Summary s = summarize(errors);
+  std::printf("%-32s n=%-3zu mean=%7.1fcm median=%7.1fcm p90=%7.1fcm max=%8.1fcm\n",
+              label.c_str(), s.count, 100.0 * s.mean, 100.0 * s.median, 100.0 * s.p90,
+              100.0 * s.max);
+}
+
+}  // namespace hyperear::bench

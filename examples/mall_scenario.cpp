@@ -1,0 +1,56 @@
+/// The paper's harsher evaluation environment: a 95 m x 16.5 m shopping
+/// mall corridor. A shop attaches a beacon to a display item; the user
+/// localizes it from 7 m during off-peak hours (soft background music,
+/// SNR 6 dB) and again during busy hours (crowd + announcements, SNR 3 dB).
+/// Demonstrates the environment presets and the noise sensitivity the
+/// paper's Fig. 19 reports.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+
+void run_condition(const sim::Environment& env, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.phone = sim::galaxy_note3();
+  config.environment = env;
+  config.speaker_distance = 7.0;
+  config.speaker_height = 0.8;  // on a display shelf
+  config.phone_height = 1.3;
+  config.two_statures = true;
+  config.slides_per_stature = 5;
+  config.jitter = sim::hand_jitter();
+
+  Rng rng(seed);
+  const sim::Session session = sim::make_localization_session(config, rng);
+  core::PipelineOptions options;
+  options.ttl.min_slide_distance = 0.45;
+  const core::LocalizationResult result = core::localize(session, options);
+
+  std::printf("%-24s SNR %4.1f dB: ", env.name.c_str(), env.snr_db);
+  if (!result.valid) {
+    std::printf("localization FAILED (too few clean chirps)\n");
+    return;
+  }
+  std::printf("error %6.1f cm  (%d slides, SFO %+.1f ppm)\n",
+              100.0 * core::localization_error(result, session), result.slides_used,
+              result.sfo_ppm);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Shopping-mall object finding, beacon 7 m away (Galaxy Note3)\n\n");
+  run_condition(sim::mall_off_peak(), 31001);
+  run_condition(sim::mall_busy_hour(), 31002);
+  std::printf("\nFor comparison, the same protocol in the meeting room:\n");
+  run_condition(sim::meeting_room_quiet(), 31003);
+  run_condition(sim::meeting_room_chatting(), 31004);
+  std::printf("\nVoice chatter barely matters (it is filtered out of the 2-6.4 kHz\n"
+              "chirp band); broadband mall noise is what hurts (paper Fig. 19).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// FDMA multi-tag operation: two beacons with disjoint chirp bands
+/// (2-6.4 kHz and 7-11 kHz) transmit simultaneously in the same room. The
+/// band-pass + matched filter separate them, so one slide session per tag
+/// localizes each despite the other chirping away. Listening with the
+/// wrong reference finds nothing - tags do not alias into each other.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+
+/// A session aimed at the primary tag, with the other tag transmitting
+/// from elsewhere in the room as an interferer.
+sim::Session record(const sim::SpeakerSpec& target, const sim::SpeakerSpec& other,
+                    std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.phone = sim::galaxy_s4();
+  c.environment = sim::meeting_room_quiet();
+  c.speaker = target;
+  c.speaker_distance = 5.0;
+  c.slides_per_stature = 4;
+  c.jitter = sim::hand_jitter();
+  sim::ScenarioConfig::Interferer itf;
+  itf.spec = other;
+  itf.spec.amplitude_at_1m = 0.6;
+  itf.distance = 3.0;
+  itf.lateral_offset = 2.5;
+  c.interferers.push_back(itf);
+  Rng rng(seed);
+  return sim::make_localization_session(c, rng);
+}
+
+void localize_and_report(const char* name, const sim::Session& s) {
+  const core::LocalizationResult r = core::localize(s);
+  if (!r.valid) {
+    std::printf("%-10s NOT FOUND\n", name);
+    return;
+  }
+  std::printf("%-10s range %.2f m, error %.1f cm (%d slides)\n", name, r.range,
+              100.0 * core::localization_error(r, s), r.slides_used);
+}
+
+}  // namespace
+
+int main() {
+  const sim::SpeakerSpec tag_a = sim::audible_beacon();          // 2-6.4 kHz
+  const sim::SpeakerSpec tag_b = sim::secondary_band_beacon();   // 7-11 kHz
+
+  std::printf("Two tags transmitting simultaneously (FDMA bands)\n\n");
+
+  std::printf("Session aimed at tag A (wallet), tag B chirping nearby:\n");
+  const sim::Session sa = record(tag_a, tag_b, 6001);
+  localize_and_report("tag A", sa);
+
+  std::printf("\nSession aimed at tag B (keys), tag A chirping nearby:\n");
+  const sim::Session sb = record(tag_b, tag_a, 6002);
+  localize_and_report("tag B", sb);
+
+  std::printf("\nCross-check: listening for tag B's chirp in tag A's session\n");
+  sim::Session cross = sa;
+  cross.prior.chirp = tag_b.chirp;
+  const core::LocalizationResult r = core::localize(cross);
+  std::printf("-> %s (the band-pass keeps the tags orthogonal%s)\n",
+              r.valid ? "found something" : "nothing detected at tag A's location",
+              r.valid ? "... at tag B's position, as it should" : "");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Non-line-of-sight detection and recovery (extension of the paper's
+/// Section IX, which proposes exploiting user mobility when an obstruction
+/// blocks the direct path). The beacon hides behind a cabinet: the first
+/// session's dominant arrivals are reflections, which the LoS test catches
+/// from the instability of their inter-mic TDoA. The app then asks the user
+/// to step aside; the second session has a clear view and localizes.
+
+#include <cstdio>
+
+#include "core/nlos.hpp"
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+
+sim::Session record_session(double direct_gain, std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.phone = sim::galaxy_s4();
+  c.environment = sim::meeting_room_quiet();
+  c.speaker_distance = 5.0;
+  c.slides_per_stature = 4;
+  c.jitter = sim::hand_jitter();
+  c.render.direct_path_gain = direct_gain;
+  Rng rng(seed);
+  return sim::make_localization_session(c, rng);
+}
+
+core::NlosAssessment check(const sim::Session& s) {
+  const core::AspResult asp =
+      core::preprocess_audio(s.audio, s.prior.chirp, 0.2, s.prior.calibration_duration);
+  return core::assess_line_of_sight(asp);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Attempt 1: beacon behind a cabinet (direct path blocked)\n");
+  const sim::Session blocked = record_session(0.03, 5050);
+  const core::NlosAssessment first = check(blocked);
+  std::printf("  LoS check: tdoa dispersion %.1f us, amplitude churn %.2f -> %s\n",
+              1e6 * first.tdoa_mad_s, first.amplitude_dispersion,
+              first.suspected ? "OBSTRUCTED" : "clear");
+  if (first.suspected) {
+    const core::LocalizationResult bad = core::localize(blocked);
+    if (bad.valid) {
+      std::printf("  (a naive fix would have been %.1f cm off)\n",
+                  100.0 * core::localization_error(bad, blocked));
+    } else {
+      std::printf("  (no usable fix from reflections alone)\n");
+    }
+    std::printf("  -> ask the user to step two meters to the side and retry\n\n");
+  }
+
+  std::printf("Attempt 2: after moving, the line of sight is clear\n");
+  const sim::Session clear = record_session(1.0, 5051);
+  const core::NlosAssessment second = check(clear);
+  std::printf("  LoS check: tdoa dispersion %.1f us, amplitude churn %.2f -> %s\n",
+              1e6 * second.tdoa_mad_s, second.amplitude_dispersion,
+              second.suspected ? "OBSTRUCTED" : "clear");
+  const core::LocalizationResult fix = core::localize(clear);
+  if (!fix.valid) {
+    std::printf("  localization failed\n");
+    return 1;
+  }
+  std::printf("  beacon localized %.2f m away; error %.1f cm\n", fix.range,
+              100.0 * core::localization_error(fix, clear));
+  return 0;
+}

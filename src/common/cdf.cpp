@@ -1,0 +1,55 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hyperear {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  require(!sorted_.empty(), "EmpiricalCdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  require(q > 0.0 && q <= 1.0, "EmpiricalCdf::quantile: q out of (0,1]");
+  const auto n = sorted_.size();
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx > 0) --idx;
+  if (idx >= n) idx = n - 1;
+  return sorted_[idx];
+}
+
+EmpiricalCdf::Grid EmpiricalCdf::grid(double x_max, std::size_t points) const {
+  require(x_max > 0.0, "EmpiricalCdf::grid: x_max must be positive");
+  require(points >= 2, "EmpiricalCdf::grid: need at least two points");
+  Grid g;
+  g.x.resize(points);
+  g.f.resize(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    g.x[i] = x_max * static_cast<double>(i) / static_cast<double>(points - 1);
+    g.f[i] = at(g.x[i]);
+  }
+  return g;
+}
+
+std::string EmpiricalCdf::to_table(double x_max, std::size_t points,
+                                   const std::string& label) const {
+  const Grid g = grid(x_max, points);
+  std::string out = "# CDF " + label + "\n";
+  char buf[64];
+  for (std::size_t i = 0; i < g.x.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%8.3f %8.3f\n", g.x[i], g.f[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hyperear

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+/// @file cdf.hpp
+/// Empirical cumulative distribution functions.
+///
+/// The paper reports every localization experiment as a CDF of errors
+/// (Figs. 14-19). EmpiricalCdf stores a sample, evaluates F(x), and renders
+/// the fixed-grid rows the bench harnesses print so paper curves and
+/// reproduced curves can be compared point by point.
+
+namespace hyperear {
+
+/// Immutable empirical CDF over a sample of real values.
+class EmpiricalCdf {
+ public:
+  /// Build from a (not necessarily sorted) non-empty sample.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  /// Fraction of the sample <= x, in [0, 1].
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample value v with F(v) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Sorted sample values.
+  [[nodiscard]] const std::vector<double>& values() const { return sorted_; }
+
+  /// Evaluate the CDF on an evenly spaced grid of `points` x-values spanning
+  /// [0, x_max]. Returns pairs flattened as parallel vectors.
+  struct Grid {
+    std::vector<double> x;
+    std::vector<double> f;
+  };
+  [[nodiscard]] Grid grid(double x_max, std::size_t points) const;
+
+  /// Render a table "x f(x)" with one row per grid point, suitable for
+  /// diffing against the paper's plotted curves.
+  [[nodiscard]] std::string to_table(double x_max, std::size_t points,
+                                     const std::string& label) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace hyperear

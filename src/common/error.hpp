@@ -1,0 +1,47 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// @file error.hpp
+/// Exception types for contract violations inside the HyperEar library.
+
+namespace hyperear {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numerical routine fails to converge or degenerates.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a signal-processing stage cannot find what it needs in the
+/// data (e.g. no chirp detected, no slide segment found).
+class DetectionError : public Error {
+ public:
+  explicit DetectionError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const std::string& what) {
+  throw PreconditionError(what);
+}
+}  // namespace detail
+
+/// Check a precondition; throws PreconditionError with the given message.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) detail::throw_precondition(what);
+}
+
+}  // namespace hyperear

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear {
+
+double mean(std::span<const double> v) {
+  require(!v.empty(), "mean: empty input");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  require(v.size() >= 2, "variance: need at least two samples");
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double rms(std::span<const double> v) {
+  require(!v.empty(), "rms: empty input");
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double median(std::span<const double> v) {
+  require(!v.empty(), "median: empty input");
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double median_absolute_deviation(std::span<const double> v) {
+  const double m = median(v);
+  std::vector<double> dev(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) dev[i] = std::abs(v[i] - m);
+  return median(dev);
+}
+
+double percentile(std::span<const double> v, double p) {
+  require(!v.empty(), "percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto i0 = static_cast<std::size_t>(pos);
+  if (i0 + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(i0);
+  return sorted[i0] + frac * (sorted[i0 + 1] - sorted[i0]);
+}
+
+double min_value(std::span<const double> v) {
+  require(!v.empty(), "min_value: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(std::span<const double> v) {
+  require(!v.empty(), "max_value: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+std::size_t argmax(std::span<const double> v) {
+  require(!v.empty(), "argmax: empty input");
+  return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::size_t argmax_abs(std::span<const double> v) {
+  require(!v.empty(), "argmax_abs: empty input");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (std::abs(v[i]) > std::abs(v[best])) best = i;
+  }
+  return best;
+}
+
+Summary summarize(std::span<const double> v) {
+  require(!v.empty(), "summarize: empty input");
+  Summary s;
+  s.count = v.size();
+  s.mean = mean(v);
+  s.median = median(v);
+  s.stddev = v.size() >= 2 ? stddev(v) : 0.0;
+  s.p90 = percentile(v, 90.0);
+  s.min = min_value(v);
+  s.max = max_value(v);
+  return s;
+}
+
+}  // namespace hyperear

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file stats.hpp
+/// Descriptive statistics used by the evaluation harnesses and by robust
+/// estimation inside the pipeline.
+
+namespace hyperear {
+
+/// Arithmetic mean. Requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> v);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+[[nodiscard]] double variance(std::span<const double> v);
+
+/// Unbiased sample standard deviation. Requires size >= 2.
+[[nodiscard]] double stddev(std::span<const double> v);
+
+/// Root mean square of the samples. Requires non-empty input.
+[[nodiscard]] double rms(std::span<const double> v);
+
+/// Median (average of middle two for even sizes). Requires non-empty input.
+[[nodiscard]] double median(std::span<const double> v);
+
+/// Median absolute deviation from the median (raw, not scaled to sigma).
+[[nodiscard]] double median_absolute_deviation(std::span<const double> v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+[[nodiscard]] double percentile(std::span<const double> v, double p);
+
+/// Minimum. Requires non-empty input.
+[[nodiscard]] double min_value(std::span<const double> v);
+
+/// Maximum. Requires non-empty input.
+[[nodiscard]] double max_value(std::span<const double> v);
+
+/// Index of the maximum element. Requires non-empty input.
+[[nodiscard]] std::size_t argmax(std::span<const double> v);
+
+/// Index of the maximum absolute value. Requires non-empty input.
+[[nodiscard]] std::size_t argmax_abs(std::span<const double> v);
+
+/// Summary bundle used by the experiment harnesses.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double p90 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute the full Summary for a sample. Requires non-empty input.
+[[nodiscard]] Summary summarize(std::span<const double> v);
+
+}  // namespace hyperear

@@ -1,0 +1,47 @@
+#include "core/aoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::core {
+
+AoaEstimate tdoa_to_bearing(const TdoaSample& sample, const AoaOptions& options) {
+  require(options.mic_separation > 0.0, "tdoa_to_bearing: bad mic separation");
+  require(options.sound_speed > 0.0, "tdoa_to_bearing: bad sound speed");
+  AoaEstimate out;
+  out.time_s = sample.time_s;
+  out.tdoa_s = sample.tdoa_s;
+  // tdoa = -D cos(alpha) / S  =>  cos(alpha) = -tdoa * S / D.
+  const double raw = -sample.tdoa_s * options.sound_speed / options.mic_separation;
+  const double cos_alpha = std::clamp(raw, -1.0, 1.0);
+  out.alpha_right_rad = std::acos(cos_alpha);           // [0, pi]
+  out.alpha_left_rad = 2.0 * kPi - out.alpha_right_rad; // mirrored branch
+  return out;
+}
+
+std::vector<AoaEstimate> estimate_bearings(const AspResult& asp,
+                                           const AoaOptions& options) {
+  std::vector<AoaEstimate> out;
+  for (const TdoaSample& s : pair_inter_mic_tdoas(asp, options.pairing_slack_s)) {
+    out.push_back(tdoa_to_bearing(s, options));
+  }
+  return out;
+}
+
+std::optional<double> aggregate_bearing(const std::vector<AoaEstimate>& estimates,
+                                        double t_start, double t_end) {
+  std::vector<double> alphas;
+  for (const AoaEstimate& e : estimates) {
+    if (e.time_s >= t_start && e.time_s < t_end) alphas.push_back(e.alpha_right_rad);
+  }
+  if (alphas.empty()) return std::nullopt;
+  // The right-branch angles live on [0, pi] where the ordinary median is a
+  // sound circular aggregate.
+  return median(alphas);
+}
+
+}  // namespace hyperear::core

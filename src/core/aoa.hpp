@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/asp.hpp"
+#include "core/sdf.hpp"
+
+/// @file aoa.hpp
+/// Angle-of-arrival estimation from the inter-microphone TDoA.
+///
+/// Section IV's direction finding only needs the TDoA zero crossing, but
+/// the full relationship tdoa = -D cos(alpha) / S (Fig. 7) yields a bearing
+/// estimate at ANY phone orientation — useful for guiding the user's roll
+/// ("turn 40 degrees left"), for coarse tracking while walking, and as the
+/// initialization of the slide protocol. The inversion has the usual
+/// two-microphone front/back ambiguity: alpha and 360 - alpha produce the
+/// same TDoA; both candidates are returned.
+
+namespace hyperear::core {
+
+/// One bearing estimate from one chirp.
+struct AoaEstimate {
+  double time_s = 0.0;
+  /// Angle from the phone's +y axis to the speaker, right-side branch
+  /// (alpha in [0, 180] degrees, radians here).
+  double alpha_right_rad = 0.0;
+  /// The mirrored left-side candidate (= 2*pi - alpha_right).
+  double alpha_left_rad = 0.0;
+  double tdoa_s = 0.0;
+};
+
+/// AoA configuration.
+struct AoaOptions {
+  double mic_separation = 0.1366;  ///< D of the phone in use
+  double sound_speed = 343.0;
+  double pairing_slack_s = 0.7e-3;
+};
+
+/// Convert one inter-mic TDoA to the two bearing candidates. TDoAs beyond
+/// the physical limit +-D/S are clamped to the endfire directions.
+[[nodiscard]] AoaEstimate tdoa_to_bearing(const TdoaSample& sample,
+                                          const AoaOptions& options);
+
+/// Bearing series for a whole recording (one estimate per paired chirp).
+[[nodiscard]] std::vector<AoaEstimate> estimate_bearings(const AspResult& asp,
+                                                         const AoaOptions& options);
+
+/// Aggregate a stationary interval into one bearing (circular median over
+/// the right-branch candidates). Returns nullopt when no estimates fall in
+/// [t_start, t_end).
+[[nodiscard]] std::optional<double> aggregate_bearing(
+    const std::vector<AoaEstimate>& estimates, double t_start, double t_end);
+
+}  // namespace hyperear::core

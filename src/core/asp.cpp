@@ -1,0 +1,103 @@
+#include "core/asp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/matched_filter.hpp"
+
+namespace hyperear::core {
+
+namespace {
+
+std::vector<ChirpEvent> detect_events(const std::vector<double>& signal,
+                                      const dsp::Chirp& chirp, double sample_rate,
+                                      const AspOptions& options) {
+  dsp::DetectorConfig cfg;
+  cfg.sample_rate = sample_rate;
+  cfg.threshold = options.detector_threshold;
+  cfg.min_spacing_s = options.min_event_spacing_s;
+  const dsp::MatchedFilterDetector detector(chirp.reference(sample_rate), cfg);
+  std::vector<ChirpEvent> events;
+  for (const dsp::Detection& d : detector.detect(signal)) {
+    events.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
+  }
+  return events;
+}
+
+}  // namespace
+
+double estimate_period(const std::vector<ChirpEvent>& events, double nominal_period,
+                       double window_end, std::size_t min_events) {
+  require(nominal_period > 0.0, "estimate_period: bad nominal period");
+  std::vector<double> times;
+  for (const ChirpEvent& e : events) {
+    if (e.time_s <= window_end) times.push_back(e.time_s);
+  }
+  if (times.size() < min_events) {
+    throw DetectionError("estimate_period: not enough calibration arrivals");
+  }
+  // Recover integer chirp indices by rounding gaps to the nominal period;
+  // missed detections produce index gaps, which the fit tolerates.
+  std::vector<double> idx(times.size());
+  idx[0] = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    idx[i] = idx[i - 1] + std::round((times[i] - times[i - 1]) / nominal_period);
+  }
+  const LineFit fit = fit_line_robust(idx, times);
+  require(fit.slope > 0.5 * nominal_period && fit.slope < 1.5 * nominal_period,
+          "estimate_period: implausible period estimate");
+  return fit.slope;
+}
+
+AspResult preprocess_audio(const sim::StereoRecording& recording,
+                           const dsp::ChirpParams& chirp_params, double nominal_period,
+                           double calibration_duration, const AspOptions& options) {
+  require(!recording.mic1.empty() && recording.mic1.size() == recording.mic2.size(),
+          "preprocess_audio: bad recording");
+  const double fs = recording.sample_rate;
+  const dsp::Chirp chirp(chirp_params);
+
+  AspResult result;
+  result.estimated_period = nominal_period;
+
+  if (options.bandpass) {
+    const double lo = std::max(chirp_params.freq_low_hz - options.band_margin_hz, 50.0);
+    const double hi =
+        std::min(chirp_params.freq_high_hz + options.band_margin_hz, fs / 2.0 - 50.0);
+    const std::vector<double> taps =
+        dsp::design_bandpass(lo, hi, fs, options.bandpass_taps);
+    const std::vector<double> f1 = dsp::filter_same(recording.mic1, taps);
+    const std::vector<double> f2 = dsp::filter_same(recording.mic2, taps);
+    result.mic1 = detect_events(f1, chirp, fs, options);
+    result.mic2 = detect_events(f2, chirp, fs, options);
+  } else {
+    result.mic1 = detect_events(recording.mic1, chirp, fs, options);
+    result.mic2 = detect_events(recording.mic2, chirp, fs, options);
+  }
+
+  if (options.sfo_correction) {
+    // Average the per-mic estimates when both are available (the two mics
+    // share the phone clock, so their true periods are identical).
+    double sum = 0.0;
+    int count = 0;
+    for (const auto* events : {&result.mic1, &result.mic2}) {
+      try {
+        sum += estimate_period(*events, nominal_period, calibration_duration,
+                               options.min_calibration_events);
+        ++count;
+      } catch (const DetectionError&) {
+        // fall through; the other mic may still provide an estimate
+      }
+    }
+    if (count > 0) {
+      result.estimated_period = sum / count;
+      result.sfo_ppm = (result.estimated_period / nominal_period - 1.0) * 1e6;
+      result.sfo_estimated = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "dsp/chirp.hpp"
+#include "sim/acoustic_renderer.hpp"
+
+/// @file asp.hpp
+/// Acoustic Signal Preprocessing (paper Section III, "ASP"). Three jobs:
+///
+///  1. band-pass the recording to the chirp band so out-of-band ambient
+///     sound (human voice < 2 kHz) is removed;
+///  2. detect chirp arrivals at each microphone with sub-sample resolution
+///     (matched filter + interpolation);
+///  3. estimate and correct the sampling-frequency offset (SFO) between the
+///     speaker's clock and the phone's clock — the augmented TDoA subtracts
+///     n * T, so a ppm-level period error scales with the elapsed chirp
+///     count and must be measured from the data. The static calibration
+///     head of the session provides arrivals whose spacing is exactly the
+///     beacon period as seen by the phone clock.
+
+namespace hyperear::core {
+
+/// One detected chirp arrival at a microphone.
+struct ChirpEvent {
+  double time_s = 0.0;     ///< arrival of the chirp start, phone-clock seconds
+  double score = 0.0;      ///< normalized correlation
+  double amplitude = 0.0;  ///< raw matched-filter amplitude (NLoS diagnostics)
+  double echo_competition = 0.0;  ///< runner-up arrival ratio (NLoS cue)
+};
+
+/// ASP configuration (defaults reproduce the paper's pipeline).
+struct AspOptions {
+  bool bandpass = true;
+  std::size_t bandpass_taps = 255;
+  double band_margin_hz = 200.0;   ///< widen the pass band by this much
+  double detector_threshold = 0.22;
+  double min_event_spacing_s = 0.12;
+  bool sfo_correction = true;
+  /// Minimum calibration-head events needed for an SFO estimate.
+  std::size_t min_calibration_events = 5;
+};
+
+/// Output of ASP.
+struct AspResult {
+  std::vector<ChirpEvent> mic1;
+  std::vector<ChirpEvent> mic2;
+  double estimated_period = 0.2;  ///< T-hat in phone-clock seconds
+  double sfo_ppm = 0.0;           ///< (T-hat / nominal - 1) * 1e6
+  bool sfo_estimated = false;     ///< false -> nominal period was used
+};
+
+/// Run ASP on a stereo recording. `nominal_period` is the beacon's
+/// advertised chirp period; `calibration_duration` the static head of the
+/// session used for the SFO fit.
+[[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
+                                         const dsp::ChirpParams& chirp,
+                                         double nominal_period,
+                                         double calibration_duration,
+                                         const AspOptions& options = {});
+
+/// Estimate the beacon period as seen by the phone clock from arrivals of a
+/// static interval: robust line fit of arrival time against chirp index
+/// (indices recovered by rounding gaps to the nominal period). Throws
+/// DetectionError when fewer than `min_events` arrivals are available.
+[[nodiscard]] double estimate_period(const std::vector<ChirpEvent>& events,
+                                     double nominal_period, double window_end,
+                                     std::size_t min_events);
+
+}  // namespace hyperear::core

@@ -1,0 +1,30 @@
+#include "core/calibration.hpp"
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hyperear::core {
+
+CalibrationResult calibrate_mic_separation(const AspResult& asp,
+                                           const CalibrationOptions& options) {
+  CalibrationResult out;
+  const std::vector<TdoaSample> samples =
+      pair_inter_mic_tdoas(asp, options.pairing_slack_s);
+  out.samples = samples.size();
+  if (samples.size() < options.min_samples) return out;
+
+  std::vector<double> tdoas;
+  tdoas.reserve(samples.size());
+  for (const TdoaSample& s : samples) tdoas.push_back(s.tdoa_s);
+  const double lo = percentile(tdoas, options.percentile_low);
+  const double hi = percentile(tdoas, options.percentile_high);
+  out.tdoa_swing_s = hi - lo;
+  if (out.tdoa_swing_s <= 0.0) return out;
+  // Swing = 2 D / S.
+  out.mic_separation = out.tdoa_swing_s * options.sound_speed / 2.0;
+  out.valid = out.mic_separation > 0.02 && out.mic_separation < 0.5;
+  return out;
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "core/asp.hpp"
+#include "core/sdf.hpp"
+#include "imu/preprocess.hpp"
+
+/// @file calibration.hpp
+/// Self-calibration of the microphone separation D.
+///
+/// The paper hard-codes D per phone model (13.66 cm for the S4, 15.12 cm
+/// for the Note3, measured by the authors). A shipping app cannot measure
+/// every handset, but D is observable from a rotation sweep: the inter-mic
+/// TDoA traces -D cos(alpha)/S (Fig. 7), so the PEAK-TO-PEAK swing of the
+/// trace is 2D/S regardless of range or aiming. One full roll with any
+/// beacon a few meters away calibrates D to millimeters.
+
+namespace hyperear::core {
+
+/// Calibration configuration.
+struct CalibrationOptions {
+  double sound_speed = 343.0;
+  double pairing_slack_s = 1.2e-3;  ///< generous: D is still unknown
+  /// Robust extremes: use these percentiles of the TDoA trace instead of
+  /// raw min/max.
+  double percentile_low = 2.0;
+  double percentile_high = 98.0;
+  std::size_t min_samples = 20;
+};
+
+/// Result of a mic-separation calibration.
+struct CalibrationResult {
+  bool valid = false;
+  double mic_separation = 0.0;  ///< estimated D (m)
+  double tdoa_swing_s = 0.0;    ///< robust peak-to-peak TDoA
+  std::size_t samples = 0;
+};
+
+/// Estimate D from a full-rotation sweep recording (the sweep must cover
+/// both endfire orientations so the TDoA reaches both extremes +-D/S).
+[[nodiscard]] CalibrationResult calibrate_mic_separation(
+    const AspResult& asp, const CalibrationOptions& options = {});
+
+}  // namespace hyperear::core

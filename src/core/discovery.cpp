@@ -1,0 +1,53 @@
+#include "core/discovery.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/matched_filter.hpp"
+
+namespace hyperear::core {
+
+std::vector<TagPresence> discover_tags(const std::vector<double>& recording,
+                                       double sample_rate,
+                                       const std::vector<TagSignature>& candidates,
+                                       const DiscoveryOptions& options) {
+  require(!recording.empty(), "discover_tags: empty recording");
+  require(sample_rate > 0.0, "discover_tags: bad sample rate");
+  std::vector<TagPresence> out;
+  out.reserve(candidates.size());
+  for (const TagSignature& tag : candidates) {
+    TagPresence p;
+    p.name = tag.name;
+    const dsp::Chirp chirp(tag.spec.chirp);
+    dsp::DetectorConfig cfg;
+    cfg.sample_rate = sample_rate;
+    cfg.threshold = options.detector_threshold;
+    cfg.min_spacing_s = 0.5 * tag.spec.period_s;
+    const dsp::MatchedFilterDetector detector(chirp.reference(sample_rate), cfg);
+    const std::vector<dsp::Detection> hits = detector.detect(recording);
+    p.detections = hits.size();
+    if (hits.size() >= options.min_detections) {
+      std::vector<double> gaps, amps;
+      for (std::size_t i = 1; i < hits.size(); ++i) {
+        gaps.push_back(hits[i].time_s - hits[i - 1].time_s);
+      }
+      for (const dsp::Detection& h : hits) amps.push_back(h.amplitude);
+      // Gaps across missed chirps are integer multiples of the period;
+      // reduce each to its remainder around the nearest multiple.
+      std::vector<double> residuals;
+      for (double g : gaps) {
+        const double n = std::max(1.0, std::round(g / tag.spec.period_s));
+        residuals.push_back(std::abs(g / n - tag.spec.period_s));
+      }
+      p.period_error_s = median(residuals);
+      p.median_amplitude = median(amps);
+      p.present = p.period_error_s <= options.max_period_error_s;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/acoustic_renderer.hpp"
+#include "sim/speaker.hpp"
+
+/// @file discovery.hpp
+/// Beacon discovery: which tags are transmitting, before any localization.
+///
+/// In an FDMA multi-tag deployment (see examples/multi_tag.cpp) the app
+/// first needs to know which of its registered tags is audible at all. A
+/// few seconds of recording suffice: each candidate's chirp band is scanned
+/// with that tag's matched filter and accepted when a periodic train of
+/// arrivals at the tag's beacon period shows up.
+
+namespace hyperear::core {
+
+/// A registered tag to scan for.
+struct TagSignature {
+  std::string name;
+  sim::SpeakerSpec spec;
+};
+
+/// Scan verdict per tag.
+struct TagPresence {
+  std::string name;
+  bool present = false;
+  std::size_t detections = 0;     ///< matched-filter arrivals found
+  double period_error_s = 0.0;    ///< |median inter-arrival - nominal period|
+  double median_amplitude = 0.0;
+};
+
+/// Discovery configuration.
+struct DiscoveryOptions {
+  /// Minimum arrivals to call a tag present.
+  std::size_t min_detections = 6;
+  /// Maximum deviation of the median inter-arrival gap from the tag's
+  /// nominal period (seconds) — rejects accidental correlations.
+  double max_period_error_s = 2e-3;
+  double detector_threshold = 0.22;
+};
+
+/// Scan one mic channel of a recording for every candidate tag.
+[[nodiscard]] std::vector<TagPresence> discover_tags(
+    const std::vector<double>& recording, double sample_rate,
+    const std::vector<TagSignature>& candidates, const DiscoveryOptions& options = {});
+
+}  // namespace hyperear::core

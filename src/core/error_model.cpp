@@ -1,0 +1,42 @@
+#include "core/error_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+
+ErrorBudget predict_range_error(const ErrorBudgetInput& in) {
+  require(in.range > 0.0 && in.mic_separation > 0.0 && in.slide_distance > 0.0,
+          "predict_range_error: geometry must be positive");
+  require(in.pairs_per_slide >= 1 && in.slides >= 1,
+          "predict_range_error: need at least one pair and one slide");
+  ErrorBudget out;
+  const double sensitivity =
+      in.range * in.range / (in.mic_separation * in.slide_distance);
+  const double n_pairs =
+      static_cast<double>(in.pairs_per_slide) * static_cast<double>(in.slides);
+
+  // Timing: two arrivals per augmented TDoA and two TDoAs per solve; the
+  // four contributions are independent, so the TDoA-difference noise is
+  // 2 * sigma_t in range units. Pairs share endpoint chirps only partially;
+  // treating them as independent is the optimistic CRLB-style bound.
+  const double dd_sigma = 2.0 * in.timing_sigma_s * in.sound_speed;
+  out.timing = sensitivity * dd_sigma / std::sqrt(n_pairs);
+
+  // Displacement: one D' estimate per slide; relative error maps to
+  // relative range error.
+  out.displacement = (in.range / in.slide_distance) * in.displacement_sigma /
+                     std::sqrt(static_cast<double>(in.slides));
+
+  // Residual rotation: enters the TDoA difference as D * psi (meters), so
+  // it rides the same sensitivity as timing; one residual per pair.
+  out.rotation =
+      sensitivity * in.mic_separation * in.residual_yaw_sigma / std::sqrt(n_pairs);
+
+  out.total = std::sqrt(out.timing * out.timing + out.displacement * out.displacement +
+                        out.rotation * out.rotation);
+  return out;
+}
+
+}  // namespace hyperear::core

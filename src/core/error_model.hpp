@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file error_model.hpp
+/// First-order (CRLB-style) error budget for the augmented-TDoA range
+/// estimate — the analytic companion to the paper's empirical Figs. 14-16.
+///
+/// Linearizing Eqs. 5-6 around the far-field solution L ~ D*D'/(dd2-dd1):
+///
+///   dL/d(ddi)  = +- L^2 / (D * D')   (timing errors, per microphone)
+///   dL/dD'     =    L / D'           (sliding-distance error, relative)
+///   rotation   : a residual yaw excursion psi between the endpoint chirps
+///                enters the TDoA difference as D * psi, i.e. like timing.
+///
+/// Independent error terms shrink with the number of chirp pairs and
+/// slides aggregated; the displacement term is per-slide (one D' estimate
+/// per slide) and only averages across slides.
+
+namespace hyperear::core {
+
+/// Inputs of the budget, all 1-sigma.
+struct ErrorBudgetInput {
+  double range = 5.0;             ///< L (m)
+  double mic_separation = 0.1366; ///< D (m)
+  double slide_distance = 0.55;   ///< D' (m)
+  double timing_sigma_s = 3e-6;   ///< per-arrival timing noise (s)
+  double displacement_sigma = 0.01;  ///< per-slide D' estimation error (m)
+  double residual_yaw_sigma = 0.003; ///< per-pair yaw residual after gyro correction (rad)
+  int pairs_per_slide = 16;       ///< chirp pairs averaged within a slide
+  int slides = 5;                 ///< slides aggregated per session
+  double sound_speed = 343.0;
+};
+
+/// Predicted 1-sigma range error, decomposed by source.
+struct ErrorBudget {
+  double timing = 0.0;        ///< from per-arrival timing noise
+  double displacement = 0.0;  ///< from D' estimation error
+  double rotation = 0.0;      ///< from residual (uncorrected) yaw
+  double total = 0.0;         ///< root-sum-square of the three
+};
+
+/// Evaluate the budget. Requires positive geometry inputs.
+[[nodiscard]] ErrorBudget predict_range_error(const ErrorBudgetInput& input);
+
+}  // namespace hyperear::core

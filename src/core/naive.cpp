@@ -1,0 +1,72 @@
+#include "core/naive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geom/hyperbola.hpp"
+#include "geom/triangulation.hpp"
+
+namespace hyperear::core {
+
+namespace {
+
+double quantize_range_diff(double dd, const NaiveOptions& options) {
+  if (!options.quantize) return dd;
+  const double step = options.sound_speed / options.sample_rate;
+  return std::round(dd / step) * step;
+}
+
+}  // namespace
+
+geom::Vec2 naive_localize(const geom::Vec2& truth, const NaiveOptions& options) {
+  require(options.mic_separation > 0.0 && options.move_distance > 0.0,
+          "naive_localize: geometry must be positive");
+  const double d = options.mic_separation;
+  const double b = options.move_distance;
+  // Pose 1: mics at (-D/2, 0) and (+D/2, 0). Pose 2: shifted +b along x.
+  const geom::Vec2 m1a{-d / 2.0, 0.0}, m1b{d / 2.0, 0.0};
+  const geom::Vec2 m2a{b - d / 2.0, 0.0}, m2b{b + d / 2.0, 0.0};
+
+  const double limit = 0.999 * d;
+  double dd1 = quantize_range_diff(distance(truth, m1a) - distance(truth, m1b), options);
+  double dd2 = quantize_range_diff(distance(truth, m2a) - distance(truth, m2b), options);
+  dd1 = std::clamp(dd1, -limit, limit);
+  dd2 = std::clamp(dd2, -limit, limit);
+
+  const geom::Hyperbola h1(m1a, m1b, dd1, true);
+  const geom::Hyperbola h2(m2a, m2b, dd2, true);
+  // Initialize from a generous broadside guess; the quantized problem is
+  // shallow, so the solver needs a stable starting point, not a close one.
+  const geom::Vec2 guess{b / 2.0, std::max(truth.norm(), 0.5)};
+  const geom::TriangulationResult sol = geom::intersect(h1, h2, guess);
+  geom::Vec2 est = sol.position;
+  const double r = est.norm();
+  if (r > options.max_range && r > 0.0) {
+    est = est * (options.max_range / r);
+  }
+  return est;
+}
+
+Summary naive_error_study(double range, int trials, Rng& rng, const NaiveOptions& options) {
+  require(range > 0.0, "naive_error_study: range must be positive");
+  require(trials >= 1, "naive_error_study: need at least one trial");
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const geom::Vec2 truth{rng.uniform(-options.lateral_spread, options.lateral_spread),
+                           range};
+    const geom::Vec2 est = naive_localize(truth, options);
+    errors.push_back(distance(est, truth));
+  }
+  return summarize(errors);
+}
+
+double naive_range_ambiguity(double range, const NaiveOptions& options) {
+  require(range > 0.0, "naive_range_ambiguity: range must be positive");
+  const double step = options.sound_speed / options.sample_rate;
+  return range * range * step / (options.mic_separation * options.move_distance);
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "geom/vec2.hpp"
+
+/// @file naive.hpp
+/// The naive baseline of the paper's Section II (Figs. 2-3): localize with
+/// the phone's two onboard microphones at two hand-separated positions,
+/// with the TDoA quantized to the ADC grid and no sliding augmentation, no
+/// sub-sample interpolation and no SFO handling. Used to reproduce the
+/// ambiguity numbers of Section II-C (errors up to 18.6 cm at 1 m and
+/// 266.7 cm at 5 m for a Galaxy S4).
+
+namespace hyperear::core {
+
+/// Baseline configuration.
+struct NaiveOptions {
+  double mic_separation = 0.1366;  ///< D (Galaxy S4 default)
+  double move_distance = 0.15;     ///< hand move between the two poses (m)
+  double sample_rate = 44100.0;
+  double sound_speed = 343.0;
+  bool quantize = true;            ///< snap TDoAs to the 1/fs grid
+  /// Lateral scatter of the speaker around broadside across trials (m).
+  double lateral_spread = 0.5;
+  /// Quantized hyperbolas can be mutually inconsistent and intersect only
+  /// at infinity; any deployable system bounds the answer to the building,
+  /// so estimates beyond this range are pulled back onto the bound.
+  double max_range = 20.0;
+};
+
+/// Localize one speaker at `truth` with the naive scheme. Mic pair 1 is
+/// centered at the origin along x; pose 2 is shifted by move_distance
+/// along x. Returns the estimated position.
+[[nodiscard]] geom::Vec2 naive_localize(const geom::Vec2& truth, const NaiveOptions& options);
+
+/// Monte-Carlo error study at range r: speaker positions are sampled near
+/// broadside, localized naively, and scored. Returns the error summary.
+[[nodiscard]] Summary naive_error_study(double range, int trials, Rng& rng,
+                                        const NaiveOptions& options = {});
+
+/// First-order analytic range ambiguity of a quantized two-pose scheme:
+/// one TDoA quantum delta = S/fs maps to a range error of about
+/// r^2 * delta / (D * baseline). Grows quadratically with range — the
+/// "location ambiguity increases for far objects" of Fig. 3.
+[[nodiscard]] double naive_range_ambiguity(double range, const NaiveOptions& options = {});
+
+}  // namespace hyperear::core

@@ -1,0 +1,45 @@
+#include "core/nlos.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/sdf.hpp"
+
+namespace hyperear::core {
+
+NlosAssessment assess_line_of_sight(const AspResult& asp, const NlosOptions& options) {
+  NlosAssessment out;
+  const std::vector<TdoaSample> pairs =
+      pair_inter_mic_tdoas(asp, options.pairing_slack_s);
+  out.events = pairs.size();
+  if (pairs.size() < options.min_events) return out;
+  out.enough_data = true;
+
+  std::vector<double> tdoas;
+  tdoas.reserve(pairs.size());
+  for (const TdoaSample& p : pairs) tdoas.push_back(p.tdoa_s);
+  out.tdoa_mad_s = median_absolute_deviation(tdoas);
+
+  std::vector<double> amps, competition;
+  amps.reserve(asp.mic1.size());
+  competition.reserve(asp.mic1.size());
+  for (const ChirpEvent& e : asp.mic1) {
+    amps.push_back(e.amplitude);
+    competition.push_back(e.echo_competition);
+  }
+  if (amps.size() >= options.min_events) {
+    const double med = median(amps);
+    if (med > 0.0) out.amplitude_dispersion = median_absolute_deviation(amps) / med;
+    out.echo_competition = median(competition);
+  }
+
+  const bool tdoa_trip = out.tdoa_mad_s > options.tdoa_mad_threshold_s;
+  const bool amp_trip = out.amplitude_dispersion > options.amplitude_dispersion_threshold;
+  const bool echo_trip = out.echo_competition > options.echo_competition_threshold;
+  out.suspected =
+      tdoa_trip || echo_trip ||
+      (amp_trip && out.tdoa_mad_s > 0.5 * options.tdoa_mad_threshold_s);
+  return out;
+}
+
+}  // namespace hyperear::core

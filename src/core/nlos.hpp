@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/asp.hpp"
+
+/// @file nlos.hpp
+/// Line-of-sight assessment (extension of the paper's Section IX, which
+/// lists the LoS assumption as a limitation and proposes exploiting user
+/// mobility).
+///
+/// With a clear line of sight the dominant matched-filter arrival is the
+/// direct path: its inter-microphone TDoA is nearly constant through a
+/// session (the phone translates, so the bearing barely moves), and its
+/// amplitude is steady. When an obstruction blocks the direct path, the
+/// strongest arrival is whichever reflection wins at the current pose —
+/// different reflections arrive from different directions, so the inter-mic
+/// TDoA of the dominant arrival jumps by large fractions of +-D/S across
+/// the session, and the amplitude churns. Both dispersions are cheap,
+/// range-free NLoS cues; when they trip, the app should ask the user to
+/// step sideways and retry (see examples/nlos_recovery.cpp).
+
+namespace hyperear::core {
+
+/// Thresholds for the LoS test.
+struct NlosOptions {
+  /// Pairing window for inter-mic TDoAs (~D/S plus slack).
+  double pairing_slack_s = 0.7e-3;
+  /// Median absolute deviation of the inter-mic TDoA above which the
+  /// session looks NLoS (seconds). LoS sessions stay within a few us.
+  double tdoa_mad_threshold_s = 40e-6;
+  /// Relative amplitude MAD (MAD / median) above which amplitude churn
+  /// corroborates an obstruction.
+  double amplitude_dispersion_threshold = 0.35;
+  /// Median echo-competition ratio (runner-up arrival / winner) above which
+  /// the winner does not look like a clear direct path. The z-mirrored
+  /// floor/ceiling bounces preserve azimuth (so the TDoA cue misses them),
+  /// but an obstructed session's winning reflection always has near-peer
+  /// competitors; a clear direct path dominates its window.
+  double echo_competition_threshold = 0.42;
+  /// Minimum paired events for a verdict.
+  std::size_t min_events = 8;
+};
+
+/// Result of the LoS assessment.
+struct NlosAssessment {
+  bool enough_data = false;
+  bool suspected = false;            ///< overall verdict
+  double tdoa_mad_s = 0.0;           ///< inter-mic TDoA dispersion
+  double amplitude_dispersion = 0.0; ///< MAD/median of arrival amplitudes
+  double echo_competition = 0.0;     ///< median runner-up/winner ratio
+  std::size_t events = 0;
+};
+
+/// Assess whether the session's dominant arrivals look like a direct path.
+[[nodiscard]] NlosAssessment assess_line_of_sight(const AspResult& asp,
+                                                  const NlosOptions& options = {});
+
+}  // namespace hyperear::core

@@ -1,0 +1,42 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+
+LocalizationResult localize(const sim::Session& session, PipelineOptions options) {
+  options.sync();
+  const AspResult asp =
+      preprocess_audio(session.audio, session.prior.chirp, session.prior.nominal_period,
+                       session.prior.calibration_duration, options.asp);
+  const imu::MotionSignals motion = imu::preprocess(session.imu, options.msp);
+  const double mic_separation = session.config.phone.mic_separation;
+
+  LocalizationResult result;
+  result.estimated_period = asp.estimated_period;
+  result.sfo_ppm = asp.sfo_ppm;
+
+  if (session.prior.two_statures) {
+    result.used_3d = true;
+    result.ple = localize_3d(asp, motion, session.prior, mic_separation, options.ple);
+    result.valid = result.ple.valid;
+    result.estimated_position = result.ple.estimated_position;
+    result.range = result.ple.projected_distance;
+    result.slides_used = result.ple.slides_used;
+  } else {
+    result.ttl = localize_2d(asp, motion, session.prior, mic_separation, options.ttl);
+    result.valid = result.ttl.valid;
+    result.estimated_position = result.ttl.estimated_position;
+    result.range = result.ttl.aggregated_l;
+    result.slides_used = result.ttl.accepted_count;
+  }
+  return result;
+}
+
+double localization_error(const LocalizationResult& result, const sim::Session& session) {
+  require(result.valid, "localization_error: result is not valid");
+  const geom::Vec2 truth = session.truth.speaker_position.xy();
+  return distance(result.estimated_position, truth);
+}
+
+}  // namespace hyperear::core

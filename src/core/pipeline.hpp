@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/asp.hpp"
+#include "core/ple.hpp"
+#include "core/sdf.hpp"
+#include "core/ttl.hpp"
+#include "sim/scenario.hpp"
+
+/// @file pipeline.hpp
+/// The HyperEar facade: one call from a recorded session (stereo audio +
+/// IMU + the user's prior knowledge) to a speaker location on the floor
+/// map. Mirrors the six-component architecture of the paper's Fig. 5:
+/// ASP -> (SDF) -> MSP -> PDE -> TTL -> PLE.
+
+namespace hyperear::core {
+
+/// Every toggle of the pipeline in one place; the ablation bench flips the
+/// design-choice booleans documented in DESIGN.md Section 5.
+struct PipelineOptions {
+  AspOptions asp;
+  imu::PreprocessOptions msp;
+  TtlOptions ttl;
+  PleOptions ple;
+
+  PipelineOptions() { ple.ttl = ttl; }
+
+  /// Apply shared sub-option consistency (ttl is reused inside ple).
+  void sync() { ple.ttl = ttl; }
+};
+
+/// Unified localization output.
+struct LocalizationResult {
+  bool valid = false;
+  bool used_3d = false;
+  geom::Vec2 estimated_position;  ///< speaker estimate on the floor map
+  double range = 0.0;             ///< L (2D) or L* (3D projected)
+  int slides_used = 0;
+
+  // Diagnostics.
+  double estimated_period = 0.0;
+  double sfo_ppm = 0.0;
+  TtlResult ttl;  ///< populated for 2D sessions
+  PleResult ple;  ///< populated for 3D sessions
+};
+
+/// Run the full pipeline on a session. Uses the 3D (two-stature) flow when
+/// the session prior says two statures were recorded, the 2D flow otherwise.
+[[nodiscard]] LocalizationResult localize(const sim::Session& session,
+                                          PipelineOptions options = {});
+
+/// Scoring helper: projected Euclidean distance between the estimate and
+/// the ground-truth speaker position on the floor map (the paper's accuracy
+/// metric, Section VII-A). Requires a valid result.
+[[nodiscard]] double localization_error(const LocalizationResult& result,
+                                        const sim::Session& session);
+
+}  // namespace hyperear::core

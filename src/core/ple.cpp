@@ -1,0 +1,117 @@
+#include "core/ple.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace hyperear::core {
+
+namespace {
+
+/// Median floor-map point of `origin + slide_axis * x_local` over the
+/// accepted slides in [lo, hi).
+bool median_base_point(const std::vector<SlideMeasurement>& slides, double lo, double hi,
+                       geom::Vec2& out) {
+  std::vector<double> xs, ys;
+  for (const SlideMeasurement& m : slides) {
+    if (!m.accepted || m.t_start < lo || m.t_start >= hi) continue;
+    const geom::Vec2 base = m.origin_xy + m.slide_axis_xy * m.local_position.x;
+    xs.push_back(base.x);
+    ys.push_back(base.y);
+  }
+  if (xs.empty()) return false;
+  out = {median(xs), median(ys)};
+  return true;
+}
+
+}  // namespace
+
+PleResult localize_3d(const AspResult& asp, const imu::MotionSignals& motion,
+                      const sim::Session::Prior& prior, double mic_separation,
+                      const PleOptions& options) {
+  PleResult result;
+  result.slides = measure_slides(asp, motion, prior, mic_separation, options.ttl);
+
+  // Locate the stature change on the z axis: the segment with the largest
+  // absolute vertical displacement.
+  const std::vector<imu::Segment> z_segments =
+      imu::segment_movements(motion.lin_accel_z, options.z_segmentation);
+  double best_dz = 0.0;
+  double z_lo = 0.0, z_hi = 0.0;
+  for (const imu::Segment& seg : z_segments) {
+    const double dz =
+        imu::estimate_stature_change(motion, seg.start, seg.end, options.ttl.displacement);
+    if (std::abs(dz) > std::abs(best_dz)) {
+      best_dz = dz;
+      z_lo = static_cast<double>(seg.start) * motion.dt();
+      z_hi = static_cast<double>(seg.end) * motion.dt();
+    }
+  }
+
+  const double inf = std::numeric_limits<double>::infinity();
+  if (std::abs(best_dz) < options.min_stature_change) {
+    // No usable stature change: fall back to the coplanar 2D interpretation.
+    const TtlResult flat = aggregate_slides(result.slides, 0.0, inf);
+    result.valid = flat.valid;
+    result.projected = false;
+    result.l1 = flat.aggregated_l;
+    result.projected_distance = flat.aggregated_l;
+    result.estimated_position = flat.estimated_position;
+    result.slides_used = flat.accepted_count;
+    return result;
+  }
+
+  const TtlResult group1 = aggregate_slides(result.slides, 0.0, z_lo);
+  const TtlResult group2 = aggregate_slides(result.slides, z_hi, inf);
+  result.stature_change = std::abs(best_dz);
+  result.slides_used = group1.accepted_count + group2.accepted_count;
+  if (!group1.valid || !group2.valid) {
+    // One stature produced nothing; fall back to whichever worked.
+    const TtlResult& fallback = group1.valid ? group1 : group2;
+    result.valid = fallback.valid;
+    result.projected = false;
+    result.l1 = fallback.aggregated_l;
+    result.projected_distance = fallback.aggregated_l;
+    result.estimated_position = fallback.estimated_position;
+    return result;
+  }
+
+  result.l1 = group1.aggregated_l;
+  result.l2 = group2.aggregated_l;
+  const geom::ProjectionResult proj =
+      geom::project_to_floor(result.stature_change, result.l1, result.l2);
+  result.beta_rad = proj.beta_rad;
+  // Robustness beyond the paper: with a small H, noise in L1/L2 can break
+  // the triangle inequality (the clamped Eq. 7 would then collapse L* to
+  // zero) or imply an implausible vertical offset. In those cases the slant
+  // distance itself is the better floor-map estimate, since the projection
+  // correction is only ~z^2/(2 L1).
+  const bool plausible_offset = std::abs(proj.height_offset) <= 3.0;
+  if (proj.well_conditioned && plausible_offset) {
+    result.projected_distance = proj.projected_distance;
+    result.projected = true;
+  } else {
+    result.projected_distance = result.l1;
+    result.projected = false;
+  }
+
+  geom::Vec2 base;
+  if (!median_base_point(result.slides, 0.0, z_lo, base)) {
+    result.valid = false;
+    return result;
+  }
+  // All slides share the lateral axis (the believed speaker side).
+  geom::Vec2 lateral{0.0, 0.0};
+  for (const SlideMeasurement& m : result.slides) {
+    if (m.accepted) {
+      lateral = m.lateral_axis_xy;
+      break;
+    }
+  }
+  result.estimated_position = base + lateral * result.projected_distance;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/ttl.hpp"
+#include "geom/projection.hpp"
+
+/// @file ple.hpp
+/// Projected Location Estimation (paper Section VI-B). The phone performs
+/// the slide protocol at two statures separated by a vertical move H; each
+/// stature's slides measure the radial (slant) distance from the slide axis
+/// to the speaker. The law-of-cosines projection (Eq. 7) then yields the
+/// floor-map distance without knowing either party's absolute height.
+
+namespace hyperear::core {
+
+/// PLE configuration.
+struct PleOptions {
+  TtlOptions ttl;
+  /// Minimum estimated |H| to attempt the projection; below this the two
+  /// slide planes are effectively coplanar and the slant distance is used
+  /// directly.
+  double min_stature_change = 0.12;
+  /// Segmentation of the vertical move uses the z-axis acceleration with
+  /// the same parameters as the slides.
+  imu::SegmentationOptions z_segmentation;
+};
+
+/// Session-level 3D localization result.
+struct PleResult {
+  bool valid = false;
+  bool projected = false;     ///< false -> fell back to the slant distance
+  double l1 = 0.0;            ///< radial distance at stature 1
+  double l2 = 0.0;            ///< radial distance at stature 2
+  double stature_change = 0.0;  ///< estimated |H| (m)
+  double beta_rad = 0.0;        ///< Eq. 7 angle
+  double projected_distance = 0.0;  ///< L* = L1 sin(beta)
+  geom::Vec2 estimated_position;    ///< floor-map speaker estimate
+  int slides_used = 0;
+  std::vector<SlideMeasurement> slides;  ///< diagnostics
+};
+
+/// Full 3D localization of a two-stature session.
+[[nodiscard]] PleResult localize_3d(const AspResult& asp,
+                                    const imu::MotionSignals& motion,
+                                    const sim::Session::Prior& prior,
+                                    double mic_separation, const PleOptions& options = {});
+
+}  // namespace hyperear::core

@@ -1,0 +1,78 @@
+#include "core/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+
+ProtocolStateMachine::ProtocolStateMachine(int slides_per_stature, bool three_d)
+    : slides_per_stature_(slides_per_stature), three_d_(three_d) {
+  require(slides_per_stature >= 1, "ProtocolStateMachine: need at least one slide");
+}
+
+bool ProtocolStateMachine::on_event(ProtocolEvent event) {
+  switch (phase_) {
+    case ProtocolPhase::kFindDirection:
+      if (event == ProtocolEvent::kDirectionFound) {
+        phase_ = ProtocolPhase::kCalibrate;
+        return true;
+      }
+      return false;
+    case ProtocolPhase::kCalibrate:
+      if (event == ProtocolEvent::kCalibrationElapsed) {
+        phase_ = ProtocolPhase::kSlideLow;
+        return true;
+      }
+      return false;
+    case ProtocolPhase::kSlideLow:
+    case ProtocolPhase::kSlideHigh:
+      if (event == ProtocolEvent::kSlideAccepted) {
+        ++slides_done_;
+        ++total_slides_;
+        if (slides_done_ >= slides_per_stature_) {
+          if (phase_ == ProtocolPhase::kSlideLow && three_d_) {
+            phase_ = ProtocolPhase::kRaise;
+          } else {
+            phase_ = ProtocolPhase::kDone;
+          }
+        }
+        return true;
+      }
+      if (event == ProtocolEvent::kSlideRejected) {
+        ++rejected_;
+        return true;  // state advanced (counter), phase unchanged
+      }
+      return false;
+    case ProtocolPhase::kRaise:
+      if (event == ProtocolEvent::kStatureChanged) {
+        phase_ = ProtocolPhase::kSlideHigh;
+        slides_done_ = 0;
+        return true;
+      }
+      return false;
+    case ProtocolPhase::kDone:
+      return false;
+  }
+  return false;
+}
+
+std::string ProtocolStateMachine::instruction() const {
+  switch (phase_) {
+    case ProtocolPhase::kFindDirection:
+      return "Rotate the phone slowly until it points at the beacon.";
+    case ProtocolPhase::kCalibrate:
+      return "Hold the phone still for a few seconds.";
+    case ProtocolPhase::kSlideLow:
+    case ProtocolPhase::kSlideHigh: {
+      const int remaining = slides_per_stature_ - slides_done_;
+      return "Slide the phone along its length, smoothly, " +
+             std::to_string(remaining) + " more time(s).";
+    }
+    case ProtocolPhase::kRaise:
+      return "Raise the phone about half a meter and hold it there.";
+    case ProtocolPhase::kDone:
+      return "Done - computing the beacon's position.";
+  }
+  return {};
+}
+
+}  // namespace hyperear::core

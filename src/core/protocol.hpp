@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+
+/// @file protocol.hpp
+/// The user-guidance state machine an app UI would drive.
+///
+/// The paper's requirement 3 is "excellent user experience ... minimize the
+/// involvement of users". The measurement protocol has a fixed shape —
+/// roll until in-direction, hold still for calibration, slide N times,
+/// raise the phone, slide N more — and the app must tell the user what to
+/// do next and react to what the sensors actually observed. This class is
+/// that protocol, expressed as a pure state machine (no I/O, no timing),
+/// so it is trivially testable and reusable behind any UI.
+
+namespace hyperear::core {
+
+/// Protocol phases, in order.
+enum class ProtocolPhase {
+  kFindDirection,   ///< roll the phone; SDF watching for the zero crossing
+  kCalibrate,       ///< hold still; SFO estimation window
+  kSlideLow,        ///< slide back and forth at the first stature
+  kRaise,           ///< lift the phone to the second stature (3D only)
+  kSlideHigh,       ///< slides at the second stature (3D only)
+  kDone,
+};
+
+/// Events the sensing layer reports to the protocol.
+enum class ProtocolEvent {
+  kDirectionFound,     ///< SDF crossed zero
+  kCalibrationElapsed, ///< enough static chirps collected
+  kSlideAccepted,      ///< a slide passed the quality gate
+  kSlideRejected,      ///< too short / too much rotation; must redo
+  kStatureChanged,     ///< vertical move detected
+};
+
+/// Deterministic protocol state machine.
+class ProtocolStateMachine {
+ public:
+  /// `slides_per_stature` >= 1; `three_d` adds the raise + second stature.
+  ProtocolStateMachine(int slides_per_stature, bool three_d);
+
+  [[nodiscard]] ProtocolPhase phase() const { return phase_; }
+  [[nodiscard]] bool done() const { return phase_ == ProtocolPhase::kDone; }
+  /// Accepted slides so far in the CURRENT stature.
+  [[nodiscard]] int slides_completed() const { return slides_done_; }
+  /// Total slides accepted across the session.
+  [[nodiscard]] int total_slides() const { return total_slides_; }
+  /// Slides rejected by the quality gate (for UX telemetry).
+  [[nodiscard]] int slides_rejected() const { return rejected_; }
+
+  /// Advance on an event. Events that make no sense in the current phase
+  /// are ignored (sensor layers are noisy); returns true when the event
+  /// changed the state.
+  bool on_event(ProtocolEvent event);
+
+  /// One-line instruction for the user in the current phase.
+  [[nodiscard]] std::string instruction() const;
+
+ private:
+  ProtocolPhase phase_ = ProtocolPhase::kFindDirection;
+  int slides_per_stature_;
+  bool three_d_;
+  int slides_done_ = 0;
+  int total_slides_ = 0;
+  int rejected_ = 0;
+};
+
+}  // namespace hyperear::core

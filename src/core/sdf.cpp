@@ -1,0 +1,87 @@
+#include "core/sdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace hyperear::core {
+
+std::vector<TdoaSample> pair_inter_mic_tdoas(const AspResult& asp, double max_offset_s) {
+  require(max_offset_s > 0.0, "pair_inter_mic_tdoas: bad pairing window");
+  std::vector<TdoaSample> out;
+  std::size_t j = 0;
+  for (const ChirpEvent& e1 : asp.mic1) {
+    // Advance to the nearest mic2 event.
+    while (j + 1 < asp.mic2.size() &&
+           std::abs(asp.mic2[j + 1].time_s - e1.time_s) <=
+               std::abs(asp.mic2[j].time_s - e1.time_s)) {
+      ++j;
+    }
+    if (j >= asp.mic2.size()) break;
+    const double dt = e1.time_s - asp.mic2[j].time_s;
+    if (std::abs(dt) <= max_offset_s) {
+      out.push_back({0.5 * (e1.time_s + asp.mic2[j].time_s), dt});
+    }
+  }
+  return out;
+}
+
+double integrated_yaw_at(const imu::MotionSignals& motion, double t) {
+  require(motion.size() >= 2, "integrated_yaw_at: record too short");
+  const double dt = motion.dt();
+  const double t_clamped = clamp(t, 0.0, static_cast<double>(motion.size() - 1) * dt);
+  double yaw = 0.0;
+  const auto full = static_cast<std::size_t>(t_clamped / dt);
+  for (std::size_t i = 0; i + 1 <= full && i + 1 < motion.size(); ++i) {
+    yaw += 0.5 * (motion.gyro_z[i] + motion.gyro_z[i + 1]) * dt;
+  }
+  // Fractional tail.
+  if (full + 1 < motion.size()) {
+    const double frac = t_clamped - static_cast<double>(full) * dt;
+    yaw += motion.gyro_z[full] * frac;
+  }
+  return yaw;
+}
+
+SdfResult find_direction(const AspResult& asp, const imu::MotionSignals& motion,
+                         const SdfOptions& options) {
+  SdfResult result;
+  result.samples = pair_inter_mic_tdoas(asp, options.max_pairing_offset_s);
+  if (result.samples.size() < 3) return result;
+
+  // Scan for sign changes in the TDoA trace. A genuine crossing has small
+  // values right at the zero, so the noise gate evaluates the swing over a
+  // +-3 sample neighbourhood rather than the adjacent pair.
+  const std::size_t n = result.samples.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const TdoaSample& a = result.samples[i - 1];
+    const TdoaSample& b = result.samples[i];
+    if (a.tdoa_s == 0.0 && b.tdoa_s == 0.0) continue;
+    if (a.tdoa_s * b.tdoa_s > 0.0) continue;
+    const std::size_t lo = i >= 4 ? i - 4 : 0;
+    const std::size_t hi = std::min(i + 3, n - 1);
+    const double swing = result.samples[hi].tdoa_s - result.samples[lo].tdoa_s;
+    if (std::abs(swing) < options.min_swing_s) continue;
+    // Linear interpolation of the crossing time.
+    const double span = b.tdoa_s - a.tdoa_s;
+    const double frac = span != 0.0 ? -a.tdoa_s / span : 0.5;
+    result.found = true;
+    result.crossing_time_s = lerp(a.time_s, b.time_s, frac);
+    // Side disambiguation: tdoa = -D cos(alpha)/S with alpha = 90 + yaw for
+    // a speaker on +x. Its time derivative at the crossing is
+    // (D/S) * cos(yaw) * yaw_rate, so a rising crossing means +x only when
+    // the phone was rotating counter-clockwise; read the sign off the gyro.
+    const auto idx = static_cast<std::size_t>(
+        clamp(result.crossing_time_s / motion.dt(), 0.0,
+              static_cast<double>(motion.size() - 1)));
+    const double yaw_rate = motion.gyro_z[idx];
+    result.speaker_on_positive_x = (swing > 0.0) == (yaw_rate > 0.0);
+    result.yaw_rad = integrated_yaw_at(motion, result.crossing_time_s);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace hyperear::core

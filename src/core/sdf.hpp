@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/asp.hpp"
+#include "imu/preprocess.hpp"
+
+/// @file sdf.hpp
+/// Speaker Direction Finding (paper Section IV). While the user rolls the
+/// phone around its z-axis, the inter-microphone TDoA traces
+/// -D*cos(alpha)/S (Fig. 7). The speaker direction is found where the TDoA
+/// crosses zero: a rising crossing corresponds to alpha = 90 degrees (the
+/// speaker on the phone's +x side), a falling crossing to alpha = 270.
+/// The yaw at the crossing is read off the integrated gyroscope.
+
+namespace hyperear::core {
+
+/// One paired inter-mic TDoA sample during the sweep.
+struct TdoaSample {
+  double time_s = 0.0;
+  double tdoa_s = 0.0;  ///< t_mic1 - t_mic2
+};
+
+/// SDF configuration.
+struct SdfOptions {
+  /// Max |t1 - t2| for pairing events across mics: the physical bound D/S
+  /// plus interpolation slack. Set from the phone's mic separation.
+  double max_pairing_offset_s = 0.7e-3;
+  /// Require the crossing's neighbours to have opposite TDoA signs of at
+  /// least this magnitude (seconds) to reject noise wiggles near zero.
+  double min_swing_s = 0.05e-3;
+};
+
+/// Result of a direction-finding sweep.
+struct SdfResult {
+  bool found = false;
+  double crossing_time_s = 0.0;  ///< when the TDoA crossed zero
+  double yaw_rad = 0.0;          ///< integrated gyro yaw at the crossing
+  bool speaker_on_positive_x = true;  ///< rising crossing (alpha = 90)
+  std::vector<TdoaSample> samples;    ///< the full trace (Fig. 7 material)
+};
+
+/// Pair per-mic chirp events into inter-mic TDoA samples. Events without a
+/// partner within `max_offset` are dropped.
+[[nodiscard]] std::vector<TdoaSample> pair_inter_mic_tdoas(const AspResult& asp,
+                                                           double max_offset_s);
+
+/// Integrated gyro-z yaw relative to the start of the record, evaluated at
+/// time t (linear interpolation between IMU samples).
+[[nodiscard]] double integrated_yaw_at(const imu::MotionSignals& motion, double t);
+
+/// Find the speaker direction from a rotation-sweep recording. The returned
+/// yaw is relative to the phone's yaw at the start of the sweep.
+[[nodiscard]] SdfResult find_direction(const AspResult& asp,
+                                       const imu::MotionSignals& motion,
+                                       const SdfOptions& options = {});
+
+}  // namespace hyperear::core

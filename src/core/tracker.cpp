@@ -1,0 +1,49 @@
+#include "core/tracker.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+
+void BeaconTracker::update(const geom::Vec2& fix, double sigma) {
+  require(sigma > 0.0, "BeaconTracker::update: sigma must be positive");
+  const double w = 1.0 / (sigma * sigma);
+  sum_x_ += w * fix.x;
+  sum_y_ += w * fix.y;
+  weight_ += w;
+  ++fixes_;
+}
+
+geom::Vec2 BeaconTracker::estimate() const {
+  require(weight_ > 0.0, "BeaconTracker::estimate: no fixes yet");
+  return {sum_x_ / weight_, sum_y_ / weight_};
+}
+
+double BeaconTracker::uncertainty() const {
+  require(weight_ > 0.0, "BeaconTracker::uncertainty: no fixes yet");
+  return 1.0 / std::sqrt(weight_);
+}
+
+double fix_sigma(double range, bool hand_held, const ErrorBudgetInput& base) {
+  ErrorBudgetInput in = base;
+  in.range = range;
+  if (hand_held) {
+    in.displacement_sigma = 0.015;
+    in.residual_yaw_sigma = 0.004;
+  } else {
+    in.displacement_sigma = 0.003;
+    in.residual_yaw_sigma = 0.0005;
+  }
+  const ErrorBudget budget = predict_range_error(in);
+  // Floor at a couple of centimeters: map registration and speaker-side
+  // geometry errors never vanish.
+  return std::max(budget.total, 0.02);
+}
+
+Guidance guide_toward(const geom::Vec2& user, const geom::Vec2& target) {
+  const geom::Vec2 delta = target - user;
+  return {delta.angle(), delta.norm()};
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,236 @@
+#include "core/ttl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "dsp/biquad.hpp"
+
+namespace hyperear::core {
+
+namespace {
+
+/// A chirp heard by both microphones at (nearly) the same instant.
+struct PairedChirp {
+  double t_mic1 = 0.0;
+  double t_mic2 = 0.0;
+};
+
+/// Pair mic1/mic2 events inside a time window [lo, hi] (event start times).
+std::vector<PairedChirp> paired_events_in(const AspResult& asp, double lo, double hi,
+                                          double slack) {
+  std::vector<PairedChirp> out;
+  std::size_t j = 0;
+  for (const ChirpEvent& e1 : asp.mic1) {
+    if (e1.time_s < lo) continue;
+    if (e1.time_s > hi) break;
+    while (j + 1 < asp.mic2.size() &&
+           std::abs(asp.mic2[j + 1].time_s - e1.time_s) <=
+               std::abs(asp.mic2[j].time_s - e1.time_s)) {
+      ++j;
+    }
+    if (j >= asp.mic2.size()) break;
+    if (std::abs(asp.mic2[j].time_s - e1.time_s) <= slack) {
+      out.push_back({e1.time_s, asp.mic2[j].time_s});
+    }
+  }
+  return out;
+}
+
+double median_of(std::vector<double>& v) { return median(v); }
+
+/// Integrated gyro-z yaw for the rotation correction, sampled at the IMU
+/// rate. The correction only needs yaw *differences* over a few seconds, so
+/// the gyro bias (DC) is removed exactly by detrending: subtract the
+/// session mean, then zero-phase high-pass well below the hand-wander band.
+/// Estimating the bias from a finite static window would instead leak the
+/// wander itself into the bias and poison the correction.
+std::vector<double> integrated_yaw(const imu::MotionSignals& motion, double detrend_hz) {
+  const double dt = motion.dt();
+  std::vector<double> rate(motion.gyro_z.begin(), motion.gyro_z.end());
+  const double bias0 = mean(rate);
+  for (auto& r : rate) r -= bias0;
+  dsp::ButterworthCascade hp(dsp::ButterworthCascade::Kind::kHighpass, 2, detrend_hz,
+                             motion.sample_rate);
+  rate = hp.filtfilt(rate);
+  std::vector<double> yaw(motion.size(), 0.0);
+  for (std::size_t i = 1; i < motion.size(); ++i) {
+    yaw[i] = yaw[i - 1] + 0.5 * (rate[i - 1] + rate[i]) * dt;
+  }
+  return yaw;
+}
+
+double yaw_at(const std::vector<double>& yaw, double t, double dt) {
+  if (yaw.empty()) return 0.0;
+  const double idx = std::clamp(t / dt, 0.0, static_cast<double>(yaw.size() - 1));
+  const auto i0 = static_cast<std::size_t>(idx);
+  if (i0 + 1 >= yaw.size()) return yaw.back();
+  const double frac = idx - static_cast<double>(i0);
+  return yaw[i0] + frac * (yaw[i0 + 1] - yaw[i0]);
+}
+
+}  // namespace
+
+std::vector<SlideMeasurement> measure_slides(const AspResult& asp,
+                                             const imu::MotionSignals& motion,
+                                             const sim::Session::Prior& prior,
+                                             double mic_separation,
+                                             const TtlOptions& options) {
+  require(mic_separation > 0.0, "measure_slides: mic separation must be positive");
+  const double dt = motion.dt();
+  const double t_hat = asp.estimated_period;
+  const double yaw = prior.believed_yaw;
+  const geom::Vec2 xhat_body{std::cos(yaw), std::sin(yaw)};   // body +x on the map
+  const geom::Vec2 yhat_body{-std::sin(yaw), std::cos(yaw)};  // body +y on the map
+  const double side = prior.speaker_on_positive_x ? 1.0 : -1.0;
+  const geom::Vec2 start_xy = prior.phone_start_position.xy();
+
+  const std::vector<imu::Segment> segments =
+      imu::segment_movements(motion.lin_accel_y, options.segmentation);
+
+  std::vector<double> yaw_track;
+  if (options.rotation_correction) {
+    yaw_track = integrated_yaw(motion, options.gyro_detrend_hz);
+  }
+
+  std::vector<SlideMeasurement> out;
+  double cumulative_disp = 0.0;  // body-y displacement accumulated so far
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const imu::Segment& seg = segments[si];
+    SlideMeasurement m;
+    m.motion = imu::estimate_slide(motion, motion.lin_accel_y, seg, options.displacement);
+    m.t_start = static_cast<double>(m.motion.start) * dt;
+    m.t_end = static_cast<double>(m.motion.end) * dt;
+    const double disp = m.motion.displacement;
+    const double offset_before = cumulative_disp;
+    cumulative_disp += disp;
+
+    if (std::abs(disp) < 0.02) {
+      // Too small to be a slide stroke (e.g. a bump); keep tracking the
+      // cumulative offset but record nothing useful.
+      out.push_back(m);
+      continue;
+    }
+
+    // Endpoint chirps must arrive while the phone DWELLS: the window around
+    // the slide is clamped against the neighbouring movement segments so a
+    // chirp recorded mid-stroke of the previous/next slide never poses as
+    // an endpoint measurement.
+    const double prev_end =
+        si > 0 ? static_cast<double>(segments[si - 1].end) * dt : 0.0;
+    const double next_start = si + 1 < segments.size()
+                                  ? static_cast<double>(segments[si + 1].start) * dt
+                                  : std::numeric_limits<double>::infinity();
+    const double pre_hi = m.t_start - options.guard_s - options.chirp_duration_s;
+    const double pre_lo =
+        std::max(m.t_start - options.lookback_s, prev_end + options.guard_s);
+    const double post_lo = m.t_end + options.guard_s;
+    const double post_hi = std::min(m.t_end + options.lookback_s,
+                                    next_start - options.guard_s) -
+                           options.chirp_duration_s;
+    const std::vector<PairedChirp> pre =
+        paired_events_in(asp, pre_lo, pre_hi, options.pairing_slack_s);
+    const std::vector<PairedChirp> post =
+        paired_events_in(asp, post_lo, post_hi, options.pairing_slack_s);
+
+    // Canonical frame: x-hat along the slide direction. The reference mic
+    // (origin of Eqs. 5-6) is the one whose partner sits +D further along
+    // the slide: sliding toward body -y puts Mic2 ahead, so Mic1 is the
+    // reference; sliding toward +y swaps the roles.
+    const double sigma = disp > 0.0 ? 1.0 : -1.0;
+    const bool mic1_is_reference = disp < 0.0;
+    const double dprime = std::abs(disp);
+
+    std::vector<double> xs, ys;
+    for (const PairedChirp& p : pre) {
+      if (xs.size() >= options.max_pairs) break;
+      for (const PairedChirp& q : post) {
+        if (xs.size() >= options.max_pairs) break;
+        const double n1 = std::round((q.t_mic1 - p.t_mic1) / t_hat);
+        const double n2 = std::round((q.t_mic2 - p.t_mic2) / t_hat);
+        if (n1 != n2 || n1 < 1.0) continue;
+        double dd_mic1 = (q.t_mic1 - p.t_mic1 - n1 * t_hat) * kSpeedOfSound;
+        double dd_mic2 = (q.t_mic2 - p.t_mic2 - n2 * t_hat) * kSpeedOfSound;
+        if (options.rotation_correction) {
+          // A yaw excursion psi (relative to the in-direction yaw) moves
+          // Mic1 by -(D/2) sin(psi) along the line of sight and Mic2 the
+          // opposite way, lengthening/shortening the two range differences
+          // in opposite directions; subtract the gyro-derived term.
+          const double s_pre = std::sin(yaw_at(yaw_track, 0.5 * (p.t_mic1 + p.t_mic2), dt));
+          const double s_post = std::sin(yaw_at(yaw_track, 0.5 * (q.t_mic1 + q.t_mic2), dt));
+          const double delta = (s_post - s_pre) * mic_separation / 2.0;
+          dd_mic1 -= side * delta;
+          dd_mic2 += side * delta;
+        }
+        if (std::abs(dd_mic1) > 1.5 * dprime || std::abs(dd_mic2) > 1.5 * dprime) continue;
+
+        geom::AugmentedTdoa in;
+        in.slide_distance = dprime;
+        in.mic_separation = mic_separation;
+        in.range_diff_mic1 = mic1_is_reference ? dd_mic1 : dd_mic2;
+        in.range_diff_mic2 = mic1_is_reference ? dd_mic2 : dd_mic1;
+        const geom::TriangulationResult sol = geom::solve_augmented(in);
+        if (!sol.converged) continue;
+        if (sol.position.y < 0.1 || sol.position.y > options.max_range) continue;
+        xs.push_back(sol.position.x);
+        ys.push_back(sol.position.y);
+      }
+    }
+    m.pairs_used = static_cast<int>(xs.size());
+
+    // Believed world geometry of this slide.
+    const geom::Vec2 center_xy =
+        start_xy + yhat_body * (offset_before + disp / 2.0);
+    const double ref_mic_offset = mic1_is_reference ? mic_separation / 2.0
+                                                    : -mic_separation / 2.0;
+    m.origin_xy = center_xy + yhat_body * ref_mic_offset;
+    m.slide_axis_xy = yhat_body * sigma;
+    m.lateral_axis_xy = xhat_body * side;
+
+    if (!xs.empty()) {
+      m.local_position = {median_of(xs), median_of(ys)};
+      m.range_l = m.local_position.y;
+      m.world_position = m.origin_xy + m.slide_axis_xy * m.local_position.x +
+                         m.lateral_axis_xy * m.range_l;
+      const bool distance_ok = dprime >= options.min_slide_distance;
+      const bool rotation_ok =
+          std::abs(m.motion.z_rotation) <= deg2rad(options.max_z_rotation_deg);
+      m.accepted = distance_ok && rotation_ok && m.pairs_used > 0;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+TtlResult aggregate_slides(const std::vector<SlideMeasurement>& slides, double window_start,
+                           double window_end) {
+  TtlResult result;
+  result.slides = slides;
+  std::vector<double> ls, wx, wy;
+  for (const SlideMeasurement& m : slides) {
+    if (!m.accepted) continue;
+    if (m.t_start < window_start || m.t_start >= window_end) continue;
+    ls.push_back(m.range_l);
+    wx.push_back(m.world_position.x);
+    wy.push_back(m.world_position.y);
+  }
+  result.accepted_count = static_cast<int>(ls.size());
+  if (ls.empty()) return result;
+  result.aggregated_l = median(ls);
+  result.estimated_position = {median(wx), median(wy)};
+  result.valid = true;
+  return result;
+}
+
+TtlResult localize_2d(const AspResult& asp, const imu::MotionSignals& motion,
+                      const sim::Session::Prior& prior, double mic_separation,
+                      const TtlOptions& options) {
+  const std::vector<SlideMeasurement> slides =
+      measure_slides(asp, motion, prior, mic_separation, options);
+  return aggregate_slides(slides, 0.0, std::numeric_limits<double>::infinity());
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <vector>
+
+#include "core/asp.hpp"
+#include "geom/triangulation.hpp"
+#include "geom/vec2.hpp"
+#include "imu/displacement.hpp"
+#include "imu/preprocess.hpp"
+#include "imu/segmentation.hpp"
+#include "sim/scenario.hpp"
+
+/// @file ttl.hpp
+/// 2D TDoA Localization (paper Section VI-A). For every slide found by the
+/// motion segmentation:
+///
+///  1. PDE estimates the sliding distance D' and the z-rotation;
+///  2. endpoint chirps — arrivals while the phone dwells just before and
+///     just after the slide — give one augmented TDoA per microphone:
+///     dt'_m = t_after - t_before - n * T-hat (the SFO-corrected period);
+///  3. the two augmented hyperbolas (Eqs. 5-6) are intersected to get the
+///     speaker's position (x along the slide axis, L perpendicular to it);
+///  4. every pre/post chirp pair yields one solution; the per-slide result
+///     is the median, and the session result the median over the slides
+///     accepted by the paper's quality gate (estimated distance above a
+///     threshold, z-rotation under 20 degrees).
+///
+/// Slide imperfections displace both microphones identically, so they enter
+/// dt'_1 and dt'_2 as common mode and largely cancel in the triangulation —
+/// the property Section I argues makes hand operation viable.
+
+namespace hyperear::core {
+
+/// TTL configuration.
+struct TtlOptions {
+  /// Quality gate: minimum estimated slide distance (m). The paper accepts
+  /// slides over 50 cm; benches that sweep the slide length set this to 0.
+  double min_slide_distance = 0.0;
+  /// Quality gate: maximum |integrated z rotation| during a slide (degrees).
+  double max_z_rotation_deg = 20.0;
+  double chirp_duration_s = 0.05;   ///< the beacon chirp length
+  double guard_s = 0.03;            ///< dead time around a slide
+  double lookback_s = 1.1;          ///< dwell window searched for endpoint chirps
+  std::size_t max_pairs = 16;       ///< cap on pre x post chirp pairs per slide
+  double max_range = 40.0;          ///< reject solutions beyond this (m)
+  double pairing_slack_s = 0.7e-3;  ///< inter-mic pairing window ~ D/S + slack
+  /// Rotation error correction (the "Augmented TDoA with Rotation Error
+  /// Corrected" box of the paper's Fig. 5): a yaw change between the two
+  /// endpoint chirps moves the mics in opposite directions along the line
+  /// of sight, adding +-(D/2)*sin(yaw) to the two augmented TDoAs. The
+  /// gyro-integrated yaw (bias-corrected on the calibration head) removes
+  /// it. Ablation toggle.
+  bool rotation_correction = true;
+  /// Detrend cutoff for the gyro-z bias removal (Hz); must sit well below
+  /// the hand-wander band so yaw differences over a few seconds survive.
+  double gyro_detrend_hz = 0.05;
+  imu::SegmentationOptions segmentation;
+  imu::DisplacementOptions displacement;
+};
+
+/// Everything measured from one slide.
+struct SlideMeasurement {
+  imu::SlideEstimate motion;      ///< PDE output (displacement, rotation, ...)
+  double t_start = 0.0;           ///< slide interval in session time
+  double t_end = 0.0;
+  int pairs_used = 0;             ///< chirp pairs that produced a solution
+  bool accepted = false;          ///< passed the quality gate
+  geom::Vec2 local_position;      ///< median (x, L) in the canonical frame
+  double range_l = 0.0;           ///< = local_position.y (radial distance)
+  /// Believed world geometry of this slide (floor map, meters).
+  geom::Vec2 origin_xy;           ///< center of the reference mic's two positions
+  geom::Vec2 slide_axis_xy;       ///< unit x-hat of the canonical frame
+  geom::Vec2 lateral_axis_xy;     ///< unit y-hat (toward the speaker side)
+  geom::Vec2 world_position;      ///< speaker estimate from this slide alone
+};
+
+/// Session-level 2D localization result.
+struct TtlResult {
+  bool valid = false;
+  std::vector<SlideMeasurement> slides;  ///< all segmented slides
+  int accepted_count = 0;
+  double aggregated_l = 0.0;             ///< median L over accepted slides
+  geom::Vec2 estimated_position;         ///< median world estimate
+};
+
+/// Measure every slide in the session (segmentation + PDE + augmented TDoA
+/// + per-slide triangulation). Used by both the 2D aggregation below and
+/// the 3D scheme in ple.hpp.
+[[nodiscard]] std::vector<SlideMeasurement> measure_slides(
+    const AspResult& asp, const imu::MotionSignals& motion,
+    const sim::Session::Prior& prior, double mic_separation, const TtlOptions& options);
+
+/// Aggregate a set of measured slides (restricted to those with
+/// t_start in [window_start, window_end)) into one 2D estimate.
+[[nodiscard]] TtlResult aggregate_slides(const std::vector<SlideMeasurement>& slides,
+                                         double window_start, double window_end);
+
+/// Full 2D localization: measure + aggregate over the whole session.
+[[nodiscard]] TtlResult localize_2d(const AspResult& asp,
+                                    const imu::MotionSignals& motion,
+                                    const sim::Session::Prior& prior,
+                                    double mic_separation, const TtlOptions& options = {});
+
+}  // namespace hyperear::core

@@ -1,0 +1,71 @@
+#include "dsp/chirp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::dsp {
+
+Chirp::Chirp(const ChirpParams& params) : params_(params) {
+  require(params.freq_low_hz > 0.0, "Chirp: freq_low must be positive");
+  require(params.freq_high_hz > params.freq_low_hz, "Chirp: freq_high must exceed freq_low");
+  require(params.duration_s > 0.0, "Chirp: duration must be positive");
+  require(params.edge_fade_fraction >= 0.0 && params.edge_fade_fraction < 0.5,
+          "Chirp: edge fade fraction must be in [0, 0.5)");
+  half_ = params.duration_s / 2.0;
+  rate_ = (params.freq_high_hz - params.freq_low_hz) / half_;
+}
+
+double Chirp::instantaneous_frequency(double t) const {
+  if (t <= 0.0) return params_.freq_low_hz;
+  if (t >= params_.duration_s) return params_.freq_low_hz;
+  if (t <= half_) return params_.freq_low_hz + rate_ * t;
+  return params_.freq_high_hz - rate_ * (t - half_);
+}
+
+double Chirp::value(double t) const {
+  if (t < 0.0 || t > params_.duration_s) return 0.0;
+  double phase;
+  if (t <= half_) {
+    phase = 2.0 * kPi * (params_.freq_low_hz * t + 0.5 * rate_ * t * t);
+  } else {
+    const double phase_mid =
+        2.0 * kPi * (params_.freq_low_hz * half_ + 0.5 * rate_ * half_ * half_);
+    const double tau = t - half_;
+    phase = phase_mid + 2.0 * kPi * (params_.freq_high_hz * tau - 0.5 * rate_ * tau * tau);
+  }
+  double gain = params_.amplitude;
+  const double fade = params_.edge_fade_fraction * params_.duration_s;
+  if (fade > 0.0) {
+    if (t < fade) {
+      gain *= 0.5 - 0.5 * std::cos(kPi * t / fade);
+    } else if (t > params_.duration_s - fade) {
+      gain *= 0.5 - 0.5 * std::cos(kPi * (params_.duration_s - t) / fade);
+    }
+  }
+  return gain * std::sin(phase);
+}
+
+std::vector<double> Chirp::sample(double sample_rate) const {
+  require(sample_rate > 2.0 * params_.freq_high_hz,
+          "Chirp::sample: sample rate below Nyquist for the chirp band");
+  const auto n = static_cast<std::size_t>(std::llround(params_.duration_s * sample_rate));
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = value(static_cast<double>(i) / sample_rate);
+  }
+  return out;
+}
+
+std::vector<double> Chirp::reference(double sample_rate) const {
+  std::vector<double> ref = sample(sample_rate);
+  double energy = 0.0;
+  for (double v : ref) energy += v * v;
+  require(energy > 0.0, "Chirp::reference: zero-energy waveform");
+  const double inv = 1.0 / std::sqrt(energy);
+  for (auto& v : ref) v *= inv;
+  return ref;
+}
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+/// @file chirp.hpp
+/// The beacon waveform: a linear up-then-down chirp (paper Section IV-A:
+/// "the frequency first linearly increases and then decreases with time, for
+/// its good auto correlation property"; Section VII-E: a 2-6.4 kHz band).
+///
+/// The waveform is defined analytically as a function of continuous time so
+/// the acoustic renderer can evaluate it at exact, fractionally delayed
+/// sample instants with no interpolation error.
+
+namespace hyperear::dsp {
+
+/// Parameters of the up-down chirp.
+struct ChirpParams {
+  double freq_low_hz = 2000.0;   ///< start/end frequency
+  double freq_high_hz = 6400.0;  ///< turn-around frequency
+  double duration_s = 0.05;      ///< total length (up + down)
+  double amplitude = 1.0;        ///< peak amplitude
+  double edge_fade_fraction = 0.1;  ///< raised-cosine taper on each end
+};
+
+/// Analytic linear up/down chirp.
+class Chirp {
+ public:
+  explicit Chirp(const ChirpParams& params);
+
+  [[nodiscard]] const ChirpParams& params() const { return params_; }
+
+  /// Instantaneous frequency at time t in [0, duration]; clamped outside.
+  [[nodiscard]] double instantaneous_frequency(double t) const;
+
+  /// Waveform value at continuous time t; exactly zero outside [0, duration].
+  [[nodiscard]] double value(double t) const;
+
+  /// Sample the waveform at the given rate; length = round(duration * fs).
+  [[nodiscard]] std::vector<double> sample(double sample_rate) const;
+
+  /// The matched-filter reference: the sampled waveform, normalized to unit
+  /// energy, time-reversed convolution ready (callers typically correlate,
+  /// which handles the reversal).
+  [[nodiscard]] std::vector<double> reference(double sample_rate) const;
+
+ private:
+  ChirpParams params_;
+  double half_;   ///< duration of the up sweep
+  double rate_;   ///< sweep rate (Hz per second) of the up leg
+};
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,64 @@
+#include "dsp/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace hyperear::dsp {
+
+std::vector<double> correlate_valid(std::span<const double> x, std::span<const double> h) {
+  require(!x.empty() && !h.empty(), "correlate_valid: empty input");
+  require(h.size() <= x.size(), "correlate_valid: template longer than signal");
+  const std::size_t out_len = x.size() - h.size() + 1;
+  if (x.size() * h.size() <= 1u << 16) {
+    std::vector<double> out(out_len, 0.0);
+    for (std::size_t k = 0; k < out_len; ++k) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < h.size(); ++j) s += x[k + j] * h[j];
+      out[k] = s;
+    }
+    return out;
+  }
+  // FFT path: correlation = convolution with reversed template.
+  std::vector<double> hr(h.rbegin(), h.rend());
+  std::vector<double> full = fft_convolve(x, hr);
+  // full[k] = sum_j x[j] * hr[k - j]; valid correlation lag k corresponds to
+  // full index k + h.size() - 1.
+  std::vector<double> out(out_len);
+  for (std::size_t k = 0; k < out_len; ++k) out[k] = full[k + h.size() - 1];
+  return out;
+}
+
+std::vector<double> correlate_normalized(std::span<const double> x,
+                                         std::span<const double> h) {
+  std::vector<double> corr = correlate_valid(x, h);
+  double h_energy = 0.0;
+  for (double v : h) h_energy += v * v;
+  require(h_energy > 0.0, "correlate_normalized: zero-energy template");
+  const double h_norm = std::sqrt(h_energy);
+  // Running window energy of x via prefix sums. Silent stretches would
+  // otherwise divide by (numerically) zero and amplify FFT round-off into
+  // spurious peaks, so the window energy is floored at a small fraction of
+  // the average window energy.
+  std::vector<double> prefix(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i] * x[i];
+  const double mean_window_energy =
+      prefix[x.size()] * static_cast<double>(h.size()) / static_cast<double>(x.size());
+  const double floor_energy = std::max(1e-4 * mean_window_energy, 1e-30);
+  for (std::size_t k = 0; k < corr.size(); ++k) {
+    const double win_energy = prefix[k + h.size()] - prefix[k];
+    const double denom = std::sqrt(std::max(win_energy, floor_energy)) * h_norm;
+    corr[k] /= denom;
+  }
+  return corr;
+}
+
+std::vector<double> correlate_full(std::span<const double> x, std::span<const double> h) {
+  require(!x.empty() && !h.empty(), "correlate_full: empty input");
+  std::vector<double> hr(h.rbegin(), h.rend());
+  return fft_convolve(x, hr);
+}
+
+}  // namespace hyperear::dsp

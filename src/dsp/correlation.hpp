@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file correlation.hpp
+/// Cross-correlation, the primitive behind chirp detection (paper Section
+/// IV-A, following BeepBeep): the recording is correlated against the
+/// reference chirp and correlation peaks mark signal arrivals.
+
+namespace hyperear::dsp {
+
+/// Full cross-correlation of x against a shorter template h:
+/// out[k] = sum_j x[k + j] * h[j] for k = 0 .. x.size() - h.size().
+/// This is "valid"-mode correlation; out.size() == x.size() - h.size() + 1.
+/// Requires h.size() <= x.size() and non-empty inputs. Uses FFT for large
+/// products, direct evaluation otherwise.
+[[nodiscard]] std::vector<double> correlate_valid(std::span<const double> x,
+                                                  std::span<const double> h);
+
+/// Sliding normalized cross-correlation: correlate_valid divided by the
+/// local L2 norm of x over the template window times ||h||. Values in
+/// [-1, 1]; robust to amplitude variation across the recording.
+[[nodiscard]] std::vector<double> correlate_normalized(std::span<const double> x,
+                                                       std::span<const double> h);
+
+/// Full "linear" cross-correlation with lags from -(h.size()-1) to
+/// x.size()-1 (like numpy.correlate(x, h, "full") reversed appropriately).
+/// Used by tests that check autocorrelation symmetry.
+[[nodiscard]] std::vector<double> correlate_full(std::span<const double> x,
+                                                 std::span<const double> h);
+
+}  // namespace hyperear::dsp

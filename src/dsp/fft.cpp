@@ -1,0 +1,77 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::dsp {
+
+namespace {
+
+void fft_core(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  require(is_pow2(n), "fft: size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<Complex>& x) { fft_core(x, false); }
+
+void ifft_inplace(std::vector<Complex>& x) { fft_core(x, true); }
+
+std::vector<Complex> fft_real(std::span<const double> x, std::size_t min_size) {
+  require(!x.empty(), "fft_real: empty input");
+  const std::size_t target = next_pow2(std::max(x.size(), min_size));
+  std::vector<Complex> buf(target, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = Complex(x[i], 0.0);
+  fft_inplace(buf);
+  return buf;
+}
+
+std::vector<double> ifft_to_real(std::vector<Complex> spectrum) {
+  ifft_inplace(spectrum);
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = spectrum[i].real();
+  return out;
+}
+
+std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b) {
+  require(!a.empty() && !b.empty(), "fft_convolve: empty input");
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<Complex> fa = fft_real(a, n);
+  std::vector<Complex> fb = fft_real(b, n);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  std::vector<double> full = ifft_to_real(std::move(fa));
+  full.resize(out_len);
+  return full;
+}
+
+}  // namespace hyperear::dsp

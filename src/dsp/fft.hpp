@@ -1,0 +1,37 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+/// @file fft.hpp
+/// Iterative radix-2 FFT, implemented from scratch (no external DSP
+/// dependency). Used by cross-correlation, matched filtering, FIR design
+/// verification and spectral analysis.
+
+namespace hyperear::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT. Requires x.size() to be a power of two (>= 1).
+void fft_inplace(std::vector<Complex>& x);
+
+/// In-place inverse FFT (includes the 1/N normalization). Requires a
+/// power-of-two size.
+void ifft_inplace(std::vector<Complex>& x);
+
+/// Forward FFT of a real signal, zero-padded up to the next power of two of
+/// `min_size` (or of x.size() when min_size == 0). Returns the full complex
+/// spectrum of that padded length.
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const double> x, std::size_t min_size = 0);
+
+/// Inverse FFT returning only the real parts (imaginary parts are expected
+/// to be numerically negligible for conjugate-symmetric input).
+[[nodiscard]] std::vector<double> ifft_to_real(std::vector<Complex> spectrum);
+
+/// Linear convolution of two real signals via FFT.
+/// Result length is a.size() + b.size() - 1. Requires non-empty inputs.
+[[nodiscard]] std::vector<double> fft_convolve(std::span<const double> a,
+                                               std::span<const double> b);
+
+}  // namespace hyperear::dsp

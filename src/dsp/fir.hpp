@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+/// @file fir.hpp
+/// Windowed-sinc FIR design and linear filtering.
+///
+/// HyperEar's Acoustic Signal Preprocessing stage band-passes the recording
+/// to the chirp band (2-6.4 kHz) so ambient sound outside the band — human
+/// voice in the meeting room is mostly below 2 kHz — is removed before
+/// matched filtering (paper Sections III and VII-E).
+
+namespace hyperear::dsp {
+
+/// Design a low-pass windowed-sinc FIR. `cutoff_hz` in (0, fs/2),
+/// `taps` odd and >= 3. Unity DC gain.
+[[nodiscard]] std::vector<double> design_lowpass(double cutoff_hz, double sample_rate,
+                                                 std::size_t taps,
+                                                 WindowType window = WindowType::kHamming);
+
+/// Design a high-pass FIR by spectral inversion of the low-pass design.
+[[nodiscard]] std::vector<double> design_highpass(double cutoff_hz, double sample_rate,
+                                                  std::size_t taps,
+                                                  WindowType window = WindowType::kHamming);
+
+/// Design a band-pass FIR with pass band [low_hz, high_hz].
+/// Requires 0 < low_hz < high_hz < fs/2.
+[[nodiscard]] std::vector<double> design_bandpass(double low_hz, double high_hz,
+                                                  double sample_rate, std::size_t taps,
+                                                  WindowType window = WindowType::kHamming);
+
+/// Convolve the signal with FIR taps, "same" mode: the output has the input
+/// length and is aligned so the filter's group delay ((taps-1)/2 samples for
+/// a symmetric design) is removed. Uses FFT convolution for large inputs.
+[[nodiscard]] std::vector<double> filter_same(std::span<const double> signal,
+                                              std::span<const double> taps);
+
+/// Frequency response magnitude of an FIR at the given frequency.
+[[nodiscard]] double fir_magnitude_at(std::span<const double> taps, double freq_hz,
+                                      double sample_rate);
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,110 @@
+#include "dsp/matched_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/peak.hpp"
+
+namespace hyperear::dsp {
+
+MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
+                                             const DetectorConfig& config)
+    : reference_(std::move(reference)), config_(config) {
+  require(!reference_.empty(), "MatchedFilterDetector: empty reference");
+  require(config_.sample_rate > 0.0, "MatchedFilterDetector: bad sample rate");
+  require(config_.chunk >= 2 * reference_.size(),
+          "MatchedFilterDetector: chunk must be at least twice the reference length");
+  require(config_.threshold > 0.0 && config_.threshold < 1.0,
+          "MatchedFilterDetector: threshold must be in (0, 1)");
+}
+
+std::vector<Detection> MatchedFilterDetector::detect(
+    std::span<const double> recording) const {
+  if (recording.size() < reference_.size()) return {};
+  const std::size_t ref_len = reference_.size();
+  const auto min_spacing =
+      static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
+
+  std::vector<Detection> detections;
+  const std::size_t chunk = config_.chunk;
+  // Chunks overlap by ref_len - 1 so every correlation lag is computed once.
+  const std::size_t hop = chunk - (ref_len - 1);
+  for (std::size_t start = 0; start < recording.size(); start += hop) {
+    const std::size_t end = std::min(start + chunk, recording.size());
+    if (end - start < ref_len) break;
+    const std::span<const double> seg = recording.subspan(start, end - start);
+    const std::vector<double> raw = correlate_valid(seg, reference_);
+    const std::vector<double> norm = correlate_normalized(seg, reference_);
+    // Candidate gating on the normalized statistic, ranking on amplitude:
+    // suppress sub-threshold shapes, then find peaks of |raw|.
+    std::vector<double> masked(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      masked[i] = norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
+    }
+    const std::vector<Peak> peaks = find_peaks(masked, 1e-12, min_spacing);
+    // The autocorrelation main lobe plus near sidelobes span ~1 ms; only
+    // arrivals beyond that are genuine competing paths.
+    const auto exclusion =
+        static_cast<std::size_t>(1.2e-3 * config_.sample_rate);
+    for (const Peak& p : peaks) {
+      // Refine timing on the raw correlation around the winning sample.
+      const Peak refined = refine_peak(raw, p.index);
+      Detection d;
+      d.time_s = (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
+      d.amplitude = std::abs(refined.value);
+      d.score = norm[p.index];
+      // Echo competition: strongest |raw| local max in the same window but
+      // outside the exclusion zone around the winner.
+      const std::size_t lo = p.index > min_spacing ? p.index - min_spacing : 0;
+      const std::size_t hi = std::min(p.index + min_spacing, raw.size() - 1);
+      double runner = 0.0;
+      for (std::size_t i = lo + 1; i + 1 <= hi; ++i) {
+        const std::size_t gap = i > p.index ? i - p.index : p.index - i;
+        if (gap < exclusion) continue;
+        const double v = std::abs(raw[i]);
+        if (v > runner && std::abs(raw[i]) >= std::abs(raw[i - 1]) &&
+            std::abs(raw[i]) > std::abs(raw[i + 1])) {
+          runner = v;
+        }
+      }
+      d.echo_competition = d.amplitude > 0.0 ? runner / d.amplitude : 0.0;
+      detections.push_back(d);
+    }
+    if (end == recording.size()) break;
+  }
+
+  // Merge duplicates from chunk overlap: keep the stronger detection of any
+  // pair closer than min_spacing.
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.time_s < b.time_s; });
+  std::vector<Detection> merged;
+  const double min_dt = static_cast<double>(min_spacing) / config_.sample_rate;
+  for (const Detection& d : detections) {
+    if (!merged.empty() && d.time_s - merged.back().time_s < min_dt) {
+      if (d.amplitude > merged.back().amplitude) merged.back() = d;
+    } else {
+      merged.push_back(d);
+    }
+  }
+
+  // Relative amplitude gate: direct arrivals have comparable strength; far
+  // echoes and noise flukes fall well below the median and are dropped.
+  if (config_.relative_amplitude_gate > 0.0 && merged.size() >= 3) {
+    std::vector<double> amps;
+    amps.reserve(merged.size());
+    for (const Detection& d : merged) amps.push_back(d.amplitude);
+    const double gate = config_.relative_amplitude_gate * median(amps);
+    std::vector<Detection> strong;
+    strong.reserve(merged.size());
+    for (const Detection& d : merged) {
+      if (d.amplitude >= gate) strong.push_back(d);
+    }
+    return strong;
+  }
+  return merged;
+}
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/peak.hpp"
+
+/// @file matched_filter.hpp
+/// Chirp arrival detection (paper Section IV-A, after BeepBeep): the
+/// recording is cross-correlated with the reference chirp; correlation
+/// maxima significantly above the background are chirp arrivals. Arrival
+/// times are refined to sub-sample precision by parabolic interpolation.
+///
+/// Two statistics are used together: the *normalized* correlation (shape
+/// match, in [0,1]) gates candidates against noise, while the *raw*
+/// correlation (amplitude) ranks them — a clean multipath echo landing in a
+/// quiet stretch can out-"shape-match" the direct arrival, but in LoS it is
+/// always weaker, so amplitude ranking and a relative amplitude gate keep
+/// the direct path.
+
+namespace hyperear::dsp {
+
+/// One detected chirp arrival.
+struct Detection {
+  double time_s = 0.0;    ///< arrival time of the chirp START, sub-sample
+  double score = 0.0;     ///< normalized correlation in [0, 1]
+  double amplitude = 0.0; ///< raw matched-filter output (energy-normalized ref)
+  /// Strongest competing correlation peak near this arrival (outside the
+  /// autocorrelation main lobe), as a fraction of the winner. A clear
+  /// direct path dominates its window (small values); an obstructed path
+  /// leaves several reflections of similar strength (values near 1) — the
+  /// NLoS cue used by core::assess_line_of_sight.
+  double echo_competition = 0.0;
+};
+
+/// Detector configuration.
+struct DetectorConfig {
+  double sample_rate = 44100.0;
+  /// Minimum normalized correlation for a peak to count as a chirp.
+  double threshold = 0.25;
+  /// Minimum spacing between detections, seconds (should be < beacon period
+  /// but much larger than the chirp length).
+  double min_spacing_s = 0.1;
+  /// Streaming chunk length in samples (power of two keeps FFTs cheap).
+  std::size_t chunk = 1u << 17;
+  /// Drop detections whose raw amplitude is below this fraction of the
+  /// median detection amplitude (weak echoes / noise flukes). Set to 0 to
+  /// disable.
+  double relative_amplitude_gate = 0.35;
+};
+
+/// Matched-filter detector for a fixed reference waveform.
+class MatchedFilterDetector {
+ public:
+  /// `reference` is the sampled chirp (unit energy recommended); must be
+  /// non-empty and shorter than config.chunk / 2.
+  MatchedFilterDetector(std::vector<double> reference, const DetectorConfig& config);
+
+  /// Detect all chirp arrivals in the recording. Processes the input in
+  /// overlapping chunks so memory stays bounded for long sessions.
+  [[nodiscard]] std::vector<Detection> detect(std::span<const double> recording) const;
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> reference_;
+  DetectorConfig config_;
+};
+
+}  // namespace hyperear::dsp

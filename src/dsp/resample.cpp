@@ -1,0 +1,66 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::dsp {
+
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+}  // namespace
+
+double sinc_interpolate(std::span<const double> x, double idx, int half_width) {
+  require(!x.empty(), "sinc_interpolate: empty input");
+  require(half_width >= 1, "sinc_interpolate: half_width must be >= 1");
+  const auto center = static_cast<long long>(std::floor(idx));
+  double acc = 0.0;
+  for (long long k = center - half_width + 1; k <= center + half_width; ++k) {
+    if (k < 0 || k >= static_cast<long long>(x.size())) continue;
+    const double d = idx - static_cast<double>(k);
+    // Hann-windowed sinc kernel.
+    const double w = 0.5 + 0.5 * std::cos(kPi * d / static_cast<double>(half_width));
+    acc += x[static_cast<std::size_t>(k)] * sinc(d) * w;
+  }
+  return acc;
+}
+
+std::vector<double> upsample(std::span<const double> x, int factor, int half_width) {
+  require(factor >= 1, "upsample: factor must be >= 1");
+  if (factor == 1) return {x.begin(), x.end()};
+  std::vector<double> out(x.size() * static_cast<std::size_t>(factor));
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const double idx = static_cast<double>(k) / static_cast<double>(factor);
+    out[k] = sinc_interpolate(x, idx, half_width);
+  }
+  return out;
+}
+
+std::vector<double> resample_linear(std::span<const double> x, double rate_in,
+                                    double rate_out) {
+  require(!x.empty(), "resample_linear: empty input");
+  require(rate_in > 0.0 && rate_out > 0.0, "resample_linear: rates must be positive");
+  const double duration = static_cast<double>(x.size() - 1) / rate_in;
+  const auto n_out = static_cast<std::size_t>(std::floor(duration * rate_out)) + 1;
+  std::vector<double> out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    const double t = static_cast<double>(k) / rate_out;
+    const double idx = t * rate_in;
+    const auto i0 = static_cast<std::size_t>(idx);
+    if (i0 + 1 >= x.size()) {
+      out[k] = x.back();
+    } else {
+      const double frac = idx - static_cast<double>(i0);
+      out[k] = x[i0] + frac * (x[i0 + 1] - x[i0]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file resample.hpp
+/// Band-limited (windowed-sinc) interpolation and integer upsampling —
+/// the explicit-interpolation alternative to parabolic peak refinement for
+/// achieving sub-sample TDoA resolution (paper Section III, ASP).
+
+namespace hyperear::dsp {
+
+/// Evaluate the band-limited interpolant of x at fractional index `idx`
+/// using a windowed-sinc kernel of `half_width` taps per side (Hann window).
+/// Indices outside [0, size-1] are treated as zeros beyond the edges.
+[[nodiscard]] double sinc_interpolate(std::span<const double> x, double idx,
+                                      int half_width = 16);
+
+/// Upsample by an integer factor >= 1 using windowed-sinc interpolation.
+/// Output length is x.size() * factor; output[k] interpolates x at k/factor.
+[[nodiscard]] std::vector<double> upsample(std::span<const double> x, int factor,
+                                           int half_width = 16);
+
+/// Linear-interpolation resampling of x from rate_in to rate_out (both
+/// positive). Cheap, used for sensor-rate conversions where band-limiting
+/// is unnecessary.
+[[nodiscard]] std::vector<double> resample_linear(std::span<const double> x, double rate_in,
+                                                  double rate_out);
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,70 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace hyperear::dsp {
+
+Periodogram periodogram(std::span<const double> x, double sample_rate) {
+  require(!x.empty(), "periodogram: empty input");
+  require(sample_rate > 0.0, "periodogram: bad sample rate");
+  const std::size_t nfft = next_pow2(x.size());
+  std::vector<double> windowed(x.begin(), x.end());
+  const std::vector<double> w = make_window(WindowType::kHann, windowed.size());
+  double wsum2 = 0.0;
+  for (double v : w) wsum2 += v * v;
+  apply_window(windowed, w);
+  const std::vector<Complex> spec = fft_real(windowed, nfft);
+  Periodogram out;
+  out.bin_hz = sample_rate / static_cast<double>(nfft);
+  out.power.resize(nfft / 2 + 1);
+  for (std::size_t k = 0; k < out.power.size(); ++k) {
+    const double mag2 = std::norm(spec[k]);
+    // Scale so that summing bins over a band approximates the band power of
+    // the unwindowed signal.
+    double p = mag2 / (wsum2 * static_cast<double>(nfft));
+    if (k != 0 && k != nfft / 2) p *= 2.0;  // fold negative frequencies
+    out.power[k] = p;
+  }
+  return out;
+}
+
+double signal_power(std::span<const double> x) {
+  require(!x.empty(), "signal_power: empty input");
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s / static_cast<double>(x.size());
+}
+
+double band_power(std::span<const double> x, double sample_rate, double low_hz,
+                  double high_hz) {
+  require(low_hz >= 0.0 && low_hz < high_hz && high_hz <= sample_rate / 2.0,
+          "band_power: invalid band");
+  const Periodogram pg = periodogram(x, sample_rate);
+  // Bins are normalized so that the one-sided sum over all bins equals the
+  // mean power of the signal; a band sum is therefore the band power.
+  double total = 0.0;
+  for (std::size_t k = 0; k < pg.power.size(); ++k) {
+    const double f = static_cast<double>(k) * pg.bin_hz;
+    if (f >= low_hz && f <= high_hz) total += pg.power[k];
+  }
+  return total;
+}
+
+double band_snr_db(std::span<const double> signal_segment,
+                   std::span<const double> noise_segment, double sample_rate, double low_hz,
+                   double high_hz) {
+  const double ps = band_power(signal_segment, sample_rate, low_hz, high_hz);
+  const double pn = band_power(noise_segment, sample_rate, low_hz, high_hz);
+  require(pn > 0.0, "band_snr_db: zero noise power");
+  const double sig_only = std::max(ps - pn, 1e-300);
+  return power_to_db(sig_only / pn);
+}
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file window.hpp
+/// Window functions for FIR design, spectral analysis and chirp shaping.
+
+namespace hyperear::dsp {
+
+/// Window families supported by make_window.
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Generate a symmetric window of length n (n >= 1).
+[[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiply a signal by a window in place. Requires matching lengths.
+void apply_window(std::span<double> signal, std::span<const double> window);
+
+/// Apply a raised-cosine fade of `fade_len` samples to both ends of the
+/// signal (Tukey-style edge taper; used to band-limit chirp onsets).
+/// Requires 2 * fade_len <= signal length.
+void apply_edge_taper(std::span<double> signal, std::size_t fade_len);
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,145 @@
+#include "geom/least_squares.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::geom {
+
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double c = 0.0;
+  for (double v : r) c += v * v;
+  return 0.5 * c;
+}
+
+/// Solve (A + lambda*diag(A)) x = b for small dense symmetric A via
+/// Gaussian elimination with partial pivoting. A is n x n row-major.
+bool solve_damped(std::vector<double> a, std::vector<double> b, double lambda,
+                  std::vector<double>& x) {
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] *= (1.0 + lambda);
+    if (a[i * n + i] == 0.0) a[i * n + i] = lambda > 0.0 ? lambda : 1e-12;
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> piv(n);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t best = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[best * n + col])) best = row;
+    }
+    if (std::abs(a[best * n + col]) < 1e-300) return false;
+    if (best != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[best * n + k]);
+      std::swap(b[col], b[best]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= f * a[col * n + k];
+      b[row] -= f * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a[i * n + k] * x[k];
+    x[i] = s / a[i * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& residuals, std::vector<double> initial,
+                             const LmOptions& options) {
+  require(!initial.empty(), "levenberg_marquardt: empty parameter vector");
+  const std::size_t n = initial.size();
+
+  std::vector<double> p = std::move(initial);
+  std::vector<double> r = residuals(p);
+  require(!r.empty(), "levenberg_marquardt: residual function returned empty vector");
+  const std::size_t m = r.size();
+  double cost = cost_of(r);
+  double lambda = options.initial_lambda;
+
+  LmResult result;
+  result.parameters = p;
+  result.cost = cost;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Numeric Jacobian (m x n), forward differences.
+    std::vector<double> jac(m * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h = options.jacobian_epsilon * std::max(1.0, std::abs(p[j]));
+      std::vector<double> pj = p;
+      pj[j] += h;
+      const std::vector<double> rj = residuals(pj);
+      require(rj.size() == m, "levenberg_marquardt: residual size changed");
+      for (std::size_t i = 0; i < m; ++i) jac[i * n + j] = (rj[i] - r[i]) / h;
+    }
+    // Normal equations: JtJ and Jtr.
+    std::vector<double> jtj(n * n, 0.0);
+    std::vector<double> jtr(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        jtr[j] += jac[i * n + j] * r[i];
+        for (std::size_t k = j; k < n; ++k) jtj[j * n + k] += jac[i * n + j] * jac[i * n + k];
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < j; ++k) jtj[j * n + k] = jtj[k * n + j];
+    }
+    double max_grad = 0.0;
+    for (double g : jtr) max_grad = std::max(max_grad, std::abs(g));
+    if (max_grad < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Damped step; retry with larger lambda until the cost decreases.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      std::vector<double> rhs(n);
+      for (std::size_t j = 0; j < n; ++j) rhs[j] = -jtr[j];
+      std::vector<double> step;
+      if (!solve_damped(jtj, rhs, lambda, step)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      double step_norm = 0.0;
+      for (double s : step) step_norm += s * s;
+      step_norm = std::sqrt(step_norm);
+      std::vector<double> p_new = p;
+      for (std::size_t j = 0; j < n; ++j) p_new[j] += step[j];
+      const std::vector<double> r_new = residuals(p_new);
+      const double cost_new = cost_of(r_new);
+      if (cost_new < cost) {
+        p = std::move(p_new);
+        r = r_new;
+        cost = cost_new;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (step_norm < options.step_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    result.parameters = p;
+    result.cost = cost;
+    if (!stepped || result.converged) {
+      // No productive step found at any damping, or step became negligible.
+      if (!stepped) result.converged = cost < 1e-18 || max_grad < 1e-6;
+      break;
+    }
+  }
+  result.parameters = p;
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace hyperear::geom

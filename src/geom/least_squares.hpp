@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+/// @file least_squares.hpp
+/// Dense Levenberg–Marquardt for the small nonlinear systems HyperEar solves
+/// (two-hyperbola intersection is a 2-parameter, 2-residual problem; the
+/// general entry point supports any small m x n).
+
+namespace hyperear::geom {
+
+/// Residual callback: given parameters, return the residual vector.
+using ResidualFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Options controlling the LM iteration.
+struct LmOptions {
+  int max_iterations = 100;
+  double gradient_tolerance = 1e-12;  ///< stop when max|J^T r| is below this
+  double step_tolerance = 1e-12;      ///< stop when the step norm is below this
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.1;
+  double jacobian_epsilon = 1e-7;     ///< forward-difference step scale
+};
+
+/// Result of an LM solve.
+struct LmResult {
+  std::vector<double> parameters;
+  double cost = 0.0;  ///< 0.5 * sum of squared residuals at the solution
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize 0.5*||r(p)||^2 from the given initial parameters using numeric
+/// forward-difference Jacobians. Throws PreconditionError on empty inputs.
+[[nodiscard]] LmResult levenberg_marquardt(const ResidualFn& residuals,
+                                           std::vector<double> initial,
+                                           const LmOptions& options = {});
+
+}  // namespace hyperear::geom

@@ -1,0 +1,26 @@
+#include "geom/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::geom {
+
+ProjectionResult project_to_floor(double h, double l1, double l2) {
+  require(h > 0.0, "project_to_floor: stature change must be positive");
+  require(l1 > 0.0 && l2 > 0.0, "project_to_floor: radial distances must be positive");
+  ProjectionResult out;
+  const double raw = (h * h + l1 * l1 - l2 * l2) / (2.0 * h * l1);
+  const double cos_beta = std::clamp(raw, -1.0, 1.0);
+  out.well_conditioned = std::abs(raw) <= 1.0;
+  out.beta_rad = std::acos(cos_beta);
+  out.projected_distance = l1 * std::sin(out.beta_rad);
+  // Speaker offset from the first slide plane measured ALONG the stature
+  // move direction: negative when the move went away from the speaker
+  // (e.g. raising the phone above a speaker on the floor).
+  out.height_offset = l1 * cos_beta;
+  return out;
+}
+
+}  // namespace hyperear::geom

@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file projection.hpp
+/// Projected Location Estimation in 3D (paper Section VI-B, Eq. 7).
+///
+/// When the speaker and the phone are at different heights, each slide
+/// measures the *slant* (radial) distance L from the slide axis to the
+/// speaker. Sliding at two statures separated by a vertical offset H forms a
+/// triangle with sides H, L1, L2; the floor-projected distance follows from
+/// the law of cosines.
+
+namespace hyperear::geom {
+
+/// Result of the two-stature projection.
+struct ProjectionResult {
+  double beta_rad = 0.0;        ///< angle at the lower-slide vertex (Eq. 7)
+  double projected_distance = 0.0;  ///< L* = L1 * sin(beta)
+  double height_offset = 0.0;   ///< vertical speaker offset below slide 1
+  bool well_conditioned = true; ///< false when the triangle was degenerate
+};
+
+/// Apply Eq. 7: beta = arccos((H^2 + L1^2 - L2^2) / (2*H*L1)),
+/// L* = L1 * sin(beta).
+///
+/// `h` is the (positive) stature change between the two slide sessions,
+/// `l1`/`l2` the radial distances measured at the first/second stature.
+/// The cosine argument is clamped into [-1, 1]; when clamping was needed the
+/// result is flagged not well conditioned (measurement noise can break the
+/// triangle inequality for nearly co-planar geometry). Requires h > 0,
+/// l1 > 0, l2 > 0.
+[[nodiscard]] ProjectionResult project_to_floor(double h, double l1, double l2);
+
+}  // namespace hyperear::geom

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "geom/hyperbola.hpp"
+#include "geom/vec2.hpp"
+
+/// @file triangulation.hpp
+/// Two-hyperbola intersection — the localization core of HyperEar.
+///
+/// The augmented scheme (paper Section VI-A) slides the phone by D' along its
+/// microphone axis. Each mic then yields one hyperbola whose foci are that
+/// mic's start and end positions; the two virtual arrays are offset by the
+/// phone's own mic separation D along the slide line. In the local frame
+/// (origin at the center of Mic1's two positions, +x along the slide line
+/// toward Mic2's side, +y toward the speaker) the paper's Eqs. 5-6 are:
+///
+///   sqrt((x - D'/2)^2 + y^2) - sqrt((x + D'/2)^2 + y^2)       = dd1
+///   sqrt((x - D - D'/2)^2 + y^2) - sqrt((x - D + D'/2)^2+y^2) = dd2
+///
+/// The solver returns (x, y); y is the distance L from the slide axis to the
+/// speaker (radial distance in 3D, Section VI-B).
+
+namespace hyperear::geom {
+
+/// Inputs of the augmented triangulation, all in meters.
+struct AugmentedTdoa {
+  double slide_distance = 0.0;   ///< D': aperture created by the slide
+  double mic_separation = 0.0;   ///< D: on-phone mic separation
+  double range_diff_mic1 = 0.0;  ///< dd1 = S * (t2 - t1 - n*T) at Mic1
+  double range_diff_mic2 = 0.0;  ///< dd2 = S * (t4 - t3 - n*T) at Mic2
+};
+
+/// Solution of the two-hyperbola intersection.
+struct TriangulationResult {
+  Vec2 position;       ///< (x, y) in the local slide frame; L == position.y
+  double residual = 0.0;  ///< RMS of the two range residuals at the solution
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Closed-form far-field initial guess for the augmented geometry. Derived
+/// from the first-order expansion dd_i ~ -D' * x_i / r: the range follows
+/// r ~ D * D' / (dd2 - dd1). Returns a guess clamped into a sane region.
+[[nodiscard]] Vec2 far_field_initial_guess(const AugmentedTdoa& in, double max_range = 100.0);
+
+/// Solve the paper's Eqs. 5-6 by Levenberg-Marquardt from the far-field
+/// guess. Requires positive apertures and |dd_i| < D' (hyperbola validity);
+/// range differences are clamped to 0.999*D' with degeneracy tolerated
+/// because quantization can push a measurement slightly past the limit.
+[[nodiscard]] TriangulationResult solve_augmented(const AugmentedTdoa& in);
+
+/// General two-hyperbola intersection used by the naive baseline (Fig. 2
+/// scheme) and by tests: intersect arbitrary hyperbolas from the given
+/// initial guess.
+[[nodiscard]] TriangulationResult intersect(const Hyperbola& h1, const Hyperbola& h2,
+                                            const Vec2& initial_guess);
+
+}  // namespace hyperear::geom

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+
+#include "geom/vec2.hpp"
+
+/// @file vec3.hpp
+/// Minimal 3D vector value type used by trajectories and the IMU model.
+
+namespace hyperear::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  /// Lift a planar vector onto the floor plane (z = 0).
+  explicit constexpr Vec3(const Vec2& v, double z_ = 0.0) : x(v.x), y(v.y), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : *this;
+  }
+  /// Drop the z component (floor-map projection).
+  [[nodiscard]] constexpr Vec2 xy() const { return {x, y}; }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+}  // namespace hyperear::geom

@@ -1,0 +1,62 @@
+#include "imu/displacement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace hyperear::imu {
+
+VelocityEstimate estimate_velocity(std::span<const double> accel, double dt,
+                                   bool drift_correction) {
+  require(accel.size() >= 2, "estimate_velocity: need at least two samples");
+  require(dt > 0.0, "estimate_velocity: dt must be positive");
+  VelocityEstimate out;
+  out.dt = dt;
+  out.raw = cumulative_trapezoid(accel, dt);
+  out.corrected = out.raw;
+  if (drift_correction) {
+    const double t_span = static_cast<double>(accel.size() - 1) * dt;
+    out.drift_slope = out.raw.back() / t_span;  // Eq. 4: err_a = v(t2)/(t2-t1)
+    for (std::size_t i = 0; i < out.corrected.size(); ++i) {
+      out.corrected[i] -= out.drift_slope * static_cast<double>(i) * dt;
+    }
+  }
+  return out;
+}
+
+SlideEstimate estimate_slide(const MotionSignals& motion, std::span<const double> axis_accel,
+                             const Segment& segment, const DisplacementOptions& options) {
+  require(segment.end > segment.start, "estimate_slide: empty segment");
+  require(segment.end <= axis_accel.size(), "estimate_slide: segment out of range");
+  require(axis_accel.size() == motion.size(), "estimate_slide: series length mismatch");
+  SlideEstimate out;
+  out.start = segment.start >= options.pad ? segment.start - options.pad : 0;
+  out.end = std::min(segment.end + options.pad, axis_accel.size());
+  const double dt = motion.dt();
+  const std::span<const double> seg = axis_accel.subspan(out.start, out.end - out.start);
+  const VelocityEstimate vel = estimate_velocity(seg, dt, options.drift_correction);
+  out.displacement = trapezoid(vel.corrected, dt);
+  out.duration = static_cast<double>(seg.size() - 1) * dt;
+  out.peak_speed = 0.0;
+  for (double v : vel.corrected) out.peak_speed = std::max(out.peak_speed, std::abs(v));
+  // Integrated z rotation over the slide (quality gate: < 20 degrees).
+  double rot = 0.0;
+  for (std::size_t i = out.start; i < out.end; ++i) rot += motion.gyro_z[i] * dt;
+  out.z_rotation = rot;
+  return out;
+}
+
+double estimate_stature_change(const MotionSignals& motion, std::size_t from, std::size_t to,
+                               const DisplacementOptions& options) {
+  require(to > from, "estimate_stature_change: empty interval");
+  require(to <= motion.size(), "estimate_stature_change: interval out of range");
+  const std::size_t lo = from >= options.pad ? from - options.pad : 0;
+  const std::size_t hi = std::min(to + options.pad, motion.size());
+  const std::span<const double> seg(motion.lin_accel_z.data() + lo, hi - lo);
+  const VelocityEstimate vel = estimate_velocity(seg, motion.dt(), options.drift_correction);
+  return trapezoid(vel.corrected, motion.dt());
+}
+
+}  // namespace hyperear::imu

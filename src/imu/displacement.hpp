@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "imu/preprocess.hpp"
+#include "imu/segmentation.hpp"
+
+/// @file displacement.hpp
+/// Phone Displacement Estimation (paper Section V-B).
+///
+/// Integrating the noisy linear acceleration gives a velocity whose error
+/// grows approximately linearly with time (constant bias). Since the true
+/// velocity is zero at both ends of a slide, the drift slope can be
+/// estimated as err_a = v(t2)/(t2 - t1) (Eq. 4) and removed:
+/// v*(t) = v(t) - err_a * (t - t1). The displacement is the integral of the
+/// corrected velocity.
+
+namespace hyperear::imu {
+
+/// Velocity series for a slide, before and after drift correction.
+struct VelocityEstimate {
+  double dt = 0.01;
+  std::vector<double> raw;        ///< plain integral of acceleration
+  std::vector<double> corrected;  ///< after the Eq. 4 linear correction
+  double drift_slope = 0.0;       ///< err_a (m/s per s)
+};
+
+/// Full per-slide motion estimate.
+struct SlideEstimate {
+  double displacement = 0.0;     ///< signed displacement along the axis (m)
+  double duration = 0.0;         ///< slide duration (s)
+  double peak_speed = 0.0;       ///< max |v*| during the slide (m/s)
+  double z_rotation = 0.0;       ///< integrated gyro-z over the slide (rad)
+  std::size_t start = 0;         ///< expanded segment bounds actually used
+  std::size_t end = 0;
+};
+
+/// Options for the displacement estimator.
+struct DisplacementOptions {
+  /// Samples of padding added on both sides of the detected segment; the
+  /// true motion starts slightly before the power threshold trips.
+  std::size_t pad = 6;
+  /// Whether to apply the Eq. 4 linear drift correction (ablation toggle).
+  bool drift_correction = true;
+};
+
+/// Integrate acceleration (uniform spacing dt) into velocity and apply the
+/// linear zero-velocity-update correction. The span should cover one slide
+/// with the phone at rest at both ends.
+[[nodiscard]] VelocityEstimate estimate_velocity(std::span<const double> accel, double dt,
+                                                 bool drift_correction = true);
+
+/// Estimate one slide's motion along the given axis series (typically the
+/// body-y linear acceleration). The segment is expanded by `options.pad` on
+/// both sides, clamped to the record.
+[[nodiscard]] SlideEstimate estimate_slide(const MotionSignals& motion,
+                                           std::span<const double> axis_accel,
+                                           const Segment& segment,
+                                           const DisplacementOptions& options = {});
+
+/// Estimate the vertical stature change between two time indices (used for
+/// the 3D scheme's H, Section VI-B): integrates z-axis linear acceleration
+/// over [from, to) with the same drift-removal model.
+[[nodiscard]] double estimate_stature_change(const MotionSignals& motion, std::size_t from,
+                                             std::size_t to,
+                                             const DisplacementOptions& options = {});
+
+}  // namespace hyperear::imu

@@ -1,0 +1,87 @@
+#include "imu/gravity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/biquad.hpp"
+
+namespace hyperear::imu {
+
+namespace {
+
+LinearAcceleration remove_static_head(const ImuData& data, const GravityOptions& options) {
+  const std::size_t n = data.size();
+  const auto head = std::clamp<std::size_t>(
+      static_cast<std::size_t>(options.head_duration_s * data.sample_rate), 8, n);
+  const double gx = median({data.accel_x.data(), head});
+  const double gy = median({data.accel_y.data(), head});
+  const double gz = median({data.accel_z.data(), head});
+  LinearAcceleration out;
+  out.sample_rate = data.sample_rate;
+  out.gravity_x.assign(n, gx);
+  out.gravity_y.assign(n, gy);
+  out.gravity_z.assign(n, gz);
+  out.x.resize(n);
+  out.y.resize(n);
+  out.z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = data.accel_x[i] - gx;
+    out.y[i] = data.accel_y[i] - gy;
+    out.z[i] = data.accel_z[i] - gz;
+  }
+  return out;
+}
+
+LinearAcceleration remove_lowpass(const ImuData& data, const GravityOptions& options) {
+  require(options.cutoff_hz > 0.0 && options.cutoff_hz < data.sample_rate / 2.0,
+          "remove_gravity: bad cutoff");
+  LinearAcceleration out;
+  out.sample_rate = data.sample_rate;
+  dsp::ButterworthCascade lp(dsp::ButterworthCascade::Kind::kLowpass, options.order,
+                             options.cutoff_hz, data.sample_rate);
+  out.gravity_x = lp.filtfilt(data.accel_x);
+  out.gravity_y = lp.filtfilt(data.accel_y);
+  out.gravity_z = lp.filtfilt(data.accel_z);
+  const std::size_t n = data.size();
+  out.x.resize(n);
+  out.y.resize(n);
+  out.z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = data.accel_x[i] - out.gravity_x[i];
+    out.y[i] = data.accel_y[i] - out.gravity_y[i];
+    out.z[i] = data.accel_z[i] - out.gravity_z[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearAcceleration remove_gravity(const ImuData& data, const GravityOptions& options) {
+  require(data.size() >= 8, "remove_gravity: record too short");
+  switch (options.mode) {
+    case GravityMode::kStaticHead:
+      return remove_static_head(data, options);
+    case GravityMode::kLowpass:
+      return remove_lowpass(data, options);
+  }
+  throw PreconditionError("remove_gravity: unknown mode");
+}
+
+double mean_tilt_angle(const LinearAcceleration& lin) {
+  require(!lin.gravity_x.empty(), "mean_tilt_angle: empty gravity estimate");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < lin.gravity_x.size(); ++i) {
+    const double gx = lin.gravity_x[i];
+    const double gy = lin.gravity_y[i];
+    const double gz = lin.gravity_z[i];
+    const double norm = std::sqrt(gx * gx + gy * gy + gz * gz);
+    if (norm < 1e-9) continue;
+    // Angle between the gravity estimate and the body +z axis.
+    acc += std::acos(std::min(std::max(gz / norm, -1.0), 1.0));
+  }
+  return acc / static_cast<double>(lin.gravity_x.size());
+}
+
+}  // namespace hyperear::imu

@@ -1,0 +1,60 @@
+#include "imu/imu_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::imu {
+
+namespace {
+
+double quantize(double v, double step) {
+  if (step <= 0.0) return v;
+  return std::round(v / step) * step;
+}
+
+}  // namespace
+
+ImuModel::ImuModel(const ImuSpec& spec, Rng& rng) : spec_(spec), rng_(rng.split()) {
+  require(spec.sample_rate > 0.0, "ImuModel: sample rate must be positive");
+  accel_bias_ = {rng_.gaussian(0.0, spec.accel_bias_sigma),
+                 rng_.gaussian(0.0, spec.accel_bias_sigma),
+                 rng_.gaussian(0.0, spec.accel_bias_sigma)};
+  gyro_bias_ = {rng_.gaussian(0.0, spec.gyro_bias_sigma),
+                rng_.gaussian(0.0, spec.gyro_bias_sigma),
+                rng_.gaussian(0.0, spec.gyro_bias_sigma)};
+}
+
+ImuData ImuModel::corrupt(const std::vector<geom::Vec3>& specific_force,
+                          const std::vector<geom::Vec3>& angular_rate) {
+  require(specific_force.size() == angular_rate.size(),
+          "ImuModel::corrupt: series length mismatch");
+  ImuData out;
+  out.sample_rate = spec_.sample_rate;
+  const std::size_t n = specific_force.size();
+  out.accel_x.resize(n);
+  out.accel_y.resize(n);
+  out.accel_z.resize(n);
+  out.gyro_x.resize(n);
+  out.gyro_y.resize(n);
+  out.gyro_z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec3& f = specific_force[i];
+    const geom::Vec3& w = angular_rate[i];
+    out.accel_x[i] = quantize(f.x + accel_bias_.x + rng_.gaussian(0.0, spec_.accel_noise_rms),
+                              spec_.accel_quantization);
+    out.accel_y[i] = quantize(f.y + accel_bias_.y + rng_.gaussian(0.0, spec_.accel_noise_rms),
+                              spec_.accel_quantization);
+    out.accel_z[i] = quantize(f.z + accel_bias_.z + rng_.gaussian(0.0, spec_.accel_noise_rms),
+                              spec_.accel_quantization);
+    out.gyro_x[i] = quantize(w.x + gyro_bias_.x + rng_.gaussian(0.0, spec_.gyro_noise_rms),
+                             spec_.gyro_quantization);
+    out.gyro_y[i] = quantize(w.y + gyro_bias_.y + rng_.gaussian(0.0, spec_.gyro_noise_rms),
+                             spec_.gyro_quantization);
+    out.gyro_z[i] = quantize(w.z + gyro_bias_.z + rng_.gaussian(0.0, spec_.gyro_noise_rms),
+                             spec_.gyro_quantization);
+  }
+  return out;
+}
+
+}  // namespace hyperear::imu

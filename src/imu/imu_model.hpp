@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/vec3.hpp"
+
+/// @file imu_model.hpp
+/// Low-end MEMS inertial sensor model (substitute for the phones' onboard
+/// accelerometer/gyroscope, per DESIGN.md). The model corrupts ideal
+/// body-frame specific force and angular rate with the error sources that
+/// drive the paper's Section V design: per-session constant bias (the cause
+/// of the linear velocity drift Eq. 4 removes), white noise, and ADC
+/// quantization, all at the 100 Hz rate the paper uses.
+
+namespace hyperear::imu {
+
+/// Error characteristics of the simulated IMU.
+struct ImuSpec {
+  double sample_rate = 100.0;       ///< Hz
+  double accel_noise_rms = 0.03;    ///< m/s^2 white noise per sample
+  double accel_bias_sigma = 0.02;   ///< m/s^2, per-session constant, per axis
+  double accel_quantization = 0.0012;  ///< m/s^2 per LSB (typical phone IMU)
+  double gyro_noise_rms = 0.002;    ///< rad/s white noise per sample
+  double gyro_bias_sigma = 0.001;   ///< rad/s per-session constant, per axis
+  double gyro_quantization = 6.1e-5;   ///< rad/s per LSB
+};
+
+/// A uniformly sampled IMU record (struct-of-arrays for the DSP stages).
+struct ImuData {
+  double sample_rate = 100.0;
+  std::vector<double> accel_x, accel_y, accel_z;  ///< specific force, body frame
+  std::vector<double> gyro_x, gyro_y, gyro_z;     ///< angular rate, body frame
+
+  [[nodiscard]] std::size_t size() const { return accel_x.size(); }
+  [[nodiscard]] double time_of(std::size_t i) const {
+    return static_cast<double>(i) / sample_rate;
+  }
+};
+
+/// Stateful sensor model: draws per-session biases at construction, then
+/// corrupts ideal samples.
+class ImuModel {
+ public:
+  ImuModel(const ImuSpec& spec, Rng& rng);
+
+  [[nodiscard]] const ImuSpec& spec() const { return spec_; }
+  [[nodiscard]] const geom::Vec3& accel_bias() const { return accel_bias_; }
+  [[nodiscard]] const geom::Vec3& gyro_bias() const { return gyro_bias_; }
+
+  /// Corrupt ideal readings. `specific_force` and `angular_rate` are
+  /// body-frame series sampled at spec().sample_rate; both must have the
+  /// same length.
+  [[nodiscard]] ImuData corrupt(const std::vector<geom::Vec3>& specific_force,
+                                const std::vector<geom::Vec3>& angular_rate);
+
+ private:
+  ImuSpec spec_;
+  geom::Vec3 accel_bias_;
+  geom::Vec3 gyro_bias_;
+  Rng rng_;
+};
+
+}  // namespace hyperear::imu

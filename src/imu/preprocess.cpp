@@ -1,0 +1,22 @@
+#include "imu/preprocess.hpp"
+
+#include "common/error.hpp"
+#include "dsp/sma.hpp"
+
+namespace hyperear::imu {
+
+MotionSignals preprocess(const ImuData& data, const PreprocessOptions& options) {
+  require(options.sma_length >= 1, "preprocess: sma_length must be >= 1");
+  const LinearAcceleration lin = remove_gravity(data, options.gravity);
+  MotionSignals out;
+  out.sample_rate = data.sample_rate;
+  out.lin_accel_x = dsp::moving_average(lin.x, options.sma_length);
+  out.lin_accel_y = dsp::moving_average(lin.y, options.sma_length);
+  out.lin_accel_z = dsp::moving_average(lin.z, options.sma_length);
+  out.gyro_x = dsp::moving_average(data.gyro_x, options.sma_length);
+  out.gyro_y = dsp::moving_average(data.gyro_y, options.sma_length);
+  out.gyro_z = dsp::moving_average(data.gyro_z, options.sma_length);
+  return out;
+}
+
+}  // namespace hyperear::imu

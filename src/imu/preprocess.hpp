@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "imu/gravity.hpp"
+#include "imu/imu_model.hpp"
+
+/// @file preprocess.hpp
+/// Motion Signal Preprocessing (paper Section V-A): gravity cancellation
+/// followed by high-frequency noise removal with a length-4 simple moving
+/// average (-3 dB near 15 Hz at the 100 Hz IMU rate).
+
+namespace hyperear::imu {
+
+/// Output of the MSP stage: smoothed, gravity-free linear acceleration and
+/// smoothed angular rate, ready for segmentation and integration.
+struct MotionSignals {
+  double sample_rate = 100.0;
+  std::vector<double> lin_accel_x, lin_accel_y, lin_accel_z;
+  std::vector<double> gyro_x, gyro_y, gyro_z;
+
+  [[nodiscard]] std::size_t size() const { return lin_accel_x.size(); }
+  [[nodiscard]] double dt() const { return 1.0 / sample_rate; }
+};
+
+/// Parameters of the preprocessing stage.
+struct PreprocessOptions {
+  std::size_t sma_length = 4;  ///< paper: n = 4
+  GravityOptions gravity;
+};
+
+/// Run the full MSP chain on raw IMU data.
+[[nodiscard]] MotionSignals preprocess(const ImuData& data,
+                                       const PreprocessOptions& options = {});
+
+}  // namespace hyperear::imu

@@ -1,0 +1,73 @@
+#include "imu/segmentation.hpp"
+
+#include "common/error.hpp"
+
+namespace hyperear::imu {
+
+std::vector<double> power_level(std::span<const double> accel, std::size_t window) {
+  require(window >= 1, "power_level: window must be >= 1");
+  const std::size_t n = accel.size();
+  std::vector<double> out(n, 0.0);
+  // Prefix sums of squared amplitude for O(n) evaluation.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + accel[i] * accel[i];
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t hi = std::min(t + window, n);
+    out[t] = (prefix[hi] - prefix[t]) / static_cast<double>(hi - t);
+  }
+  return out;
+}
+
+std::vector<Segment> segment_movements(std::span<const double> accel,
+                                       const SegmentationOptions& options) {
+  require(options.window >= 1 && options.quiet_run >= 1,
+          "segment_movements: bad window/quiet_run");
+  require(options.threshold > 0.0, "segment_movements: threshold must be positive");
+  const std::vector<double> power = power_level(accel, options.window);
+  std::vector<Segment> segments;
+  bool in_slide = false;
+  std::size_t start = 0;
+  std::size_t quiet = 0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (!in_slide) {
+      if (power[i] > options.threshold) {
+        in_slide = true;
+        start = i;
+        quiet = 0;
+      }
+    } else {
+      if (power[i] <= options.threshold) {
+        ++quiet;
+        if (quiet >= options.quiet_run) {
+          const std::size_t end = i + 1 - quiet;
+          if (end > start && end - start >= options.min_length) {
+            segments.push_back({start, end});
+          }
+          in_slide = false;
+          quiet = 0;
+        }
+      } else {
+        quiet = 0;
+      }
+    }
+  }
+  if (in_slide) {
+    const std::size_t end = power.size() - quiet;
+    if (end > start && end - start >= options.min_length) segments.push_back({start, end});
+  }
+  // Merge split strokes (see SegmentationOptions::merge_gap). The merge runs
+  // on the raw segment list so halves below min_length are handled too.
+  if (options.merge_gap == 0 || segments.size() < 2) return segments;
+  std::vector<Segment> merged;
+  merged.push_back(segments.front());
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].start - merged.back().end <= options.merge_gap) {
+      merged.back().end = segments[i].end;
+    } else {
+      merged.push_back(segments[i]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace hyperear::imu

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// @file segmentation.hpp
+/// Movement segmentation (paper Section V-A2): the power level of the
+/// sliding-axis acceleration, Eq. 3
+///
+///   P(t) = (1/W) * sum_{n=t..t+W} a(n)^2
+///
+/// with W = 4 samples (40 ms at 100 Hz), marks a slide start when the power
+/// exceeds a threshold (0.2) and a slide end when it stays below for m = 8
+/// consecutive samples.
+
+namespace hyperear::imu {
+
+/// Indices of one detected movement (slide) in the IMU record.
+struct Segment {
+  std::size_t start = 0;  ///< first sample of the slide
+  std::size_t end = 0;    ///< one past the last sample of the slide
+
+  [[nodiscard]] std::size_t length() const { return end - start; }
+};
+
+/// Segmentation parameters (defaults are the paper's empirical choices).
+struct SegmentationOptions {
+  std::size_t window = 4;       ///< W, power-averaging window in samples
+  double threshold = 0.2;       ///< power threshold ((m/s^2)^2)
+  std::size_t quiet_run = 8;    ///< m, below-threshold samples ending a slide
+  std::size_t min_length = 20;  ///< discard blips shorter than this (samples)
+  /// A gentle stroke's acceleration dips under the threshold around its
+  /// mid-stroke zero crossing, which would split one slide into two halves
+  /// whose zero-velocity-endpoint assumption is false. Segments separated
+  /// by less than this gap are merged — genuine dwells between strokes are
+  /// far longer.
+  std::size_t merge_gap = 30;
+};
+
+/// Sliding power level per Eq. 3 (the returned series has the input length;
+/// the window is truncated near the end of the record).
+[[nodiscard]] std::vector<double> power_level(std::span<const double> accel,
+                                              std::size_t window);
+
+/// Segment the record into slides. `accel` is the sliding-axis linear
+/// acceleration after MSP.
+[[nodiscard]] std::vector<Segment> segment_movements(std::span<const double> accel,
+                                                     const SegmentationOptions& options = {});
+
+}  // namespace hyperear::imu

@@ -1,0 +1,65 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hyperear::io {
+
+void write_imu_csv(const std::string& path, const imu::ImuData& data) {
+  require(data.size() > 0, "write_imu_csv: empty record");
+  require(data.sample_rate > 0.0, "write_imu_csv: bad sample rate");
+  std::ofstream file(path);
+  if (!file) throw Error("write_imu_csv: cannot open " + path);
+  file << "t,ax,ay,az,gx,gy,gz\n";
+  char row[256];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(row, sizeof(row), "%.6f,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                  data.time_of(i), data.accel_x[i], data.accel_y[i], data.accel_z[i],
+                  data.gyro_x[i], data.gyro_y[i], data.gyro_z[i]);
+    file << row;
+  }
+  if (!file) throw Error("write_imu_csv: write failed for " + path);
+}
+
+imu::ImuData read_imu_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("read_imu_csv: cannot open " + path);
+  std::string line;
+  require(static_cast<bool>(std::getline(file, line)), "read_imu_csv: empty file");
+  require(line.rfind("t,", 0) == 0, "read_imu_csv: missing header");
+
+  imu::ImuData data;
+  std::vector<double> times;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    double values[7];
+    for (int k = 0; k < 7; ++k) {
+      std::string cell;
+      require(static_cast<bool>(std::getline(row, cell, ',')),
+              "read_imu_csv: short row '" + line + "'");
+      try {
+        values[k] = std::stod(cell);
+      } catch (const std::exception&) {
+        throw Error("read_imu_csv: bad number '" + cell + "'");
+      }
+    }
+    times.push_back(values[0]);
+    data.accel_x.push_back(values[1]);
+    data.accel_y.push_back(values[2]);
+    data.accel_z.push_back(values[3]);
+    data.gyro_x.push_back(values[4]);
+    data.gyro_y.push_back(values[5]);
+    data.gyro_z.push_back(values[6]);
+  }
+  require(times.size() >= 2, "read_imu_csv: need at least two samples");
+  const double dt = times[1] - times[0];
+  require(dt > 0.0, "read_imu_csv: non-increasing timestamps");
+  data.sample_rate = 1.0 / dt;
+  return data;
+}
+
+}  // namespace hyperear::io

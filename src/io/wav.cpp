@@ -1,0 +1,130 @@
+#include "io/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace hyperear::io {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+std::uint32_t get_u32(const std::string& data, std::size_t at) {
+  require(at + 4 <= data.size(), "wav: truncated file");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(data[at + i]);
+  return v;
+}
+
+std::uint16_t get_u16(const std::string& data, std::size_t at) {
+  require(at + 2 <= data.size(), "wav: truncated file");
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(data[at]) |
+                                    (static_cast<unsigned char>(data[at + 1]) << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const std::vector<std::vector<double>>& channels,
+               double sample_rate) {
+  require(!channels.empty(), "write_wav: no channels");
+  require(sample_rate > 0.0, "write_wav: bad sample rate");
+  const std::size_t frames = channels.front().size();
+  require(frames > 0, "write_wav: empty channels");
+  for (const auto& ch : channels) {
+    require(ch.size() == frames, "write_wav: channel length mismatch");
+  }
+  const auto n_channels = static_cast<std::uint16_t>(channels.size());
+  const auto rate = static_cast<std::uint32_t>(std::llround(sample_rate));
+  const std::uint16_t block_align = n_channels * 2;
+  const auto data_bytes = static_cast<std::uint32_t>(frames * block_align);
+
+  std::string out;
+  out.reserve(44 + data_bytes);
+  out += "RIFF";
+  put_u32(out, 36 + data_bytes);
+  out += "WAVEfmt ";
+  put_u32(out, 16);        // PCM fmt chunk size
+  put_u16(out, 1);         // PCM
+  put_u16(out, n_channels);
+  put_u32(out, rate);
+  put_u32(out, rate * block_align);  // byte rate
+  put_u16(out, block_align);
+  put_u16(out, 16);        // bits per sample
+  out += "data";
+  put_u32(out, data_bytes);
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (const auto& ch : channels) {
+      const double clipped = std::clamp(ch[n], -1.0, 1.0);
+      const auto s = static_cast<std::int16_t>(std::lround(clipped * 32767.0));
+      put_u16(out, static_cast<std::uint16_t>(s));
+    }
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw Error("write_wav: cannot open " + path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file) throw Error("write_wav: write failed for " + path);
+}
+
+WavData read_wav(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("read_wav: cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  require(data.size() >= 44, "read_wav: file too small");
+  require(data.compare(0, 4, "RIFF") == 0 && data.compare(8, 4, "WAVE") == 0,
+          "read_wav: not a RIFF/WAVE file");
+
+  // Walk chunks to find fmt and data (canonical files have them in order).
+  std::size_t pos = 12;
+  std::uint16_t n_channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  std::size_t data_at = 0, data_len = 0;
+  while (pos + 8 <= data.size()) {
+    const std::string id = data.substr(pos, 4);
+    const std::uint32_t len = get_u32(data, pos + 4);
+    if (id == "fmt ") {
+      require(len >= 16, "read_wav: short fmt chunk");
+      const std::uint16_t format = get_u16(data, pos + 8);
+      require(format == 1, "read_wav: only PCM supported");
+      n_channels = get_u16(data, pos + 10);
+      rate = get_u32(data, pos + 12);
+      bits = get_u16(data, pos + 22);
+    } else if (id == "data") {
+      data_at = pos + 8;
+      data_len = len;
+    }
+    pos += 8 + len + (len % 2);  // chunks are word-aligned
+  }
+  require(n_channels > 0 && rate > 0, "read_wav: missing fmt chunk");
+  require(bits == 16, "read_wav: only 16-bit PCM supported");
+  require(data_at > 0, "read_wav: missing data chunk");
+  require(data_at + data_len <= data.size(), "read_wav: truncated data chunk");
+
+  const std::size_t frames = data_len / (2 * n_channels);
+  WavData out;
+  out.sample_rate = static_cast<double>(rate);
+  out.channels.assign(n_channels, std::vector<double>(frames));
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (std::uint16_t c = 0; c < n_channels; ++c) {
+      const auto raw = static_cast<std::int16_t>(
+          get_u16(data, data_at + (n * n_channels + c) * 2));
+      out.channels[c][n] = static_cast<double>(raw) / 32767.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperear::io

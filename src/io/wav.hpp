@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// @file wav.hpp
+/// Minimal RIFF/WAVE reader and writer (16-bit PCM), so sessions can be
+/// exported for listening/inspection and real phone recordings can be fed
+/// into the pipeline in place of the simulator.
+///
+/// Samples are exchanged as doubles in [-1, 1] per channel; writing clips
+/// to that range and quantizes to 16-bit PCM.
+
+namespace hyperear::io {
+
+/// Decoded WAV content.
+struct WavData {
+  double sample_rate = 44100.0;
+  /// channels[c][n]: channel-major samples in [-1, 1].
+  std::vector<std::vector<double>> channels;
+
+  [[nodiscard]] std::size_t frames() const {
+    return channels.empty() ? 0 : channels.front().size();
+  }
+};
+
+/// Write a 16-bit PCM WAV file. All channels must be non-empty and of equal
+/// length; `sample_rate` must be positive. Throws hyperear::Error on I/O
+/// failure.
+void write_wav(const std::string& path, const std::vector<std::vector<double>>& channels,
+               double sample_rate);
+
+/// Read a 16-bit PCM WAV file written by write_wav (or any canonical
+/// 16-bit PCM RIFF file). Throws hyperear::Error on malformed input.
+[[nodiscard]] WavData read_wav(const std::string& path);
+
+}  // namespace hyperear::io

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/environment.hpp"
+#include "sim/image_source.hpp"
+#include "sim/microphone.hpp"
+#include "sim/phone.hpp"
+#include "sim/speaker.hpp"
+#include "sim/trajectory.hpp"
+
+/// @file acoustic_renderer.hpp
+/// Sample-accurate synthesis of the stereo recording a moving phone makes
+/// of the beacon inside a room.
+///
+/// For every emitted chirp and every image-source path, the renderer
+/// computes the exact arrival times of the chirp's start and end at the
+/// (moving) microphone by fixed-point iteration on the propagation delay,
+/// then evaluates the analytic chirp waveform at each skewed ADC sampling
+/// instant with the delay linearly interpolated across the chirp — a
+/// first-order-Doppler-correct rendering with no resampling error.
+/// Ambient noise is calibrated so the direct-path chirp has the requested
+/// in-band SNR at the phone's initial position; finally mic self-noise and
+/// 16-bit quantization are applied.
+
+namespace hyperear::sim {
+
+/// The simulated stereo capture.
+struct StereoRecording {
+  double sample_rate = 44100.0;  ///< nominal (phone-reported) rate
+  std::vector<double> mic1;      ///< top microphone
+  std::vector<double> mic2;      ///< bottom microphone
+};
+
+/// Rendering options.
+struct RenderOptions {
+  double sound_speed = 343.0;
+  bool add_noise = true;
+  bool quantize = true;
+  /// Amplitude factor modeling a floor-standing obstruction (cabinet,
+  /// shelf) between user and beacon: it shadows the DIRECT path and the
+  /// floor bounce (which passes under the sight line), while wall and
+  /// ceiling reflections still arrive. 1.0 = clear line of sight (the
+  /// paper's Section IX NLoS limitation, made concrete).
+  double direct_path_gain = 1.0;
+  /// Apply the microphone's frequency response (AdcSpec::response_at) at
+  /// the chirp's instantaneous frequency — the stationary-phase
+  /// approximation, accurate for sweeps. Models the high-frequency rolloff
+  /// that distorts inaudible beacons.
+  bool mic_response = true;
+};
+
+/// Render `duration` wall-clock seconds of stereo audio of one beacon.
+[[nodiscard]] StereoRecording render_audio(const Speaker& speaker, const PhoneSpec& phone,
+                                           const Environment& environment,
+                                           const Trajectory& trajectory, double duration,
+                                           Rng& rng, const RenderOptions& options = {});
+
+/// Render several simultaneously transmitting beacons (e.g. FDMA multi-tag
+/// deployments). Noise is calibrated against the FIRST speaker's direct
+/// path; all speakers share the room. Requires a non-empty speaker list.
+[[nodiscard]] StereoRecording render_audio_multi(const std::vector<Speaker>& speakers,
+                                                 const PhoneSpec& phone,
+                                                 const Environment& environment,
+                                                 const Trajectory& trajectory,
+                                                 double duration, Rng& rng,
+                                                 const RenderOptions& options = {});
+
+}  // namespace hyperear::sim

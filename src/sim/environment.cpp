@@ -1,0 +1,47 @@
+#include "sim/environment.hpp"
+
+namespace hyperear::sim {
+
+namespace {
+
+RoomSpec meeting_room_geometry() {
+  RoomSpec room;
+  room.length = 17.0;
+  room.width = 13.0;
+  room.height = 3.2;
+  room.absorption = 0.45;  // carpeted theatre-style seating absorbs well
+  room.scattering = 0.5;   // ten rows of seats scatter specular reflections
+  room.max_order = 2;
+  return room;
+}
+
+RoomSpec mall_geometry() {
+  RoomSpec room;
+  room.length = 95.0;
+  room.width = 16.5;
+  room.height = 4.5;
+  room.absorption = 0.25;  // hard floors and glass shopfronts: livelier
+  room.scattering = 0.25;  // storefront clutter scatters a little
+  room.max_order = 2;
+  return room;
+}
+
+}  // namespace
+
+Environment meeting_room_quiet() {
+  return {"meeting room, quiet", meeting_room_geometry(), NoiseType::kWhite, 18.0};
+}
+
+Environment meeting_room_chatting() {
+  return {"meeting room, chatting", meeting_room_geometry(), NoiseType::kVoice, 9.0};
+}
+
+Environment mall_off_peak() {
+  return {"mall, off-peak", mall_geometry(), NoiseType::kMallMusic, 6.0};
+}
+
+Environment mall_busy_hour() {
+  return {"mall, busy hour", mall_geometry(), NoiseType::kMallBusy, 3.0};
+}
+
+}  // namespace hyperear::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "sim/image_source.hpp"
+#include "sim/noise.hpp"
+
+/// @file environment.hpp
+/// The two indoor environments of the evaluation (paper Section VII-A) at
+/// the four noise conditions of Fig. 19.
+
+namespace hyperear::sim {
+
+/// A complete acoustic environment: room geometry, multipath strength, and
+/// the ambient-noise condition calibrated by in-chirp-band SNR.
+struct Environment {
+  std::string name;
+  RoomSpec room;
+  NoiseType noise = NoiseType::kWhite;
+  /// Target in-band SNR (dB) of the direct-path chirp at the phone's initial
+  /// position (the paper "control[s] the volume of the speaker so that
+  /// different SNR values are studied").
+  double snr_db = 18.0;
+};
+
+/// 17 m x 13 m meeting room, volunteers keeping quiet (SNR > 15 dB).
+[[nodiscard]] Environment meeting_room_quiet();
+
+/// Meeting room with volunteers chatting (SNR = 9 dB; voice noise < 2 kHz).
+[[nodiscard]] Environment meeting_room_chatting();
+
+/// 95 m x 16.5 m mall corridor, off-peak soft music (SNR = 6 dB).
+[[nodiscard]] Environment mall_off_peak();
+
+/// Mall corridor at busy hours: crowd + announcements (SNR = 3 dB).
+[[nodiscard]] Environment mall_busy_hour();
+
+}  // namespace hyperear::sim

@@ -1,0 +1,65 @@
+#include "sim/image_source.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hyperear::sim {
+
+namespace {
+
+/// 1D image coordinate of `x` in a segment [0, L] for image index m:
+/// standard mirror expansion x_m = 2*k*L + (-1)^m-style reflection.
+double image_coordinate(double x, double extent, int m) {
+  // Even m: translate by m*extent; odd m: mirror then translate.
+  if (m % 2 == 0) return x + static_cast<double>(m) * extent;
+  return -x + static_cast<double>(m + 1) * extent;
+}
+
+}  // namespace
+
+ImageSourceModel::ImageSourceModel(const RoomSpec& room, const geom::Vec3& source)
+    : room_(room) {
+  require(room.length > 0.0 && room.width > 0.0 && room.height > 0.0,
+          "ImageSourceModel: room dimensions must be positive");
+  require(room.absorption >= 0.0 && room.absorption <= 1.0,
+          "ImageSourceModel: absorption must be in [0, 1]");
+  require(room.scattering >= 0.0 && room.scattering < 1.0,
+          "ImageSourceModel: scattering must be in [0, 1)");
+  require(room.max_order >= 0, "ImageSourceModel: max_order must be >= 0");
+  require(source.x > 0.0 && source.x < room.length && source.y > 0.0 &&
+              source.y < room.width && source.z > 0.0 && source.z < room.height,
+          "ImageSourceModel: source must be strictly inside the room");
+
+  const double reflection = std::sqrt(1.0 - room.absorption) * (1.0 - room.scattering);
+  const int k = room.max_order;
+  for (int mx = -k; mx <= k; ++mx) {
+    for (int my = -k; my <= k; ++my) {
+      for (int mz = -k; mz <= k; ++mz) {
+        const int order = std::abs(mx) + std::abs(my) + std::abs(mz);
+        if (order > k) continue;
+        ImagePath p;
+        p.order = order;
+        p.image = {image_coordinate(source.x, room.length, mx),
+                   image_coordinate(source.y, room.width, my),
+                   image_coordinate(source.z, room.height, mz)};
+        p.gain = std::pow(reflection, order);
+        paths_.push_back(p);
+      }
+    }
+  }
+}
+
+double ImageSourceModel::amplitude_at(const ImagePath& p, const geom::Vec3& receiver) const {
+  const double d = std::max(distance(p.image, receiver), 0.1);
+  return p.gain / d;
+}
+
+double ImageSourceModel::delay_at(const ImagePath& p, const geom::Vec3& receiver,
+                                  double sound_speed) const {
+  require(sound_speed > 0.0, "delay_at: sound speed must be positive");
+  return distance(p.image, receiver) / sound_speed;
+}
+
+}  // namespace hyperear::sim

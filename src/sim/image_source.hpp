@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+/// @file image_source.hpp
+/// Shoebox-room multipath via the image-source method — the standard
+/// room-acoustics simulator. Substitutes for the meeting room and shopping
+/// mall of the paper's evaluation: reflections arrive after the direct path
+/// with attenuated amplitude and perturb the matched-filter peak exactly the
+/// way real reverberation does.
+
+namespace hyperear::sim {
+
+/// Axis-aligned shoebox room with a uniform wall absorption coefficient.
+struct RoomSpec {
+  double length = 17.0;  ///< x extent (m); meeting room is 17 x 13 (paper)
+  double width = 13.0;   ///< y extent (m)
+  double height = 3.0;   ///< z extent (m)
+  /// Energy absorption coefficient of the walls; amplitude reflection
+  /// factor is sqrt(1 - absorption).
+  double absorption = 0.4;
+  /// Scattering coefficient in [0, 1): the fraction of reflected energy
+  /// that is diffused rather than specularly mirrored. Image sources model
+  /// only the specular part, so each bounce's coherent amplitude is further
+  /// scaled by (1 - scattering). Furnished rooms (theatre seating, people)
+  /// scatter heavily; bare glass/stone corridors barely.
+  double scattering = 0.0;
+  /// Maximum reflection order to generate (0 = direct path only).
+  int max_order = 2;
+};
+
+/// One propagation path: a (possibly reflected) image of the source.
+struct ImagePath {
+  geom::Vec3 image;     ///< image-source position
+  double gain = 1.0;    ///< product of wall reflection factors (excl. 1/r)
+  int order = 0;        ///< number of reflections
+};
+
+/// Image-source expansion of a static source inside a room.
+class ImageSourceModel {
+ public:
+  /// `source` must lie strictly inside the room.
+  ImageSourceModel(const RoomSpec& room, const geom::Vec3& source);
+
+  [[nodiscard]] const RoomSpec& room() const { return room_; }
+  [[nodiscard]] const std::vector<ImagePath>& paths() const { return paths_; }
+
+  /// Amplitude of path `p` at a receiver: gain / max(distance, 0.1).
+  [[nodiscard]] double amplitude_at(const ImagePath& p, const geom::Vec3& receiver) const;
+
+  /// Propagation delay of path `p` to a receiver at the given sound speed.
+  [[nodiscard]] double delay_at(const ImagePath& p, const geom::Vec3& receiver,
+                                double sound_speed) const;
+
+ private:
+  RoomSpec room_;
+  std::vector<ImagePath> paths_;
+};
+
+}  // namespace hyperear::sim

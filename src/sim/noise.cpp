@@ -1,0 +1,113 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace hyperear::sim {
+
+namespace {
+
+/// Slow random amplitude envelope built from a few sinusoids; mean ~1.
+std::vector<double> modulation_envelope(std::size_t n, double fs, Rng& rng, double depth,
+                                        double min_hz, double max_hz, int components) {
+  std::vector<double> env(n, 1.0);
+  for (int c = 0; c < components; ++c) {
+    const double f = rng.uniform(min_hz, max_hz);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double amp = depth / static_cast<double>(components);
+    for (std::size_t i = 0; i < n; ++i) {
+      env[i] += amp * std::sin(2.0 * kPi * f * static_cast<double>(i) / fs + phase);
+    }
+  }
+  for (auto& e : env) e = std::max(e, 0.0);
+  return env;
+}
+
+std::vector<double> white(std::size_t n, Rng& rng) { return rng.gaussian_vector(n); }
+
+std::vector<double> voice(std::size_t n, double fs, Rng& rng) {
+  // Chatter: low-passed white noise (voice energy is mostly < 2 kHz) with
+  // syllabic-rate (3-8 Hz) amplitude modulation.
+  std::vector<double> base = white(n, rng);
+  dsp::ButterworthCascade lp(dsp::ButterworthCascade::Kind::kLowpass, 4, 1800.0, fs);
+  std::vector<double> shaped = lp.filter(base);
+  const std::vector<double> env = modulation_envelope(n, fs, rng, 0.7, 3.0, 8.0, 4);
+  for (std::size_t i = 0; i < n; ++i) shaped[i] *= env[i];
+  return shaped;
+}
+
+std::vector<double> mall_music(std::size_t n, double fs, Rng& rng) {
+  // Broadband program material: pink-ish noise across the audible band plus
+  // a handful of sustained tones inside the chirp band (melody/announcement
+  // harmonics), gently beat-modulated.
+  std::vector<double> base = white(n, rng);
+  dsp::ButterworthCascade lp(dsp::ButterworthCascade::Kind::kLowpass, 4, 9000.0, fs);
+  std::vector<double> shaped = lp.filter(base);
+  for (int tone = 0; tone < 5; ++tone) {
+    const double f = rng.uniform(1500.0, 7000.0);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double amp = rng.uniform(0.1, 0.35);
+    for (std::size_t i = 0; i < n; ++i) {
+      shaped[i] += amp * std::sin(2.0 * kPi * f * static_cast<double>(i) / fs + phase);
+    }
+  }
+  const std::vector<double> env = modulation_envelope(n, fs, rng, 0.3, 0.5, 2.0, 3);
+  for (std::size_t i = 0; i < n; ++i) shaped[i] *= env[i];
+  return shaped;
+}
+
+std::vector<double> mall_busy(std::size_t n, double fs, Rng& rng) {
+  // Busy hour: program material plus crowd babble bursts that make the
+  // noise level "dramatically change over time" (Section VII-E).
+  std::vector<double> shaped = mall_music(n, fs, rng);
+  Rng burst_rng = rng.split();
+  std::vector<double> babble = voice(n, fs, burst_rng);
+  // Burst gating: random on/off with ~1-3 s bursts of 2-4x amplitude.
+  std::size_t i = 0;
+  while (i < n) {
+    const auto gap = static_cast<std::size_t>(rng.uniform(0.5, 2.5) * fs);
+    const auto burst = static_cast<std::size_t>(rng.uniform(0.8, 3.0) * fs);
+    const double level = rng.uniform(1.5, 4.0);
+    i += gap;
+    for (std::size_t k = i; k < std::min(i + burst, n); ++k) shaped[k] += level * babble[k];
+    i += burst;
+  }
+  return shaped;
+}
+
+}  // namespace
+
+std::vector<double> make_noise(NoiseType type, std::size_t n, double fs, Rng& rng) {
+  require(n > 0, "make_noise: need at least one sample");
+  require(fs > 0.0, "make_noise: sample rate must be positive");
+  switch (type) {
+    case NoiseType::kWhite:
+      return white(n, rng);
+    case NoiseType::kVoice:
+      return voice(n, fs, rng);
+    case NoiseType::kMallMusic:
+      return mall_music(n, fs, rng);
+    case NoiseType::kMallBusy:
+      return mall_busy(n, fs, rng);
+  }
+  throw PreconditionError("make_noise: unknown noise type");
+}
+
+double calibrate_band_power(std::vector<double>& noise, double fs, double low_hz,
+                            double high_hz, double target_band_power) {
+  require(target_band_power > 0.0, "calibrate_band_power: target must be positive");
+  // Measure on a representative prefix to keep the FFT bounded.
+  const std::size_t probe = std::min<std::size_t>(noise.size(), 1u << 17);
+  const double current =
+      dsp::band_power({noise.data(), probe}, fs, low_hz, high_hz);
+  require(current > 0.0, "calibrate_band_power: no power in band");
+  const double scale = std::sqrt(target_band_power / current);
+  for (auto& v : noise) v *= scale;
+  return scale;
+}
+
+}  // namespace hyperear::sim

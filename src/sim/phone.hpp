@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "geom/vec3.hpp"
+#include "imu/imu_model.hpp"
+
+/// @file phone.hpp
+/// COTS smartphone hardware description. Body frame: +x right, +y toward
+/// the top edge (the microphone axis on both evaluated phones), +z out of
+/// the screen. Mic1 is the top microphone, Mic2 the bottom one, mirroring
+/// the paper's Fig. 6 where the speaker direction is measured against the
+/// phone's axes.
+
+namespace hyperear::sim {
+
+/// ADC / microphone front-end characteristics shared by both mics.
+struct AdcSpec {
+  double sample_rate = 44100.0;  ///< OS-limited rate (Section II-C)
+  int bits = 16;                 ///< quantization depth
+  double full_scale = 1.0;       ///< clip level in renderer units
+  double self_noise_rms = 2e-4;  ///< electronic noise floor (full scale = 1)
+  double clock_offset_ppm = 0.0; ///< phone audio clock skew (drawn per run)
+  /// Microphone frequency response: phone mics are flat through the voice
+  /// band but roll off toward ultrasound — the "frequency selectivity of
+  /// smartphone microphones" the paper's future work worries about for
+  /// inaudible beacons. Modeled as a Butterworth-style magnitude
+  /// 1/sqrt(1 + (f/fc)^(2n)).
+  double response_cutoff_hz = 19000.0;
+  int response_order = 2;
+
+  /// Magnitude response at frequency f (Hz).
+  [[nodiscard]] double response_at(double freq_hz) const;
+};
+
+/// A phone model used in the evaluation.
+struct PhoneSpec {
+  std::string name;
+  double mic_separation = 0.1366;  ///< D, meters
+  AdcSpec adc;
+  imu::ImuSpec imu;
+
+  /// Body-frame position of the top microphone (Mic1).
+  [[nodiscard]] geom::Vec3 mic1_body() const { return {0.0, mic_separation / 2.0, 0.0}; }
+  /// Body-frame position of the bottom microphone (Mic2).
+  [[nodiscard]] geom::Vec3 mic2_body() const { return {0.0, -mic_separation / 2.0, 0.0}; }
+};
+
+/// Samsung Galaxy S4 preset (D = 13.66 cm, Section VII-A).
+[[nodiscard]] PhoneSpec galaxy_s4();
+
+/// Samsung Galaxy Note3 preset (D = 15.12 cm, Section VII-A).
+[[nodiscard]] PhoneSpec galaxy_note3();
+
+}  // namespace hyperear::sim

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "imu/imu_model.hpp"
+#include "sim/acoustic_renderer.hpp"
+#include "sim/environment.hpp"
+#include "sim/phone.hpp"
+#include "sim/speaker.hpp"
+#include "sim/trajectory.hpp"
+
+/// @file scenario.hpp
+/// End-to-end experiment composition: places the speaker and the phone in a
+/// room, scripts the paper's measurement protocol (static calibration head,
+/// back-and-forth slides, optional stature change for 3D), and produces the
+/// recording bundle the HyperEar pipeline consumes: stereo audio, IMU data,
+/// and ground truth for scoring.
+
+namespace hyperear::sim {
+
+/// Protocol and placement parameters of one localization session.
+struct ScenarioConfig {
+  PhoneSpec phone = galaxy_s4();
+  Environment environment = meeting_room_quiet();
+  SpeakerSpec speaker;
+
+  double speaker_distance = 5.0;  ///< horizontal phone-to-speaker range (m)
+  double speaker_height = 0.5;    ///< speaker stature (paper Section VII-D)
+  double phone_height = 1.3;      ///< initial phone stature (hand height)
+
+  int slides_per_stature = 5;     ///< paper: five slides per stature
+  double slide_distance = 0.55;   ///< nominal D' (the accepted 50-60 cm band)
+  double slide_duration = 1.0;    ///< seconds per stroke
+  double hold_duration = 0.8;     ///< stationary dwell between strokes
+  double calibration_duration = 4.0;  ///< static head used for SFO estimation
+
+  bool two_statures = false;      ///< true = full 3D protocol (Section VI-B)
+  double stature_change = 0.45;   ///< vertical move between sessions (m)
+
+  JitterParams jitter = ruler_jitter();
+  /// The user stops rolling when SDF reads zero TDoA; residual aiming error
+  /// (std-dev, degrees). bench_fig07 measures what SDF actually achieves.
+  double in_direction_error_deg = 1.0;
+
+  double speaker_clock_ppm_sigma = 25.0;  ///< crystal tolerance, drawn per run
+  double phone_clock_ppm_sigma = 15.0;
+  /// Randomize the phone/speaker placement inside the room per session
+  /// (range preserved), mirroring the paper's 5 speaker x 5 test positions.
+  bool randomize_placement = true;
+
+  /// Additional beacons transmitting during the session (multi-tag / FDMA
+  /// deployments). Positions are relative to the phone's start: `distance`
+  /// along the line of sight, `lateral_offset` across it.
+  struct Interferer {
+    SpeakerSpec spec;
+    double distance = 3.0;
+    double lateral_offset = 2.0;
+    double height = 0.8;
+  };
+  std::vector<Interferer> interferers;
+
+  RenderOptions render;
+};
+
+/// Everything the pipeline is allowed to see, plus scoring ground truth.
+struct Session {
+  StereoRecording audio;
+  imu::ImuData imu;
+
+  /// Ground truth (scoring only — the pipeline must not read these).
+  struct Truth {
+    geom::Vec3 speaker_position;
+    geom::Vec3 phone_start_position;
+    double in_direction_yaw = 0.0;  ///< the yaw the phone actually slid at
+    double true_yaw_error_rad = 0.0;
+    std::vector<SlideInfo> slides;
+    double speaker_true_period = 0.2;
+    double stature_change_start = 0.0;  ///< time the stature move begins (s), 0 if none
+    double stature_change_end = 0.0;
+  } truth;
+
+  /// Session knowledge the pipeline legitimately has (the user's own
+  /// position, the beacon's nominal period, which side the speaker is on).
+  struct Prior {
+    geom::Vec3 phone_start_position;
+    double believed_yaw = 0.0;     ///< in-direction yaw from SDF
+    double nominal_period = 0.2;   ///< the beacon's advertised period
+    dsp::ChirpParams chirp;        ///< known beacon waveform
+    double calibration_duration = 4.0;
+    bool speaker_on_positive_x = true;  ///< side resolved by SDF
+    bool two_statures = false;
+    double phone_height = 1.3;
+  } prior;
+
+  ScenarioConfig config;
+};
+
+/// Build one full localization session (2D single-stature or 3D
+/// two-stature per config.two_statures).
+[[nodiscard]] Session make_localization_session(const ScenarioConfig& config, Rng& rng);
+
+/// A rotation-sweep session for Speaker Direction Finding studies (Fig. 7):
+/// the phone yaws from `yaw_start` to `yaw_end` over `sweep_duration`
+/// while recording. Ground-truth slides are empty.
+[[nodiscard]] Session make_rotation_sweep_session(const ScenarioConfig& config,
+                                                  double yaw_start, double yaw_end,
+                                                  double sweep_duration, Rng& rng);
+
+}  // namespace hyperear::sim

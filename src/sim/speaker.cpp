@@ -1,0 +1,54 @@
+#include "sim/speaker.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::sim {
+
+SpeakerSpec audible_beacon() { return {}; }
+
+SpeakerSpec inaudible_beacon() {
+  SpeakerSpec spec;
+  spec.chirp.freq_low_hz = 17000.0;
+  spec.chirp.freq_high_hz = 21200.0;
+  return spec;
+}
+
+SpeakerSpec secondary_band_beacon() {
+  SpeakerSpec spec;
+  spec.chirp.freq_low_hz = 7000.0;
+  spec.chirp.freq_high_hz = 11000.0;
+  return spec;
+}
+
+Speaker::Speaker(const SpeakerSpec& spec, const geom::Vec3& position)
+    : spec_(spec), position_(position), chirp_(spec.chirp) {
+  require(spec.period_s > spec.chirp.duration_s,
+          "Speaker: period must exceed the chirp duration");
+  require(spec.start_offset_s >= 0.0, "Speaker: start offset must be non-negative");
+}
+
+double Speaker::true_period() const {
+  return spec_.period_s * (1.0 + spec_.clock_offset_ppm * 1e-6);
+}
+
+double Speaker::emission_time(int index) const {
+  require(index >= 0, "Speaker::emission_time: negative index");
+  return spec_.start_offset_s + static_cast<double>(index) * true_period();
+}
+
+int Speaker::first_chirp_after(double t) const {
+  if (t <= spec_.start_offset_s) return 0;
+  return static_cast<int>(std::ceil((t - spec_.start_offset_s) / true_period()));
+}
+
+double Speaker::waveform(double t) const {
+  if (t < spec_.start_offset_s) return 0.0;
+  const double rel = t - spec_.start_offset_s;
+  const auto idx = static_cast<long long>(rel / true_period());
+  const double within = rel - static_cast<double>(idx) * true_period();
+  return spec_.amplitude_at_1m * chirp_.value(within);
+}
+
+}  // namespace hyperear::sim

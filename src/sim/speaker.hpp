@@ -1,0 +1,65 @@
+#pragma once
+
+#include "dsp/chirp.hpp"
+#include "geom/vec3.hpp"
+
+/// @file speaker.hpp
+/// The acoustic beacon: a cheap desktop speaker attached to the target
+/// object, periodically playing the up/down chirp every 200 ms from an
+/// unsynchronized clock (paper Sections II-A and VII-A).
+
+namespace hyperear::sim {
+
+/// Beacon configuration.
+struct SpeakerSpec {
+  dsp::ChirpParams chirp;
+  double period_s = 0.2;          ///< nominal interval between chirp starts
+  double clock_offset_ppm = 0.0;  ///< crystal offset; actual period = T*(1+ppm*1e-6)
+  double start_offset_s = 0.05;   ///< emission time of chirp 0 (unknown to the phone)
+  /// Source amplitude at 1 m under free-field spreading, in ADC full-scale
+  /// units (0.5 leaves headroom against clipping for near placements).
+  double amplitude_at_1m = 0.5;
+};
+
+/// The paper's evaluation beacon: an audible 2-6.4 kHz chirp every 200 ms.
+[[nodiscard]] SpeakerSpec audible_beacon();
+
+/// The future-work variant (paper Section IX): a near-ultrasonic
+/// 17-21.2 kHz chirp, inaudible to most adults but right where phone
+/// microphones roll off — bench_ext_inaudible quantifies the cost.
+[[nodiscard]] SpeakerSpec inaudible_beacon();
+
+/// A second audible band (7-11 kHz) that does not overlap the default
+/// beacon: two tags can transmit simultaneously and be separated by their
+/// matched filters (FDMA multi-tag operation; see examples/multi_tag.cpp).
+[[nodiscard]] SpeakerSpec secondary_band_beacon();
+
+/// Emission schedule and waveform of the beacon.
+class Speaker {
+ public:
+  Speaker(const SpeakerSpec& spec, const geom::Vec3& position);
+
+  [[nodiscard]] const SpeakerSpec& spec() const { return spec_; }
+  [[nodiscard]] const geom::Vec3& position() const { return position_; }
+  [[nodiscard]] const dsp::Chirp& chirp() const { return chirp_; }
+
+  /// True (wall-clock) period between chirp starts, including clock offset.
+  [[nodiscard]] double true_period() const;
+
+  /// Emission (start) time of the i-th chirp.
+  [[nodiscard]] double emission_time(int index) const;
+
+  /// Index of the first chirp emitted at or after time t.
+  [[nodiscard]] int first_chirp_after(double t) const;
+
+  /// Source waveform value at wall-clock time t (sum over the single active
+  /// chirp; chirps never overlap because duration < period).
+  [[nodiscard]] double waveform(double t) const;
+
+ private:
+  SpeakerSpec spec_;
+  geom::Vec3 position_;
+  dsp::Chirp chirp_;
+};
+
+}  // namespace hyperear::sim

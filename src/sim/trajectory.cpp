@@ -1,0 +1,241 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::sim {
+
+double min_jerk(double tau) {
+  if (tau <= 0.0) return 0.0;
+  if (tau >= 1.0) return 1.0;
+  const double t3 = tau * tau * tau;
+  return 10.0 * t3 - 15.0 * t3 * tau + 6.0 * t3 * tau * tau;
+}
+
+double min_jerk_vel(double tau) {
+  if (tau <= 0.0 || tau >= 1.0) return 0.0;
+  const double t2 = tau * tau;
+  return 30.0 * t2 - 60.0 * t2 * tau + 30.0 * t2 * t2;
+}
+
+double min_jerk_acc(double tau) {
+  if (tau <= 0.0 || tau >= 1.0) return 0.0;
+  return 60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau;
+}
+
+JitterParams hand_jitter() {
+  JitterParams p;
+  p.pos_accel_rms = 0.16;            // holding-still tremor acceleration
+  p.yaw_amplitude = deg2rad(1.0);
+  p.tilt_amplitude = deg2rad(0.8);
+  p.base_tilt_sigma = deg2rad(2.5);  // imperfectly level hand-held phone
+  return p;
+}
+
+JitterParams ruler_jitter() { return {}; }
+
+Trajectory::Trajectory(std::vector<Phase> phases, const JitterParams& jitter, Rng& rng)
+    : phases_(std::move(phases)) {
+  require(!phases_.empty(), "Trajectory: no phases");
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    require(phases_[i].t1 > phases_[i].t0, "Trajectory: phase with non-positive duration");
+    if (i > 0) {
+      require(std::abs(phases_[i].t0 - phases_[i - 1].t1) < 1e-9,
+              "Trajectory: phases must be contiguous");
+    }
+  }
+  Rng local = rng.split();
+  for (int c = 0; c < kChannels; ++c) {
+    const bool positional = c < 3;
+    double amp = 0.0;
+    if (positional) amp = jitter.pos_accel_rms;
+    if (c == 3) amp = jitter.yaw_amplitude;
+    if (c >= 4) amp = jitter.tilt_amplitude;
+    if (amp <= 0.0 || jitter.components <= 0) continue;
+    const double lo = positional ? jitter.tremor_min_hz : jitter.wander_min_hz;
+    const double hi = positional ? jitter.tremor_max_hz : jitter.wander_max_hz;
+    for (int k = 0; k < jitter.components; ++k) {
+      Sinusoid s;
+      const double scale =
+          amp * local.uniform(0.5, 1.0) * std::sqrt(2.0 / jitter.components);
+      s.freq = local.uniform(lo, hi);
+      const double omega = 2.0 * kPi * s.freq;
+      // Positional channels are acceleration-parameterized.
+      s.amp = positional ? scale / (omega * omega) : scale;
+      s.phase = local.uniform(0.0, 2.0 * kPi);
+      jitter_[c].push_back(s);
+    }
+  }
+  if (jitter.base_tilt_sigma > 0.0) {
+    base_pitch_ = local.gaussian(0.0, jitter.base_tilt_sigma);
+    base_roll_ = local.gaussian(0.0, jitter.base_tilt_sigma);
+  }
+}
+
+double Trajectory::duration() const { return phases_.back().t1; }
+
+const Phase& Trajectory::phase_at(double t) const {
+  if (t <= phases_.front().t0) return phases_.front();
+  if (t >= phases_.back().t1) return phases_.back();
+  // Binary search for the phase containing t.
+  std::size_t lo = 0;
+  std::size_t hi = phases_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (phases_[mid].t1 < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return phases_[lo];
+}
+
+double Trajectory::channel_jitter(int channel, double t) const {
+  double v = 0.0;
+  for (const Sinusoid& s : jitter_[channel]) {
+    v += s.amp * std::sin(2.0 * kPi * s.freq * t + s.phase);
+  }
+  return v;
+}
+
+double Trajectory::channel_jitter_vel(int channel, double t) const {
+  double v = 0.0;
+  for (const Sinusoid& s : jitter_[channel]) {
+    const double w = 2.0 * kPi * s.freq;
+    v += s.amp * w * std::cos(w * t + s.phase);
+  }
+  return v;
+}
+
+double Trajectory::channel_jitter_acc(int channel, double t) const {
+  double v = 0.0;
+  for (const Sinusoid& s : jitter_[channel]) {
+    const double w = 2.0 * kPi * s.freq;
+    v -= s.amp * w * w * std::sin(w * t + s.phase);
+  }
+  return v;
+}
+
+Trajectory::EulerState Trajectory::euler_state(double t) const {
+  const Phase& ph = phase_at(t);
+  const double span = ph.t1 - ph.t0;
+  const double tau = std::clamp((t - ph.t0) / span, 0.0, 1.0);
+  EulerState e{};
+  e.yaw = ph.yaw0 + (ph.yaw1 - ph.yaw0) * min_jerk(tau) + channel_jitter(3, t);
+  e.dyaw = (ph.yaw1 - ph.yaw0) * min_jerk_vel(tau) / span + channel_jitter_vel(3, t);
+  e.pitch = base_pitch_ + channel_jitter(4, t);
+  e.dpitch = channel_jitter_vel(4, t);
+  e.roll = base_roll_ + channel_jitter(5, t);
+  e.droll = channel_jitter_vel(5, t);
+  return e;
+}
+
+geom::Pose Trajectory::pose(double t) const {
+  const Phase& ph = phase_at(t);
+  const double span = ph.t1 - ph.t0;
+  const double tau = std::clamp((t - ph.t0) / span, 0.0, 1.0);
+  const double s = min_jerk(tau);
+  geom::Pose p;
+  p.position = ph.pos0 + (ph.pos1 - ph.pos0) * s +
+               geom::Vec3{channel_jitter(0, t), channel_jitter(1, t), channel_jitter(2, t)};
+  const EulerState e = euler_state(t);
+  p.orientation = geom::Mat3::from_euler_zyx(e.yaw, e.pitch, e.roll);
+  return p;
+}
+
+geom::Vec3 Trajectory::velocity(double t) const {
+  const Phase& ph = phase_at(t);
+  const double span = ph.t1 - ph.t0;
+  const double tau = std::clamp((t - ph.t0) / span, 0.0, 1.0);
+  const double ds = min_jerk_vel(tau) / span;
+  return (ph.pos1 - ph.pos0) * ds +
+         geom::Vec3{channel_jitter_vel(0, t), channel_jitter_vel(1, t),
+                    channel_jitter_vel(2, t)};
+}
+
+geom::Vec3 Trajectory::acceleration(double t) const {
+  const Phase& ph = phase_at(t);
+  const double span = ph.t1 - ph.t0;
+  const double tau = std::clamp((t - ph.t0) / span, 0.0, 1.0);
+  const double dds = min_jerk_acc(tau) / (span * span);
+  return (ph.pos1 - ph.pos0) * dds +
+         geom::Vec3{channel_jitter_acc(0, t), channel_jitter_acc(1, t),
+                    channel_jitter_acc(2, t)};
+}
+
+geom::Vec3 Trajectory::angular_rate_body(double t) const {
+  // ZYX Euler-rate to body-rate mapping:
+  // wb = [droll - dyaw*sin(pitch),
+  //       dpitch*cos(roll) + dyaw*cos(pitch)*sin(roll),
+  //       -dpitch*sin(roll) + dyaw*cos(pitch)*cos(roll)].
+  const EulerState e = euler_state(t);
+  const double sp = std::sin(e.pitch), cp = std::cos(e.pitch);
+  const double sr = std::sin(e.roll), cr = std::cos(e.roll);
+  return {e.droll - e.dyaw * sp, e.dpitch * cr + e.dyaw * cp * sr,
+          -e.dpitch * sr + e.dyaw * cp * cr};
+}
+
+geom::Vec3 Trajectory::specific_force_body(double t) const {
+  const geom::Pose p = pose(t);
+  const geom::Vec3 a_world = acceleration(t);
+  const geom::Vec3 g_world{0.0, 0.0, -kGravity};
+  return p.orientation.transpose() * (a_world - g_world);
+}
+
+geom::Vec3 Trajectory::point_position(const geom::Vec3& body_point, double t) const {
+  return pose(t).to_world(body_point);
+}
+
+TrajectoryBuilder::TrajectoryBuilder(const geom::Vec3& start_position, double start_yaw)
+    : position_(start_position), yaw_(start_yaw) {}
+
+TrajectoryBuilder& TrajectoryBuilder::hold(double duration) {
+  require(duration > 0.0, "TrajectoryBuilder::hold: duration must be positive");
+  phases_.push_back({time_, time_ + duration, position_, position_, yaw_, yaw_});
+  time_ += duration;
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::slide_mic_axis(double distance, double duration) {
+  require(duration > 0.0, "TrajectoryBuilder::slide_mic_axis: duration must be positive");
+  require(std::abs(distance) > 0.0, "TrajectoryBuilder::slide_mic_axis: zero distance");
+  // Body -y axis in world coordinates for the current yaw (tilt is a small
+  // perturbation applied by the jitter model, not part of the keyposes).
+  const geom::Vec3 dir{std::sin(yaw_), -std::cos(yaw_), 0.0};
+  const geom::Vec3 target = position_ + dir * distance;
+  phases_.push_back({time_, time_ + duration, position_, target, yaw_, yaw_});
+  slides_.push_back({time_, time_ + duration, position_, target});
+  position_ = target;
+  time_ += duration;
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::rotate_to(double yaw, double duration) {
+  require(duration > 0.0, "TrajectoryBuilder::rotate_to: duration must be positive");
+  phases_.push_back({time_, time_ + duration, position_, position_, yaw_, yaw});
+  yaw_ = yaw;
+  time_ += duration;
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::change_stature(double dz, double duration) {
+  require(duration > 0.0, "TrajectoryBuilder::change_stature: duration must be positive");
+  const geom::Vec3 target = position_ + geom::Vec3{0.0, 0.0, dz};
+  phases_.push_back({time_, time_ + duration, position_, target, yaw_, yaw_});
+  position_ = target;
+  time_ += duration;
+  return *this;
+}
+
+Trajectory TrajectoryBuilder::build(const JitterParams& jitter, Rng& rng) const {
+  require(!phases_.empty(), "TrajectoryBuilder::build: empty timeline");
+  Trajectory t(phases_, jitter, rng);
+  for (const SlideInfo& s : slides_) t.annotate_slide(s);
+  return t;
+}
+
+}  // namespace hyperear::sim

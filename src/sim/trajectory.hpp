@@ -1,0 +1,162 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/rotation.hpp"
+#include "geom/vec3.hpp"
+
+/// @file trajectory.hpp
+/// Phone motion model: piecewise minimum-jerk keypose moves plus a
+/// hand-tremor model, with analytic position, velocity, acceleration and
+/// body angular rate. Substitutes for the ten volunteers (and the slide
+/// ruler) of the paper's evaluation — see DESIGN.md.
+///
+/// Minimum-jerk profiles are the standard model for point-to-point human
+/// arm movements; their velocity is exactly zero at both endpoints, which
+/// is the assumption PDE's drift correction (Eq. 4) relies on.
+
+namespace hyperear::sim {
+
+/// Minimum-jerk position fraction s(tau) = 10 tau^3 - 15 tau^4 + 6 tau^5,
+/// tau in [0,1]; clamped outside.
+[[nodiscard]] double min_jerk(double tau);
+/// First derivative ds/dtau.
+[[nodiscard]] double min_jerk_vel(double tau);
+/// Second derivative d2s/dtau2.
+[[nodiscard]] double min_jerk_acc(double tau);
+
+/// Hand-tremor / instability model: sums of random sinusoids added to the
+/// position (per world axis), the yaw, and the tilt (pitch/roll).
+///
+/// Physiological tremor is acceleration-bounded, not displacement-bounded:
+/// the positional tremor is parameterized by its acceleration amplitude and
+/// each sinusoid's displacement is a / (2 pi f)^2, so high-frequency
+/// components contribute sub-millimeter displacement but realistic
+/// acceleration noise. Angular instability is a slow wander instead.
+struct JitterParams {
+  double pos_accel_rms = 0.0;   ///< m/s^2, total positional tremor scale
+  double yaw_amplitude = 0.0;   ///< radians (slow wander)
+  double tilt_amplitude = 0.0;  ///< radians (pitch and roll, slow wander)
+  double tremor_min_hz = 2.0;   ///< positional tremor band
+  double tremor_max_hz = 10.0;
+  double wander_min_hz = 0.15;  ///< angular wander band
+  double wander_max_hz = 1.5;
+  int components = 4;           ///< sinusoids per channel
+  double base_tilt_sigma = 0.0; ///< constant per-session pitch/roll draw
+
+  /// True when the phone is hand-held (vs. mounted on the slide ruler).
+  [[nodiscard]] bool hand_held() const { return pos_accel_rms > 0.0; }
+};
+
+/// Typical hand-held instability (a few millimeters of tremor, a couple of
+/// degrees of wander).
+[[nodiscard]] JitterParams hand_jitter();
+/// Phone mounted on the level slide ruler: no jitter, no tilt.
+[[nodiscard]] JitterParams ruler_jitter();
+
+/// One keypose-to-keypose move (or a hold when the keyposes coincide).
+struct Phase {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  geom::Vec3 pos0, pos1;  ///< phone center, world frame
+  double yaw0 = 0.0, yaw1 = 0.0;
+};
+
+/// Ground-truth annotation of one slide for tests and benches.
+struct SlideInfo {
+  double t0 = 0.0, t1 = 0.0;
+  geom::Vec3 from, to;  ///< nominal keypose endpoints (jitter excluded)
+};
+
+/// Piecewise-smooth phone trajectory with analytic kinematics.
+class Trajectory {
+ public:
+  Trajectory(std::vector<Phase> phases, const JitterParams& jitter, Rng& rng);
+
+  [[nodiscard]] double duration() const;
+
+  /// World pose of the phone center at time t (clamped to the timeline).
+  [[nodiscard]] geom::Pose pose(double t) const;
+  /// World velocity of the phone center.
+  [[nodiscard]] geom::Vec3 velocity(double t) const;
+  /// World acceleration of the phone center.
+  [[nodiscard]] geom::Vec3 acceleration(double t) const;
+  /// Body-frame angular rate (what an ideal gyro measures).
+  [[nodiscard]] geom::Vec3 angular_rate_body(double t) const;
+  /// Body-frame specific force (what an ideal accelerometer measures):
+  /// R^T * (a_world - g_world), g_world = (0, 0, -g).
+  [[nodiscard]] geom::Vec3 specific_force_body(double t) const;
+
+  /// World position of a body-frame point (e.g. a microphone) at time t.
+  [[nodiscard]] geom::Vec3 point_position(const geom::Vec3& body_point, double t) const;
+
+  /// Slide annotations registered by the builder.
+  [[nodiscard]] const std::vector<SlideInfo>& slides() const { return slides_; }
+  void annotate_slide(const SlideInfo& info) { slides_.push_back(info); }
+
+  /// Constant per-session tilt actually drawn (radians).
+  [[nodiscard]] double base_pitch() const { return base_pitch_; }
+  [[nodiscard]] double base_roll() const { return base_roll_; }
+
+ private:
+  struct Sinusoid {
+    double amp = 0.0;
+    double freq = 0.0;  ///< Hz
+    double phase = 0.0;
+  };
+  /// Channels: 0..2 position xyz, 3 yaw, 4 pitch, 5 roll.
+  static constexpr int kChannels = 6;
+
+  [[nodiscard]] const Phase& phase_at(double t) const;
+  [[nodiscard]] double channel_jitter(int channel, double t) const;
+  [[nodiscard]] double channel_jitter_vel(int channel, double t) const;
+  [[nodiscard]] double channel_jitter_acc(int channel, double t) const;
+  /// Euler angles and their time derivatives at t (yaw, pitch, roll).
+  struct EulerState {
+    double yaw, pitch, roll;
+    double dyaw, dpitch, droll;
+  };
+  [[nodiscard]] EulerState euler_state(double t) const;
+
+  std::vector<Phase> phases_;
+  std::vector<SlideInfo> slides_;
+  std::vector<Sinusoid> jitter_[kChannels];
+  double base_pitch_ = 0.0;
+  double base_roll_ = 0.0;
+};
+
+/// Incremental construction of a session trajectory. The builder tracks the
+/// current keypose; every call appends one contiguous phase.
+class TrajectoryBuilder {
+ public:
+  TrajectoryBuilder(const geom::Vec3& start_position, double start_yaw);
+
+  /// Stay still for `duration` seconds.
+  TrajectoryBuilder& hold(double duration);
+  /// Slide along the phone's body -y axis (the microphone axis, toward the
+  /// bottom edge) by `distance` meters (negative slides the other way);
+  /// annotated as a slide.
+  TrajectoryBuilder& slide_mic_axis(double distance, double duration);
+  /// Rotate in place to an absolute yaw.
+  TrajectoryBuilder& rotate_to(double yaw, double duration);
+  /// Move vertically by dz (stature change between the two 3D sessions).
+  TrajectoryBuilder& change_stature(double dz, double duration);
+
+  /// Current end time of the timeline.
+  [[nodiscard]] double current_time() const { return time_; }
+  [[nodiscard]] const geom::Vec3& current_position() const { return position_; }
+  [[nodiscard]] double current_yaw() const { return yaw_; }
+
+  /// Finalize. `rng` seeds the jitter realization and the base tilt.
+  [[nodiscard]] Trajectory build(const JitterParams& jitter, Rng& rng) const;
+
+ private:
+  std::vector<Phase> phases_;
+  std::vector<SlideInfo> slides_;
+  geom::Vec3 position_;
+  double yaw_;
+  double time_ = 0.0;
+};
+
+}  // namespace hyperear::sim

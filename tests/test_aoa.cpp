@@ -1,0 +1,75 @@
+#include "core/aoa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+TEST(Aoa, TdoaToBearingInvertsCosineModel) {
+  AoaOptions opts;
+  // Broadside: tdoa 0 -> alpha 90 deg.
+  const AoaEstimate broadside = tdoa_to_bearing({1.0, 0.0}, opts);
+  EXPECT_NEAR(rad2deg(broadside.alpha_right_rad), 90.0, 1e-9);
+  EXPECT_NEAR(rad2deg(broadside.alpha_left_rad), 270.0, 1e-9);
+  // Endfire toward Mic1 (+y): alpha 0, tdoa = -D/S.
+  const AoaEstimate endfire =
+      tdoa_to_bearing({1.0, -opts.mic_separation / opts.sound_speed}, opts);
+  EXPECT_NEAR(rad2deg(endfire.alpha_right_rad), 0.0, 1e-9);
+}
+
+TEST(Aoa, RoundTripThroughModel) {
+  AoaOptions opts;
+  for (double alpha_deg = 10.0; alpha_deg <= 170.0; alpha_deg += 20.0) {
+    const double tdoa =
+        -opts.mic_separation * std::cos(deg2rad(alpha_deg)) / opts.sound_speed;
+    const AoaEstimate e = tdoa_to_bearing({0.0, tdoa}, opts);
+    EXPECT_NEAR(rad2deg(e.alpha_right_rad), alpha_deg, 1e-9) << alpha_deg;
+  }
+}
+
+TEST(Aoa, OverlargeTdoaClampedToEndfire) {
+  AoaOptions opts;
+  const AoaEstimate e = tdoa_to_bearing({0.0, 2.0 * opts.mic_separation / 343.0}, opts);
+  EXPECT_NEAR(rad2deg(e.alpha_right_rad), 180.0, 1e-9);
+}
+
+TEST(Aoa, BadOptionsThrow) {
+  AoaOptions opts;
+  opts.mic_separation = 0.0;
+  EXPECT_THROW((void)tdoa_to_bearing({0.0, 0.0}, opts), PreconditionError);
+}
+
+TEST(Aoa, EndToEndBearingMatchesGeometry) {
+  // Static phone at yaw 0; speaker along +x (body +x): alpha = 90 deg.
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.slides_per_stature = 1;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  c.in_direction_error_deg = 0.0;
+  Rng rng(701);
+  const sim::Session s = sim::make_localization_session(c, rng);
+  const AspResult asp =
+      preprocess_audio(s.audio, s.prior.chirp, 0.2, s.prior.calibration_duration);
+  AoaOptions opts;
+  opts.mic_separation = s.config.phone.mic_separation;
+  const std::vector<AoaEstimate> bearings = estimate_bearings(asp, opts);
+  ASSERT_GE(bearings.size(), 10u);
+  const auto agg = aggregate_bearing(bearings, 0.0, c.calibration_duration);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_NEAR(rad2deg(*agg), 90.0, 3.0);
+}
+
+TEST(Aoa, AggregateEmptyWindowIsNull) {
+  const std::vector<AoaEstimate> none;
+  EXPECT_FALSE(aggregate_bearing(none, 0.0, 10.0).has_value());
+}
+
+}  // namespace
+}  // namespace hyperear::core

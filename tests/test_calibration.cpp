@@ -1,0 +1,84 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+CalibrationResult calibrate_phone(const sim::PhoneSpec& phone, std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.phone = phone;
+  c.speaker_distance = 4.0;
+  c.jitter = sim::ruler_jitter();
+  Rng rng(seed);
+  // Full rotation so the TDoA reaches both endfire extremes.
+  const sim::Session s =
+      sim::make_rotation_sweep_session(c, 0.0, -2.0 * kPi, 20.0, rng);
+  const AspResult asp = preprocess_audio(s.audio, s.prior.chirp, 0.2, 1.0);
+  return calibrate_mic_separation(asp);
+}
+
+TEST(Calibration, RecoversS4Separation) {
+  const CalibrationResult r = calibrate_phone(sim::galaxy_s4(), 801);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.mic_separation, 0.1366, 0.005);
+}
+
+TEST(Calibration, RecoversNote3Separation) {
+  const CalibrationResult r = calibrate_phone(sim::galaxy_note3(), 802);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.mic_separation, 0.1512, 0.005);
+}
+
+TEST(Calibration, DistinguishesTheTwoPhones) {
+  const CalibrationResult s4 = calibrate_phone(sim::galaxy_s4(), 803);
+  const CalibrationResult n3 = calibrate_phone(sim::galaxy_note3(), 803);
+  ASSERT_TRUE(s4.valid && n3.valid);
+  EXPECT_GT(n3.mic_separation, s4.mic_separation + 0.005);
+}
+
+TEST(Calibration, TooFewSamplesInvalid) {
+  AspResult asp;  // empty
+  const CalibrationResult r = calibrate_mic_separation(asp);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.samples, 0u);
+}
+
+TEST(Calibration, SyntheticSweepExact) {
+  // Synthetic TDoA trace sweeping the full cosine.
+  AspResult asp;
+  const double d = 0.14;
+  for (int i = 0; i < 100; ++i) {
+    const double alpha = 2.0 * kPi * i / 100.0;
+    const double tdoa = -d * std::cos(alpha) / 343.0;
+    asp.mic1.push_back({0.2 * i, 0.9, 1.0});
+    asp.mic2.push_back({0.2 * i - tdoa, 0.9, 1.0});
+  }
+  const CalibrationResult r = calibrate_mic_separation(asp);
+  ASSERT_TRUE(r.valid);
+  // The 2/98 percentile trim shaves a hair off the extremes.
+  EXPECT_NEAR(r.mic_separation, d, 0.005);
+}
+
+TEST(Calibration, PartialSweepUnderestimates) {
+  // A sweep that misses the endfire directions cannot see the full swing;
+  // the estimate is biased low (and flagged invalid when absurd).
+  AspResult asp;
+  const double d = 0.14;
+  for (int i = 0; i < 100; ++i) {
+    const double alpha = deg2rad(60.0) + deg2rad(60.0) * i / 100.0;  // 60-120 deg
+    const double tdoa = -d * std::cos(alpha) / 343.0;
+    asp.mic1.push_back({0.2 * i, 0.9, 1.0});
+    asp.mic2.push_back({0.2 * i - tdoa, 0.9, 1.0});
+  }
+  const CalibrationResult r = calibrate_mic_separation(asp);
+  EXPECT_LT(r.mic_separation, 0.5 * d);
+}
+
+}  // namespace
+}  // namespace hyperear::core

@@ -1,0 +1,76 @@
+#include "common/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hyperear {
+namespace {
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputHandled) {
+  const std::vector<double> sample{4.0, 1.0, 3.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+}
+
+TEST(EmpiricalCdf, EmptySampleThrows) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), PreconditionError);
+}
+
+TEST(EmpiricalCdf, QuantileMatchesAt) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.uniform(0.0, 1.0));
+  const EmpiricalCdf cdf(sample);
+  for (double q : {0.1, 0.25, 0.5, 0.9, 1.0}) {
+    const double v = cdf.quantile(q);
+    EXPECT_GE(cdf.at(v), q - 1.0 / 200.0 - 1e-12) << "q=" << q;
+  }
+  EXPECT_THROW((void)cdf.quantile(0.0), PreconditionError);
+  EXPECT_THROW((void)cdf.quantile(1.1), PreconditionError);
+}
+
+TEST(EmpiricalCdf, GridIsMonotone) {
+  Rng rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.gaussian(1.0, 0.3));
+  const EmpiricalCdf cdf(sample);
+  const EmpiricalCdf::Grid g = cdf.grid(3.0, 31);
+  ASSERT_EQ(g.x.size(), 31u);
+  ASSERT_EQ(g.f.size(), 31u);
+  EXPECT_DOUBLE_EQ(g.x.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.x.back(), 3.0);
+  for (std::size_t i = 1; i < g.f.size(); ++i) EXPECT_GE(g.f[i], g.f[i - 1]);
+}
+
+TEST(EmpiricalCdf, TableContainsLabelAndRows) {
+  const std::vector<double> sample{0.1, 0.2};
+  const EmpiricalCdf cdf(sample);
+  const std::string table = cdf.to_table(1.0, 5, "demo");
+  EXPECT_NE(table.find("demo"), std::string::npos);
+  // Header plus five rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 6);
+}
+
+TEST(EmpiricalCdf, ValuesSorted) {
+  const std::vector<double> sample{3.0, 1.0, 2.0};
+  const EmpiricalCdf cdf(sample);
+  EXPECT_TRUE(std::is_sorted(cdf.values().begin(), cdf.values().end()));
+}
+
+}  // namespace
+}  // namespace hyperear

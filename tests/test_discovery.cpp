@@ -1,0 +1,81 @@
+#include "core/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+std::vector<TagSignature> registry() {
+  return {{"wallet", sim::audible_beacon()},
+          {"keys", sim::secondary_band_beacon()},
+          {"badge", sim::inaudible_beacon()}};
+}
+
+sim::Session record_with(const sim::SpeakerSpec& target, bool with_secondary,
+                         std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.speaker = target;
+  c.speaker_distance = 4.0;
+  c.slides_per_stature = 1;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  if (with_secondary) {
+    sim::ScenarioConfig::Interferer itf;
+    itf.spec = sim::secondary_band_beacon();
+    itf.distance = 3.0;
+    itf.lateral_offset = 1.5;
+    c.interferers.push_back(itf);
+  }
+  Rng rng(seed);
+  return sim::make_localization_session(c, rng);
+}
+
+TEST(Discovery, FindsTheTransmittingTagOnly) {
+  const sim::Session s = record_with(sim::audible_beacon(), false, 981);
+  const std::vector<TagPresence> scan =
+      discover_tags(s.audio.mic1, s.audio.sample_rate, registry());
+  ASSERT_EQ(scan.size(), 3u);
+  EXPECT_TRUE(scan[0].present) << "wallet (2-6.4 kHz) is transmitting";
+  EXPECT_FALSE(scan[1].present) << "keys (7-11 kHz) silent";
+  EXPECT_FALSE(scan[2].present) << "badge (17-21 kHz) silent";
+}
+
+TEST(Discovery, FindsBothFdmaTags) {
+  const sim::Session s = record_with(sim::audible_beacon(), true, 982);
+  const std::vector<TagPresence> scan =
+      discover_tags(s.audio.mic1, s.audio.sample_rate, registry());
+  EXPECT_TRUE(scan[0].present);
+  EXPECT_TRUE(scan[1].present);
+  EXPECT_FALSE(scan[2].present);
+  // The nearer/louder target has the larger amplitude... both present is
+  // the contract; amplitudes are diagnostics.
+  EXPECT_GT(scan[0].median_amplitude, 0.0);
+  EXPECT_GT(scan[1].median_amplitude, 0.0);
+}
+
+TEST(Discovery, PeriodicityGateRejectsAperiodicMatches) {
+  // A candidate whose band matches but whose period is wrong must fail the
+  // periodicity gate even if the matched filter fires.
+  const sim::Session s = record_with(sim::audible_beacon(), false, 983);
+  TagSignature wrong_period{"impostor", sim::audible_beacon()};
+  wrong_period.spec.period_s = 0.31;  // true beacon chirps every 0.2 s
+  const std::vector<TagPresence> scan =
+      discover_tags(s.audio.mic1, s.audio.sample_rate, {wrong_period});
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_FALSE(scan[0].present);
+}
+
+TEST(Discovery, EmptyInputsRejected) {
+  EXPECT_THROW((void)discover_tags({}, 44100.0, registry()), PreconditionError);
+}
+
+TEST(Discovery, NoCandidatesNoVerdicts) {
+  const std::vector<double> quiet(44100, 0.0);
+  EXPECT_TRUE(discover_tags(quiet, 44100.0, {}).empty());
+}
+
+}  // namespace
+}  // namespace hyperear::core

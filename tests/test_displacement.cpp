@@ -1,0 +1,145 @@
+#include "imu/displacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace hyperear::imu {
+namespace {
+
+constexpr double kDt = 0.01;  // 100 Hz
+
+/// Minimum-jerk acceleration profile for a stroke of given distance and
+/// duration, sampled at 100 Hz.
+std::vector<double> min_jerk_accel(double distance, double duration) {
+  const auto n = static_cast<std::size_t>(duration / kDt) + 1;
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tau = static_cast<double>(i) * kDt / duration;
+    const double dds = 60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau;
+    a[i] = distance * dds / (duration * duration);
+  }
+  return a;
+}
+
+TEST(EstimateVelocity, CleanStrokeIntegratesToZeroEndVelocity) {
+  const std::vector<double> a = min_jerk_accel(0.55, 1.0);
+  const VelocityEstimate v = estimate_velocity(a, kDt);
+  EXPECT_NEAR(v.corrected.back(), 0.0, 1e-9);
+  EXPECT_NEAR(v.raw.back(), 0.0, 1e-3);  // clean input barely drifts
+}
+
+TEST(EstimateVelocity, ConstantBiasFullyRemoved) {
+  // Constant accelerometer bias -> linear velocity drift -> exactly the
+  // error model of Eq. 4; the correction must cancel it completely.
+  std::vector<double> a = min_jerk_accel(0.55, 1.0);
+  for (auto& v : a) v += 0.08;  // large bias
+  const VelocityEstimate vel = estimate_velocity(a, kDt);
+  EXPECT_NEAR(vel.corrected.back(), 0.0, 1e-12);
+  EXPECT_NEAR(vel.drift_slope, 0.08, 1e-3);
+  // Displacement error from the bias is second order, not 0.04 m.
+  const double disp = trapezoid(vel.corrected, kDt);
+  EXPECT_NEAR(disp, 0.55, 0.002);
+}
+
+TEST(EstimateVelocity, WithoutCorrectionBiasCorrupts) {
+  std::vector<double> a = min_jerk_accel(0.55, 1.0);
+  for (auto& v : a) v += 0.08;
+  const VelocityEstimate vel = estimate_velocity(a, kDt, /*drift_correction=*/false);
+  const double disp = trapezoid(vel.corrected, kDt);
+  EXPECT_GT(std::abs(disp - 0.55), 0.02);  // ablation: clearly worse
+}
+
+TEST(EstimateVelocity, PreconditionsEnforced) {
+  EXPECT_THROW((void)estimate_velocity(std::vector<double>{1.0}, kDt), PreconditionError);
+  EXPECT_THROW((void)estimate_velocity(std::vector<double>{1.0, 2.0}, 0.0),
+               PreconditionError);
+}
+
+/// Wrap an acceleration series into MotionSignals with quiet padding.
+MotionSignals wrap_motion(const std::vector<double>& stroke, std::size_t pad) {
+  MotionSignals m;
+  m.sample_rate = 100.0;
+  const std::size_t n = stroke.size() + 2 * pad;
+  m.lin_accel_x.assign(n, 0.0);
+  m.lin_accel_y.assign(n, 0.0);
+  m.lin_accel_z.assign(n, 0.0);
+  m.gyro_x.assign(n, 0.0);
+  m.gyro_y.assign(n, 0.0);
+  m.gyro_z.assign(n, 0.0);
+  for (std::size_t i = 0; i < stroke.size(); ++i) m.lin_accel_y[pad + i] = stroke[i];
+  return m;
+}
+
+TEST(EstimateSlide, RecoversDistanceAndDirection) {
+  for (double dist : {0.15, 0.35, 0.55, -0.55}) {
+    const std::vector<double> a = min_jerk_accel(dist, 1.0);
+    const MotionSignals m = wrap_motion(a, 50);
+    const Segment seg{50, 50 + a.size()};
+    const SlideEstimate est = estimate_slide(m, m.lin_accel_y, seg);
+    EXPECT_NEAR(est.displacement, dist, 0.01) << dist;
+    EXPECT_GT(est.peak_speed, std::abs(dist));  // min-jerk peak ~1.88 d/T
+  }
+}
+
+TEST(EstimateSlide, PaddingExtendsSegment) {
+  const std::vector<double> a = min_jerk_accel(0.5, 1.0);
+  const MotionSignals m = wrap_motion(a, 50);
+  // Deliberately clipped segment (as the power threshold produces).
+  const Segment seg{58, 42 + a.size()};
+  DisplacementOptions opts;
+  opts.pad = 10;
+  const SlideEstimate est = estimate_slide(m, m.lin_accel_y, seg, opts);
+  EXPECT_LE(est.start, 48u);
+  EXPECT_NEAR(est.displacement, 0.5, 0.01);
+}
+
+TEST(EstimateSlide, ZRotationIntegrated) {
+  const std::vector<double> a = min_jerk_accel(0.5, 1.0);
+  MotionSignals m = wrap_motion(a, 50);
+  // Constant 0.1 rad/s yaw rate during the stroke.
+  for (std::size_t i = 50; i < 50 + a.size(); ++i) m.gyro_z[i] = 0.1;
+  const Segment seg{50, 50 + a.size()};
+  const SlideEstimate est = estimate_slide(m, m.lin_accel_y, seg);
+  EXPECT_NEAR(est.z_rotation, 0.1 * (est.duration), 0.02);
+}
+
+TEST(EstimateSlide, NoisyStrokeStillClose) {
+  Rng rng(81);
+  std::vector<double> a = min_jerk_accel(0.55, 1.0);
+  for (auto& v : a) v += rng.gaussian(0.0, 0.03) + 0.02;  // noise + bias
+  const MotionSignals m = wrap_motion(a, 50);
+  const Segment seg{50, 50 + a.size()};
+  const SlideEstimate est = estimate_slide(m, m.lin_accel_y, seg);
+  EXPECT_NEAR(est.displacement, 0.55, 0.03);
+}
+
+TEST(EstimateSlide, InvalidSegmentThrows) {
+  const MotionSignals m = wrap_motion(min_jerk_accel(0.5, 1.0), 10);
+  EXPECT_THROW((void)estimate_slide(m, m.lin_accel_y, Segment{5, 5}), PreconditionError);
+  EXPECT_THROW((void)estimate_slide(m, m.lin_accel_y, Segment{0, m.size() + 1}),
+               PreconditionError);
+}
+
+TEST(EstimateStatureChange, VerticalMoveRecovered) {
+  const std::vector<double> a = min_jerk_accel(0.45, 1.0);
+  MotionSignals m = wrap_motion(a, 60);
+  // Move the stroke to the z axis.
+  m.lin_accel_z = m.lin_accel_y;
+  std::fill(m.lin_accel_y.begin(), m.lin_accel_y.end(), 0.0);
+  const double dz = estimate_stature_change(m, 60, 60 + a.size());
+  EXPECT_NEAR(dz, 0.45, 0.01);
+}
+
+TEST(EstimateStatureChange, IntervalValidation) {
+  const MotionSignals m = wrap_motion(min_jerk_accel(0.4, 1.0), 10);
+  EXPECT_THROW((void)estimate_stature_change(m, 10, 10), PreconditionError);
+  EXPECT_THROW((void)estimate_stature_change(m, 0, m.size() + 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::imu

@@ -1,0 +1,118 @@
+#include "core/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "geom/triangulation.hpp"
+
+namespace hyperear::core {
+namespace {
+
+TEST(ErrorModel, QuadraticInRangeForTiming) {
+  ErrorBudgetInput in;
+  in.displacement_sigma = 0.0;
+  in.residual_yaw_sigma = 0.0;
+  in.range = 2.0;
+  const double e2 = predict_range_error(in).total;
+  in.range = 4.0;
+  const double e4 = predict_range_error(in).total;
+  EXPECT_NEAR(e4 / e2, 4.0, 1e-9);
+}
+
+TEST(ErrorModel, LinearInRangeForDisplacement) {
+  ErrorBudgetInput in;
+  in.timing_sigma_s = 0.0;
+  in.residual_yaw_sigma = 0.0;
+  in.range = 2.0;
+  const double e2 = predict_range_error(in).total;
+  in.range = 4.0;
+  const double e4 = predict_range_error(in).total;
+  EXPECT_NEAR(e4 / e2, 2.0, 1e-9);
+}
+
+TEST(ErrorModel, ApertureHelpsEveryTerm) {
+  ErrorBudgetInput narrow;
+  narrow.slide_distance = 0.15;
+  ErrorBudgetInput wide;
+  wide.slide_distance = 0.55;
+  const ErrorBudget en = predict_range_error(narrow);
+  const ErrorBudget ew = predict_range_error(wide);
+  EXPECT_LT(ew.timing, en.timing);
+  EXPECT_LT(ew.displacement, en.displacement);
+  EXPECT_LT(ew.rotation, en.rotation);
+}
+
+TEST(ErrorModel, AveragingShrinksIndependentTerms) {
+  ErrorBudgetInput one;
+  one.slides = 1;
+  one.pairs_per_slide = 1;
+  ErrorBudgetInput many = one;
+  many.slides = 4;
+  many.pairs_per_slide = 16;
+  const ErrorBudget e1 = predict_range_error(one);
+  const ErrorBudget e2 = predict_range_error(many);
+  EXPECT_NEAR(e2.timing, e1.timing / 8.0, 1e-12);
+  EXPECT_NEAR(e2.displacement, e1.displacement / 2.0, 1e-12);
+}
+
+TEST(ErrorModel, TotalIsRootSumSquare) {
+  const ErrorBudget e = predict_range_error({});
+  EXPECT_NEAR(e.total, std::sqrt(e.timing * e.timing + e.displacement * e.displacement +
+                                 e.rotation * e.rotation),
+              1e-15);
+}
+
+TEST(ErrorModel, PreconditionsEnforced) {
+  ErrorBudgetInput in;
+  in.range = 0.0;
+  EXPECT_THROW((void)predict_range_error(in), PreconditionError);
+  in = {};
+  in.slides = 0;
+  EXPECT_THROW((void)predict_range_error(in), PreconditionError);
+}
+
+TEST(ErrorModel, MatchesSolverMonteCarloWithinFactorTwo) {
+  // Validate the linearization against the actual Eqs. 5-6 solver with
+  // synthetic timing noise (single pair, single slide).
+  ErrorBudgetInput in;
+  in.range = 5.0;
+  in.timing_sigma_s = 3e-6;
+  in.displacement_sigma = 0.0;
+  in.residual_yaw_sigma = 0.0;
+  in.pairs_per_slide = 1;
+  in.slides = 1;
+  const double predicted = predict_range_error(in).total;
+
+  Rng rng(901);
+  std::vector<double> errors;
+  const double d = in.mic_separation;
+  const double dprime = in.slide_distance;
+  for (int t = 0; t < 200; ++t) {
+    const geom::Vec2 truth{0.1, in.range};
+    geom::AugmentedTdoa a;
+    a.slide_distance = dprime;
+    a.mic_separation = d;
+    const geom::Vec2 m1p{dprime / 2, 0}, m1m{-dprime / 2, 0};
+    const geom::Vec2 m2p{d + dprime / 2, 0}, m2m{d - dprime / 2, 0};
+    const double noise = in.timing_sigma_s * in.sound_speed;
+    // Two arrivals per TDoA: variance doubles.
+    a.range_diff_mic1 = distance(truth, m1p) - distance(truth, m1m) +
+                        rng.gaussian(0.0, noise * std::sqrt(2.0));
+    a.range_diff_mic2 = distance(truth, m2p) - distance(truth, m2m) +
+                        rng.gaussian(0.0, noise * std::sqrt(2.0));
+    const geom::TriangulationResult r = geom::solve_augmented(a);
+    if (!r.converged) continue;
+    errors.push_back(r.position.y - truth.y);
+  }
+  ASSERT_GE(errors.size(), 150u);
+  const double measured = stddev(errors);
+  EXPECT_GT(measured, predicted / 2.0);
+  EXPECT_LT(measured, predicted * 2.0);
+}
+
+}  // namespace
+}  // namespace hyperear::core

@@ -1,0 +1,119 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::dsp {
+namespace {
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<Complex> x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft_inplace(x);
+  for (const Complex& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> x(n);
+  const int k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = Complex(std::cos(2.0 * kPi * k * i / double(n)),
+                   std::sin(2.0 * kPi * k * i / double(n)));
+  }
+  fft_inplace(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == static_cast<std::size_t>(k)) {
+      EXPECT_NEAR(std::abs(x[i]), double(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  Rng rng(21);
+  std::vector<Complex> x(256);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  std::vector<Complex> orig = x;
+  fft_inplace(x);
+  ifft_inplace(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(22);
+  std::vector<Complex> x(128);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Complex(rng.gaussian(), 0.0);
+    time_energy += std::norm(v);
+  }
+  fft_inplace(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / double(x.size()), time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft_inplace(x), PreconditionError);
+}
+
+TEST(FftReal, PadsToPowerOfTwo) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<Complex> spec = fft_real(x);
+  EXPECT_EQ(spec.size(), 4u);
+  const std::vector<Complex> spec2 = fft_real(x, 10);
+  EXPECT_EQ(spec2.size(), 16u);
+}
+
+TEST(FftReal, ConjugateSymmetry) {
+  Rng rng(23);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.gaussian();
+  const std::vector<Complex> spec = fft_real(x);
+  for (std::size_t k = 1; k < spec.size() / 2; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[spec.size() - k].real(), 1e-10);
+    EXPECT_NEAR(spec[k].imag(), -spec[spec.size() - k].imag(), 1e-10);
+  }
+}
+
+TEST(FftConvolve, MatchesDirectConvolution) {
+  Rng rng(24);
+  std::vector<double> a(37), b(12);
+  for (auto& v : a) v = rng.gaussian();
+  for (auto& v : b) v = rng.gaussian();
+  const std::vector<double> fast = fft_convolve(a, b);
+  ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const long long j = static_cast<long long>(k) - static_cast<long long>(i);
+      if (j >= 0 && j < static_cast<long long>(b.size())) direct += a[i] * b[j];
+    }
+    EXPECT_NEAR(fast[k], direct, 1e-9);
+  }
+}
+
+TEST(FftConvolve, DeltaIsIdentity) {
+  const std::vector<double> x{1.0, -2.0, 3.0, 0.5};
+  const std::vector<double> delta{1.0};
+  const std::vector<double> y = fft_convolve(x, delta);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace hyperear::dsp

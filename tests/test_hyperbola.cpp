@@ -1,0 +1,108 @@
+#include "geom/hyperbola.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::geom {
+namespace {
+
+TEST(Hyperbola, ResidualZeroOnLocus) {
+  const Vec2 f1{1.0, 0.0};
+  const Vec2 f2{-1.0, 0.0};
+  // Point with known range difference.
+  const Vec2 p{2.0, 1.5};
+  const double delta = distance(p, f1) - distance(p, f2);
+  const Hyperbola h(f1, f2, delta);
+  EXPECT_NEAR(h.residual(p), 0.0, 1e-12);
+  // Off-locus point has nonzero residual.
+  EXPECT_GT(std::abs(h.residual({0.0, 5.0})), 1e-3);
+}
+
+TEST(Hyperbola, InvalidDeltaThrows) {
+  EXPECT_THROW(Hyperbola({1.0, 0.0}, {-1.0, 0.0}, 2.5), PreconditionError);
+  EXPECT_THROW(Hyperbola({0.0, 0.0}, {0.0, 0.0}, 0.0), PreconditionError);
+  // Degenerate allowed when requested.
+  EXPECT_NO_THROW(Hyperbola({1.0, 0.0}, {-1.0, 0.0}, 2.0, true));
+}
+
+TEST(Hyperbola, GradientPointsAcrossLevelSets) {
+  const Hyperbola h({0.5, 0.0}, {-0.5, 0.0}, 0.3);
+  const Vec2 p{1.0, 2.0};
+  const Vec2 g = h.gradient(p);
+  // Numeric check of the gradient.
+  const double eps = 1e-6;
+  const double dx = (h.residual({p.x + eps, p.y}) - h.residual({p.x - eps, p.y})) / (2 * eps);
+  const double dy = (h.residual({p.x, p.y + eps}) - h.residual({p.x, p.y - eps})) / (2 * eps);
+  EXPECT_NEAR(g.x, dx, 1e-6);
+  EXPECT_NEAR(g.y, dy, 1e-6);
+}
+
+TEST(Hyperbola, SampledPointsLieOnLocus) {
+  const Hyperbola h({0.3, 0.1}, {-0.4, -0.2}, 0.25);
+  for (const Vec2& p : h.sample(41, 2.0)) {
+    EXPECT_NEAR(h.residual(p), 0.0, 1e-9);
+  }
+}
+
+TEST(Hyperbola, ZeroDeltaSamplesPerpendicularBisector) {
+  const Hyperbola h({1.0, 0.0}, {-1.0, 0.0}, 0.0);
+  for (const Vec2& p : h.sample(11, 1.0)) {
+    EXPECT_NEAR(distance(p, h.focus1()), distance(p, h.focus2()), 1e-9);
+  }
+}
+
+TEST(DistinguishableCount, PaperEq2Values) {
+  // Galaxy S4: D = 13.66 cm at 44.1 kHz -> 35 hyperbolas (Section II-C).
+  EXPECT_EQ(distinguishable_hyperbola_count(kGalaxyS4MicSeparation, 44100.0, 343.0), 35);
+  // Note3: D = 15.12 cm -> 38.
+  EXPECT_EQ(distinguishable_hyperbola_count(kGalaxyNote3MicSeparation, 44100.0, 343.0), 38);
+}
+
+TEST(DistinguishableCount, GrowsWithSeparation) {
+  // Fig. 4(b): expanding the separation increases the hyperbola count.
+  int last = 0;
+  for (double d = 0.1; d <= 0.6; d += 0.1) {
+    const int n = distinguishable_hyperbola_count(d, 44100.0, 343.0);
+    EXPECT_GT(n, last);
+    last = n;
+  }
+}
+
+TEST(RegionWidth, DenserAtBroadside) {
+  // Fig. 4(a): the central (broadside) area has denser hyperbolas, i.e.
+  // smaller region width, than the sideward (endfire) areas.
+  const Vec2 f1{0.0683, 0.0};
+  const Vec2 f2{-0.0683, 0.0};
+  const double broadside = tdoa_region_width(f1, f2, {0.0, 3.0}, 44100.0, 343.0);
+  const double sideward = tdoa_region_width(f1, f2, {3.0 * std::cos(0.3), 3.0 * std::sin(0.3)},
+                                            44100.0, 343.0);
+  EXPECT_LT(broadside, sideward);
+}
+
+TEST(RegionWidth, GrowsWithDistance) {
+  // Fig. 3: ambiguity grows for far objects.
+  const Vec2 f1{0.0683, 0.0};
+  const Vec2 f2{-0.0683, 0.0};
+  double last = 0.0;
+  for (double r = 1.0; r <= 7.0; r += 2.0) {
+    const double w = tdoa_region_width(f1, f2, {0.3, r}, 44100.0, 343.0);
+    EXPECT_GT(w, last);
+    last = w;
+  }
+}
+
+TEST(RegionWidth, ShrinksWithAperture) {
+  // Fig. 4(b): a wider separation yields denser regions at the same point.
+  const Vec2 p{0.5, 5.0};
+  const double narrow =
+      tdoa_region_width({0.07, 0.0}, {-0.07, 0.0}, p, 44100.0, 343.0);
+  const double wide = tdoa_region_width({0.28, 0.0}, {-0.28, 0.0}, p, 44100.0, 343.0);
+  EXPECT_LT(wide, narrow);
+}
+
+}  // namespace
+}  // namespace hyperear::geom

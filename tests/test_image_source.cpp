@@ -1,0 +1,139 @@
+#include "sim/image_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace hyperear::sim {
+namespace {
+
+RoomSpec small_room() {
+  RoomSpec r;
+  r.length = 10.0;
+  r.width = 8.0;
+  r.height = 3.0;
+  r.absorption = 0.36;  // reflection amplitude 0.8
+  r.max_order = 2;
+  return r;
+}
+
+TEST(ImageSource, DirectPathOnlyAtOrderZero) {
+  RoomSpec room = small_room();
+  room.max_order = 0;
+  const geom::Vec3 src{3.0, 4.0, 1.5};
+  const ImageSourceModel ism(room, src);
+  ASSERT_EQ(ism.paths().size(), 1u);
+  EXPECT_EQ(ism.paths()[0].order, 0);
+  EXPECT_DOUBLE_EQ(ism.paths()[0].gain, 1.0);
+  EXPECT_DOUBLE_EQ(distance(ism.paths()[0].image, src), 0.0);
+}
+
+TEST(ImageSource, PathCountMatchesOctahedralNumbers) {
+  // |mx|+|my|+|mz| <= k lattice points: 1, 7, 25 for k = 0, 1, 2.
+  const geom::Vec3 src{3.0, 4.0, 1.5};
+  RoomSpec room = small_room();
+  room.max_order = 1;
+  EXPECT_EQ(ImageSourceModel(room, src).paths().size(), 7u);
+  room.max_order = 2;
+  EXPECT_EQ(ImageSourceModel(room, src).paths().size(), 25u);
+}
+
+TEST(ImageSource, FirstOrderImagesMirroredCorrectly) {
+  const geom::Vec3 src{3.0, 4.0, 1.5};
+  const ImageSourceModel ism(small_room(), src);
+  // Expected first-order images across the six walls.
+  const std::vector<geom::Vec3> expected{
+      {-3.0, 4.0, 1.5}, {17.0, 4.0, 1.5},   // x = 0 and x = L walls
+      {3.0, -4.0, 1.5}, {3.0, 12.0, 1.5},   // y walls
+      {3.0, 4.0, -1.5}, {3.0, 4.0, 4.5},    // floor and ceiling
+  };
+  for (const geom::Vec3& e : expected) {
+    bool found = false;
+    for (const ImagePath& p : ism.paths()) {
+      if (distance(p.image, e) < 1e-9) {
+        found = true;
+        EXPECT_EQ(p.order, 1);
+        EXPECT_NEAR(p.gain, 0.8, 1e-12);
+      }
+    }
+    EXPECT_TRUE(found) << "missing image at " << e.x << "," << e.y << "," << e.z;
+  }
+}
+
+TEST(ImageSource, GainDecaysWithOrder) {
+  const ImageSourceModel ism(small_room(), {3.0, 4.0, 1.5});
+  for (const ImagePath& p : ism.paths()) {
+    EXPECT_NEAR(p.gain, std::pow(0.8, p.order), 1e-12);
+  }
+}
+
+TEST(ImageSource, ScatteringReducesSpecularGain) {
+  RoomSpec room = small_room();
+  room.scattering = 0.5;
+  const ImageSourceModel ism(room, {3.0, 4.0, 1.5});
+  for (const ImagePath& p : ism.paths()) {
+    EXPECT_NEAR(p.gain, std::pow(0.8 * 0.5, p.order), 1e-12);
+  }
+}
+
+const ImagePath& direct_path(const ImageSourceModel& ism) {
+  for (const ImagePath& p : ism.paths()) {
+    if (p.order == 0) return p;
+  }
+  throw std::logic_error("no direct path");
+}
+
+TEST(ImageSource, AmplitudeFollowsInverseDistance) {
+  const ImageSourceModel ism(small_room(), {3.0, 4.0, 1.5});
+  const ImagePath& direct = direct_path(ism);
+  const geom::Vec3 rx{7.0, 4.0, 1.5};
+  EXPECT_NEAR(ism.amplitude_at(direct, rx), 1.0 / 4.0, 1e-12);
+  // Distance floored at 0.1 m to avoid singularities.
+  EXPECT_NEAR(ism.amplitude_at(direct, {3.0, 4.0, 1.5}), 10.0, 1e-9);
+}
+
+TEST(ImageSource, DelayUsesSoundSpeed) {
+  const ImageSourceModel ism(small_room(), {3.0, 4.0, 1.5});
+  const geom::Vec3 rx{6.43, 4.0, 1.5};
+  EXPECT_NEAR(ism.delay_at(direct_path(ism), rx, 343.0), 0.01, 1e-9);
+}
+
+TEST(ImageSource, FloorBounceGeometry) {
+  // Classic check: the floor image path length equals the reflected ray.
+  const geom::Vec3 src{2.0, 4.0, 1.0};
+  const geom::Vec3 rx{6.0, 4.0, 1.0};
+  const ImageSourceModel ism(small_room(), src);
+  for (const ImagePath& p : ism.paths()) {
+    if (distance(p.image, geom::Vec3{2.0, 4.0, -1.0}) < 1e-9) {
+      // Path length = sqrt(dx^2 + (z_src + z_rx)^2).
+      EXPECT_NEAR(distance(p.image, rx), std::sqrt(16.0 + 4.0), 1e-9);
+      return;
+    }
+  }
+  FAIL() << "floor image not generated";
+}
+
+TEST(ImageSource, SourceMustBeInside) {
+  EXPECT_THROW(ImageSourceModel(small_room(), {-1.0, 4.0, 1.5}), PreconditionError);
+  EXPECT_THROW(ImageSourceModel(small_room(), {3.0, 9.0, 1.5}), PreconditionError);
+  EXPECT_THROW(ImageSourceModel(small_room(), {3.0, 4.0, 3.5}), PreconditionError);
+}
+
+TEST(ImageSource, ParameterValidation) {
+  RoomSpec room = small_room();
+  room.absorption = 1.5;
+  EXPECT_THROW(ImageSourceModel(room, {3, 4, 1.5}), PreconditionError);
+  room = small_room();
+  room.scattering = 1.0;
+  EXPECT_THROW(ImageSourceModel(room, {3, 4, 1.5}), PreconditionError);
+  room = small_room();
+  room.max_order = -1;
+  EXPECT_THROW(ImageSourceModel(room, {3, 4, 1.5}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::sim

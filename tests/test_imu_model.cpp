@@ -1,0 +1,118 @@
+#include "imu/imu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::imu {
+namespace {
+
+std::vector<geom::Vec3> constant_series(const geom::Vec3& v, std::size_t n) {
+  return std::vector<geom::Vec3>(n, v);
+}
+
+TEST(ImuModel, OutputSizesMatchInput) {
+  ImuSpec spec;
+  Rng rng(61);
+  ImuModel model(spec, rng);
+  const auto f = constant_series({0.0, 0.0, kGravity}, 500);
+  const auto w = constant_series({0.0, 0.0, 0.0}, 500);
+  const ImuData data = model.corrupt(f, w);
+  EXPECT_EQ(data.size(), 500u);
+  EXPECT_EQ(data.gyro_z.size(), 500u);
+  EXPECT_DOUBLE_EQ(data.sample_rate, spec.sample_rate);
+}
+
+TEST(ImuModel, MismatchedSeriesThrow) {
+  ImuSpec spec;
+  Rng rng(62);
+  ImuModel model(spec, rng);
+  EXPECT_THROW(
+      (void)model.corrupt(constant_series({}, 10), constant_series({}, 11)),
+      PreconditionError);
+}
+
+TEST(ImuModel, NoiseStatisticsMatchSpec) {
+  ImuSpec spec;
+  spec.accel_noise_rms = 0.05;
+  spec.accel_bias_sigma = 0.0;  // isolate white noise
+  spec.accel_quantization = 0.0;
+  Rng rng(63);
+  ImuModel model(spec, rng);
+  const ImuData data =
+      model.corrupt(constant_series({0, 0, 0}, 20000), constant_series({0, 0, 0}, 20000));
+  EXPECT_NEAR(stddev(data.accel_x), 0.05, 0.005);
+  EXPECT_NEAR(mean(data.accel_x), 0.0, 0.005);
+}
+
+TEST(ImuModel, BiasIsConstantPerSession) {
+  ImuSpec spec;
+  spec.accel_noise_rms = 0.0;
+  spec.accel_quantization = 0.0;
+  spec.accel_bias_sigma = 0.1;
+  Rng rng(64);
+  ImuModel model(spec, rng);
+  const ImuData data =
+      model.corrupt(constant_series({0, 0, 0}, 100), constant_series({0, 0, 0}, 100));
+  // All samples equal the drawn bias.
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(data.accel_x[i], data.accel_x[0]);
+  }
+  EXPECT_DOUBLE_EQ(data.accel_x[0], model.accel_bias().x);
+  EXPECT_NE(data.accel_x[0], 0.0);
+}
+
+TEST(ImuModel, QuantizationGrid) {
+  ImuSpec spec;
+  spec.accel_noise_rms = 0.01;
+  spec.accel_bias_sigma = 0.0;
+  spec.accel_quantization = 0.005;
+  Rng rng(65);
+  ImuModel model(spec, rng);
+  const ImuData data =
+      model.corrupt(constant_series({0, 0, 0}, 200), constant_series({0, 0, 0}, 200));
+  for (double v : data.accel_y) {
+    const double steps = v / 0.005;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  }
+}
+
+TEST(ImuModel, DifferentSessionsDrawDifferentBiases) {
+  ImuSpec spec;
+  Rng rng(66);
+  ImuModel a(spec, rng);
+  ImuModel b(spec, rng);
+  EXPECT_NE(a.accel_bias().x, b.accel_bias().x);
+  EXPECT_NE(a.gyro_bias().z, b.gyro_bias().z);
+}
+
+TEST(ImuData, TimeOfUsesSampleRate) {
+  ImuData d;
+  d.sample_rate = 100.0;
+  EXPECT_DOUBLE_EQ(d.time_of(250), 2.5);
+}
+
+TEST(ImuModel, SignalPassesThrough) {
+  ImuSpec spec;
+  spec.accel_noise_rms = 1e-6;
+  spec.accel_bias_sigma = 0.0;
+  spec.accel_quantization = 0.0;
+  Rng rng(67);
+  ImuModel model(spec, rng);
+  std::vector<geom::Vec3> f(300);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = {std::sin(0.05 * i), 0.0, kGravity};
+  }
+  const ImuData data = model.corrupt(f, constant_series({0, 0, 0}, 300));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(data.accel_x[i], f[i].x, 1e-4);
+    EXPECT_NEAR(data.accel_z[i], kGravity, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace hyperear::imu

@@ -1,0 +1,99 @@
+#include "geom/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geom/vec2.hpp"
+
+namespace hyperear::geom {
+namespace {
+
+TEST(LevenbergMarquardt, SolvesLinearSystem) {
+  // r(p) = A p - b with a well-conditioned A.
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{2.0 * p[0] + p[1] - 5.0, p[0] - 3.0 * p[1] + 4.0};
+  };
+  const LmResult r = levenberg_marquardt(residuals, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.parameters[0], 11.0 / 7.0, 1e-8);
+  EXPECT_NEAR(r.parameters[1], 13.0 / 7.0, 1e-8);
+  EXPECT_NEAR(r.cost, 0.0, 1e-12);
+}
+
+TEST(LevenbergMarquardt, RosenbrockValley) {
+  // Classic curved-valley test: residuals (1-x, 10(y-x^2)).
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{1.0 - p[0], 10.0 * (p[1] - p[0] * p[0])};
+  };
+  const LmResult r = levenberg_marquardt(residuals, {-1.2, 1.0});
+  EXPECT_NEAR(r.parameters[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.parameters[1], 1.0, 1e-5);
+}
+
+TEST(LevenbergMarquardt, OverdeterminedLeastSquares) {
+  // Fit y = a*x to noisy data; LM should find the least-squares slope.
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 * x + rng.gaussian(0.0, 0.01));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) r[i] = p[0] * xs[i] - ys[i];
+    return r;
+  };
+  const LmResult r = levenberg_marquardt(residuals, {0.0});
+  EXPECT_NEAR(r.parameters[0], 3.0, 0.01);
+}
+
+TEST(LevenbergMarquardt, CircleIntersection) {
+  // Distances to two anchor points: classic 2D trilateration residuals.
+  const Vec2 truth{1.5, 2.5};
+  const Vec2 a1{0.0, 0.0}, a2{4.0, 0.0};
+  const double d1 = distance(truth, a1);
+  const double d2 = distance(truth, a2);
+  const auto residuals = [&](const std::vector<double>& p) {
+    const Vec2 pt{p[0], p[1]};
+    return std::vector<double>{distance(pt, a1) - d1, distance(pt, a2) - d2};
+  };
+  const LmResult r = levenberg_marquardt(residuals, {1.0, 1.0});
+  EXPECT_NEAR(r.parameters[0], truth.x, 1e-6);
+  EXPECT_NEAR(r.parameters[1], truth.y, 1e-6);
+}
+
+TEST(LevenbergMarquardt, EmptyParametersThrow) {
+  const auto residuals = [](const std::vector<double>&) { return std::vector<double>{0.0}; };
+  EXPECT_THROW((void)levenberg_marquardt(residuals, {}), PreconditionError);
+}
+
+TEST(LevenbergMarquardt, EmptyResidualsThrow) {
+  const auto residuals = [](const std::vector<double>&) { return std::vector<double>{}; };
+  EXPECT_THROW((void)levenberg_marquardt(residuals, {1.0}), PreconditionError);
+}
+
+TEST(LevenbergMarquardt, RespectsIterationLimit) {
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{1.0 - p[0], 10.0 * (p[1] - p[0] * p[0])};
+  };
+  LmOptions opts;
+  opts.max_iterations = 2;
+  const LmResult r = levenberg_marquardt(residuals, {-1.2, 1.0}, opts);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(LevenbergMarquardt, AlreadyAtMinimum) {
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 2.0};
+  };
+  const LmResult r = levenberg_marquardt(residuals, {2.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.cost, 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace hyperear::geom

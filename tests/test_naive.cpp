@@ -1,0 +1,82 @@
+#include "core/naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::core {
+namespace {
+
+TEST(Naive, ExactWithoutQuantization) {
+  NaiveOptions opts;
+  opts.quantize = false;
+  const geom::Vec2 truth{0.2, 2.0};
+  const geom::Vec2 est = naive_localize(truth, opts);
+  EXPECT_NEAR(est.x, truth.x, 1e-4);
+  EXPECT_NEAR(est.y, truth.y, 1e-4);
+}
+
+TEST(Naive, QuantizationIntroducesError) {
+  NaiveOptions opts;
+  Rng rng(191);
+  const Summary s = naive_error_study(2.0, 50, rng, opts);
+  EXPECT_GT(s.mean, 0.01);  // clearly worse than the exact solver
+}
+
+TEST(Naive, ErrorGrowsWithRange) {
+  // The paper's Fig. 3 / Section II-C claim: ambiguity grows rapidly with
+  // distance (18.6 cm at 1 m vs 266.7 cm at 5 m for the S4).
+  NaiveOptions opts;
+  Rng rng(192);
+  const Summary near = naive_error_study(1.0, 60, rng, opts);
+  const Summary far = naive_error_study(5.0, 60, rng, opts);
+  EXPECT_GT(far.mean, 3.0 * near.mean);
+  EXPECT_GT(far.max, near.max);
+}
+
+TEST(Naive, WiderMoveReducesError) {
+  NaiveOptions small_move;
+  small_move.move_distance = 0.1;
+  NaiveOptions large_move;
+  large_move.move_distance = 0.6;
+  Rng r1(193), r2(193);
+  const Summary small_s = naive_error_study(4.0, 60, r1, small_move);
+  const Summary large_s = naive_error_study(4.0, 60, r2, large_move);
+  EXPECT_LT(large_s.mean, small_s.mean);
+}
+
+TEST(Naive, AnalyticAmbiguityQuadraticInRange) {
+  NaiveOptions opts;
+  const double a1 = naive_range_ambiguity(1.0, opts);
+  const double a2 = naive_range_ambiguity(2.0, opts);
+  const double a4 = naive_range_ambiguity(4.0, opts);
+  EXPECT_NEAR(a2 / a1, 4.0, 1e-9);
+  EXPECT_NEAR(a4 / a2, 4.0, 1e-9);
+}
+
+TEST(Naive, AnalyticMatchesMonteCarloScale) {
+  // The analytic first-order ambiguity should be within a small factor of
+  // the simulated p90 error.
+  NaiveOptions opts;
+  Rng rng(194);
+  const double analytic = naive_range_ambiguity(3.0, opts);
+  const Summary sim = naive_error_study(3.0, 80, rng, opts);
+  EXPECT_GT(analytic, 0.2 * sim.p90);
+  EXPECT_LT(analytic, 10.0 * sim.p90);
+}
+
+TEST(Naive, PreconditionsEnforced) {
+  NaiveOptions opts;
+  opts.move_distance = 0.0;
+  EXPECT_THROW((void)naive_localize({0.0, 1.0}, opts), PreconditionError);
+  Rng rng(195);
+  EXPECT_THROW((void)naive_error_study(0.0, 10, rng), PreconditionError);
+  EXPECT_THROW((void)naive_error_study(1.0, 0, rng), PreconditionError);
+  EXPECT_THROW((void)naive_range_ambiguity(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::core

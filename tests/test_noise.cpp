@@ -1,0 +1,103 @@
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace hyperear::sim {
+namespace {
+
+constexpr double kFs = 44100.0;
+constexpr std::size_t kN = 1u << 16;
+
+TEST(Noise, WhiteIsSpectrallyFlat) {
+  Rng rng(101);
+  const std::vector<double> n = make_noise(NoiseType::kWhite, kN, kFs, rng);
+  const double low = dsp::band_power(n, kFs, 100.0, 2000.0);
+  const double mid = dsp::band_power(n, kFs, 4000.0, 5900.0);
+  const double high = dsp::band_power(n, kFs, 10000.0, 11900.0);
+  EXPECT_NEAR(mid / low, 1.0, 0.25);
+  EXPECT_NEAR(high / mid, 1.0, 0.25);
+}
+
+TEST(Noise, VoiceEnergyBelowTwoKilohertz) {
+  // The meeting-room argument (Section VII-E): chatter is out of the chirp
+  // band, so the band-pass removes it.
+  Rng rng(102);
+  const std::vector<double> n = make_noise(NoiseType::kVoice, kN, kFs, rng);
+  const double below = dsp::band_power(n, kFs, 50.0, 2000.0);
+  const double chirp_band = dsp::band_power(n, kFs, 2000.0, 6400.0);
+  EXPECT_GT(below / (chirp_band + 1e-30), 10.0);
+}
+
+TEST(Noise, MallMusicOverlapsChirpBand) {
+  Rng rng(103);
+  const std::vector<double> n = make_noise(NoiseType::kMallMusic, kN, kFs, rng);
+  const double chirp_band = dsp::band_power(n, kFs, 2000.0, 6400.0);
+  const double total = dsp::band_power(n, kFs, 50.0, 21000.0);
+  // A substantial fraction of mall noise sits inside the chirp band.
+  EXPECT_GT(chirp_band / total, 0.15);
+}
+
+TEST(Noise, MallBusyIsNonStationary) {
+  Rng rng(104);
+  const std::vector<double> n =
+      make_noise(NoiseType::kMallBusy, static_cast<std::size_t>(20.0 * kFs), kFs, rng);
+  // Compare short-window powers across the record: bursts make the max to
+  // min ratio large; off-peak music is much steadier.
+  const std::size_t win = static_cast<std::size_t>(kFs);
+  std::vector<double> powers;
+  for (std::size_t s = 0; s + win <= n.size(); s += win) {
+    powers.push_back(dsp::signal_power({n.data() + s, win}));
+  }
+  double pmin = powers[0], pmax = powers[0];
+  for (double p : powers) {
+    pmin = std::min(pmin, p);
+    pmax = std::max(pmax, p);
+  }
+  EXPECT_GT(pmax / pmin, 3.0);
+}
+
+TEST(Noise, Deterministic) {
+  Rng a(105);
+  Rng b(105);
+  const std::vector<double> n1 = make_noise(NoiseType::kMallMusic, 4096, kFs, a);
+  const std::vector<double> n2 = make_noise(NoiseType::kMallMusic, 4096, kFs, b);
+  EXPECT_EQ(n1, n2);
+}
+
+TEST(CalibrateBandPower, HitsTarget) {
+  Rng rng(106);
+  std::vector<double> n = make_noise(NoiseType::kWhite, kN, kFs, rng);
+  const double target = 0.0123;
+  calibrate_band_power(n, kFs, 2000.0, 6400.0, target);
+  const double measured = dsp::band_power({n.data(), kN}, kFs, 2000.0, 6400.0);
+  EXPECT_NEAR(measured, target, 0.05 * target);
+}
+
+TEST(CalibrateBandPower, ReturnsAppliedScale) {
+  Rng rng(107);
+  std::vector<double> n = make_noise(NoiseType::kWhite, 8192, kFs, rng);
+  std::vector<double> orig = n;
+  const double scale = calibrate_band_power(n, kFs, 1000.0, 5000.0, 0.5);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_NEAR(n[i], orig[i] * scale, 1e-12);
+}
+
+TEST(CalibrateBandPower, Preconditions) {
+  std::vector<double> n(1024, 0.0);
+  EXPECT_THROW((void)calibrate_band_power(n, kFs, 1000.0, 5000.0, 1.0), PreconditionError);
+  std::vector<double> ok(1024, 1.0);
+  EXPECT_THROW((void)calibrate_band_power(ok, kFs, 1000.0, 5000.0, 0.0), PreconditionError);
+}
+
+TEST(Noise, BadArgumentsThrow) {
+  Rng rng(108);
+  EXPECT_THROW((void)make_noise(NoiseType::kWhite, 0, kFs, rng), PreconditionError);
+  EXPECT_THROW((void)make_noise(NoiseType::kWhite, 100, 0.0, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::sim

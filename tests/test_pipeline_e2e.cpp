@@ -1,0 +1,158 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+sim::ScenarioConfig base_config() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.speaker_height = 1.3;
+  c.phone_height = 1.3;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  return c;
+}
+
+TEST(PipelineE2E, Ruler2dLocalizesWithinDecimeters) {
+  Rng rng(201);
+  const sim::Session s = sim::make_localization_session(base_config(), rng);
+  const LocalizationResult r = localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_FALSE(r.used_3d);
+  EXPECT_EQ(r.slides_used, 3);
+  EXPECT_LT(localization_error(r, s), 0.3);
+  EXPECT_NEAR(r.range, 4.0, 0.3);
+}
+
+TEST(PipelineE2E, HandHeld3dLocalizes) {
+  Rng rng(202);
+  sim::ScenarioConfig c = base_config();
+  c.two_statures = true;
+  c.speaker_height = 0.5;
+  c.jitter = sim::hand_jitter();
+  const sim::Session s = sim::make_localization_session(c, rng);
+  const LocalizationResult r = localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_TRUE(r.used_3d);
+  EXPECT_LT(localization_error(r, s), 0.8);
+}
+
+TEST(PipelineE2E, SfoDiagnosticsExposed) {
+  Rng rng(203);
+  sim::ScenarioConfig c = base_config();
+  c.speaker_clock_ppm_sigma = 40.0;
+  const sim::Session s = sim::make_localization_session(c, rng);
+  const LocalizationResult r = localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.estimated_period, 0.19);
+  EXPECT_LT(r.estimated_period, 0.21);
+  EXPECT_NE(r.sfo_ppm, 0.0);
+}
+
+TEST(PipelineE2E, SfoCorrectionMattersWithBigOffset) {
+  // Ablation (DESIGN.md #2): with a large clock offset, disabling SFO
+  // correction visibly degrades the range estimate.
+  sim::ScenarioConfig c = base_config();
+  c.speaker_distance = 6.0;
+  c.speaker_clock_ppm_sigma = 80.0;
+  double err_on = 0.0, err_off = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(204 + seed);
+    const sim::Session s = sim::make_localization_session(c, rng);
+    PipelineOptions on;
+    PipelineOptions off;
+    off.asp.sfo_correction = false;
+    const LocalizationResult r_on = localize(s, on);
+    const LocalizationResult r_off = localize(s, off);
+    ASSERT_TRUE(r_on.valid && r_off.valid);
+    err_on += localization_error(r_on, s);
+    err_off += localization_error(r_off, s);
+  }
+  EXPECT_LT(err_on, err_off);
+}
+
+TEST(PipelineE2E, DriftCorrectionMatters) {
+  // Ablation (DESIGN.md #3): Eq. 4 off -> displacement and range degrade.
+  // On the ruler a constant accelerometer bias is already absorbed by the
+  // static-head gravity estimate; the drift Eq. 4 exists to remove comes
+  // from slowly wandering tilt in hand-held operation (gravity leaking
+  // into the slide axis), so the ablation runs hand-held with pronounced
+  // tilt wander.
+  sim::ScenarioConfig c = base_config();
+  c.speaker_distance = 5.0;
+  c.jitter = sim::hand_jitter();
+  // Strong but sub-threshold tilt wander (2.5 deg of leakage would push the
+  // dwell power past the slide-segmentation threshold).
+  c.jitter.tilt_amplitude = deg2rad(1.6);
+  double err_on = 0.0, err_off = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(208 + seed);
+    const sim::Session s = sim::make_localization_session(c, rng);
+    PipelineOptions on;
+    PipelineOptions off;
+    off.ttl.displacement.drift_correction = false;
+    const LocalizationResult r_on = localize(s, on);
+    const LocalizationResult r_off = localize(s, off);
+    ASSERT_TRUE(r_on.valid);
+    if (!r_off.valid) {
+      err_off += 5.0;  // failure counts as a large error
+      err_on += localization_error(r_on, s);
+      continue;
+    }
+    err_on += localization_error(r_on, s);
+    err_off += localization_error(r_off, s);
+  }
+  EXPECT_LT(err_on, err_off);
+}
+
+TEST(PipelineE2E, ErrorMetricRequiresValidity) {
+  LocalizationResult r;
+  sim::Session s;
+  EXPECT_THROW((void)localization_error(r, s), PreconditionError);
+}
+
+TEST(PipelineE2E, DeterministicGivenSeed) {
+  sim::ScenarioConfig c = base_config();
+  Rng r1(211), r2(211);
+  const sim::Session s1 = sim::make_localization_session(c, r1);
+  const sim::Session s2 = sim::make_localization_session(c, r2);
+  const LocalizationResult a = localize(s1);
+  const LocalizationResult b = localize(s2);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_DOUBLE_EQ(a.estimated_position.x, b.estimated_position.x);
+  EXPECT_DOUBLE_EQ(a.estimated_position.y, b.estimated_position.y);
+}
+
+TEST(PipelineE2E, BothPhonesWork) {
+  for (const sim::PhoneSpec& phone : {sim::galaxy_s4(), sim::galaxy_note3()}) {
+    sim::ScenarioConfig c = base_config();
+    c.phone = phone;
+    Rng rng(212);
+    const sim::Session s = sim::make_localization_session(c, rng);
+    const LocalizationResult r = localize(s);
+    ASSERT_TRUE(r.valid) << phone.name;
+    EXPECT_LT(localization_error(r, s), 0.4) << phone.name;
+  }
+}
+
+TEST(PipelineE2E, NoisyMallStillLocalizes) {
+  Rng rng(213);
+  sim::ScenarioConfig c = base_config();
+  c.environment = sim::mall_busy_hour();
+  const sim::Session s = sim::make_localization_session(c, rng);
+  const LocalizationResult r = localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(localization_error(r, s), 1.2);
+}
+
+}  // namespace
+}  // namespace hyperear::core

@@ -1,0 +1,99 @@
+#include "core/ple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imu/preprocess.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+sim::ScenarioConfig threed_config() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.speaker_height = 0.5;
+  c.phone_height = 1.3;
+  c.two_statures = true;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  c.randomize_placement = false;
+  return c;
+}
+
+struct Prepared {
+  sim::Session session;
+  AspResult asp;
+  imu::MotionSignals motion;
+};
+
+Prepared prepare(const sim::ScenarioConfig& c, std::uint64_t seed) {
+  Rng rng(seed);
+  Prepared p{sim::make_localization_session(c, rng), {}, {}};
+  p.asp = preprocess_audio(p.session.audio, p.session.prior.chirp, 0.2,
+                           p.session.prior.calibration_duration);
+  p.motion = imu::preprocess(p.session.imu);
+  return p;
+}
+
+TEST(Ple, DetectsStatureChangeAndGroupsSlides) {
+  const Prepared p = prepare(threed_config(), 181);
+  const PleResult r = localize_3d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.slides_used, 6);
+  EXPECT_NEAR(r.stature_change, 0.45, 0.03);
+}
+
+TEST(Ple, ProjectedDistanceNearTruth) {
+  const Prepared p = prepare(threed_config(), 182);
+  const PleResult r = localize_3d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  const double truth_range = 4.0;  // horizontal distance
+  EXPECT_NEAR(r.projected_distance, truth_range, 0.35);
+  const double err =
+      distance(r.estimated_position, p.session.truth.speaker_position.xy());
+  EXPECT_LT(err, 0.4);
+}
+
+TEST(Ple, SlantDistancesOrderedByGeometry) {
+  // Raised slides are farther from the low speaker: L2 > L1.
+  const Prepared p = prepare(threed_config(), 183);
+  const PleResult r = localize_3d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  if (r.projected) {
+    EXPECT_GT(r.l2, r.l1 - 0.1);
+  }
+}
+
+TEST(Ple, FallsBackWithoutStatureChange) {
+  sim::ScenarioConfig c = threed_config();
+  c.two_statures = false;  // single stature recording
+  const Prepared p = prepare(c, 184);
+  const PleResult r = localize_3d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  EXPECT_FALSE(r.projected);
+  // Uses the slant distance; at 4 m with 0.8 m height offset the slant is
+  // sqrt(16.64) ~ 4.08, so the floor-map error stays small.
+  const double err =
+      distance(r.estimated_position, p.session.truth.speaker_position.xy());
+  EXPECT_LT(err, 0.45);
+}
+
+TEST(Ple, CoplanarSessionProjectsToNearSlant) {
+  sim::ScenarioConfig c = threed_config();
+  c.speaker_height = 1.3;  // speaker at the first slide plane
+  const Prepared p = prepare(c, 185);
+  const PleResult r = localize_3d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.projected_distance, 4.0, 0.35);
+}
+
+}  // namespace
+}  // namespace hyperear::core

@@ -1,0 +1,84 @@
+#include "geom/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hyperear::geom {
+namespace {
+
+/// Construct exact (L1, L2) for a speaker at horizontal distance lstar and
+/// vertical offset z below the first slide plane, with stature change h.
+struct Exact {
+  double l1;
+  double l2;
+};
+
+Exact exact_slants(double lstar, double z, double h) {
+  return {std::sqrt(lstar * lstar + z * z), std::sqrt(lstar * lstar + (z + h) * (z + h))};
+}
+
+TEST(ProjectToFloor, RecoversHorizontalDistance) {
+  // Phone slides at 1.3 m and 1.75 m; speaker at 0.5 m -> z = 0.8 below.
+  const double lstar = 7.0;
+  const double z = 0.8;
+  const double h = 0.45;
+  const Exact e = exact_slants(lstar, z, h);
+  const ProjectionResult r = project_to_floor(h, e.l1, e.l2);
+  EXPECT_TRUE(r.well_conditioned);
+  EXPECT_NEAR(r.projected_distance, lstar, 1e-9);
+  // height_offset is measured along the (upward) move: the speaker sits
+  // z meters below, i.e. -z along the move.
+  EXPECT_NEAR(r.height_offset, -z, 1e-9);
+}
+
+class ProjectionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ProjectionSweep, ExactForAllGeometries) {
+  const auto [lstar, z, h] = GetParam();
+  const Exact e = exact_slants(lstar, z, h);
+  const ProjectionResult r = project_to_floor(h, e.l1, e.l2);
+  EXPECT_NEAR(r.projected_distance, lstar, 1e-8) << "l*=" << lstar << " z=" << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ProjectionSweep,
+    ::testing::Combine(::testing::Values(1.0, 3.0, 5.0, 7.0),     // L*
+                       ::testing::Values(-0.5, 0.2, 0.8, 1.4),    // z offset
+                       ::testing::Values(0.3, 0.45, 0.6)));       // H
+
+TEST(ProjectToFloor, SpeakerAboveFirstPlane) {
+  // Speaker higher than both slide planes (z negative along the move).
+  const Exact e = exact_slants(4.0, -1.0, 0.45);
+  const ProjectionResult r = project_to_floor(0.45, e.l1, e.l2);
+  EXPECT_NEAR(r.projected_distance, 4.0, 1e-9);
+  EXPECT_NEAR(r.height_offset, 1.0, 1e-9);
+}
+
+TEST(ProjectToFloor, BrokenTriangleFlagged) {
+  // Noise can make L2 > L1 + H; Eq. 7's cosine is clamped and flagged.
+  const ProjectionResult r = project_to_floor(0.4, 5.0, 6.0);
+  EXPECT_FALSE(r.well_conditioned);
+}
+
+TEST(ProjectToFloor, PreconditionsEnforced) {
+  EXPECT_THROW((void)project_to_floor(0.0, 5.0, 5.0), PreconditionError);
+  EXPECT_THROW((void)project_to_floor(0.4, 0.0, 5.0), PreconditionError);
+  EXPECT_THROW((void)project_to_floor(0.4, 5.0, -1.0), PreconditionError);
+}
+
+TEST(ProjectToFloor, CoplanarCaseGivesSlantDistance) {
+  // Speaker in the first slide plane: L1 is already horizontal; beta = 90
+  // degrees when L2^2 = L1^2 + H^2.
+  const double l1 = 6.0, h = 0.45;
+  const double l2 = std::sqrt(l1 * l1 + h * h);
+  const ProjectionResult r = project_to_floor(h, l1, l2);
+  EXPECT_NEAR(r.beta_rad, 1.5707963, 1e-6);
+  EXPECT_NEAR(r.projected_distance, l1, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperear::geom

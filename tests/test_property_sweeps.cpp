@@ -1,0 +1,142 @@
+/// Property-style parameterized sweeps of system-level invariants, using
+/// cheap (noise-light, short-protocol) sessions so the whole suite stays
+/// fast on one core.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "geom/triangulation.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Solver-level properties: noise propagation through Eqs. 5-6.
+
+struct SolverCase {
+  double range;
+  double dprime;
+  double timing_noise_m;  // 1-sigma noise added to each range difference
+};
+
+class SolverNoise : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverNoise, RangeErrorBoundedByFirstOrderSensitivity) {
+  const SolverCase c = GetParam();
+  const double d = kGalaxyS4MicSeparation;
+  Rng rng(123);
+  // First-order sensitivity of L to a range-difference error:
+  // dL/d(dd) ~ L^2 / (D * D').
+  const double sensitivity = c.range * c.range / (d * c.dprime);
+  double worst = 0.0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const geom::Vec2 truth{rng.uniform(-0.3, 0.3), c.range};
+    geom::AugmentedTdoa in;
+    in.slide_distance = c.dprime;
+    in.mic_separation = d;
+    const geom::Vec2 m1p{c.dprime / 2.0, 0.0}, m1m{-c.dprime / 2.0, 0.0};
+    const geom::Vec2 m2p{d + c.dprime / 2.0, 0.0}, m2m{d - c.dprime / 2.0, 0.0};
+    in.range_diff_mic1 =
+        distance(truth, m1p) - distance(truth, m1m) + rng.gaussian(0.0, c.timing_noise_m);
+    in.range_diff_mic2 =
+        distance(truth, m2p) - distance(truth, m2m) + rng.gaussian(0.0, c.timing_noise_m);
+    const geom::TriangulationResult r = geom::solve_augmented(in);
+    if (!r.converged) continue;
+    worst = std::max(worst, std::abs(r.position.y - truth.y));
+  }
+  // Allow 6 sigma of the first-order bound (the two noises add in the
+  // difference, and the solve is mildly nonlinear).
+  EXPECT_LT(worst, 6.0 * sensitivity * c.timing_noise_m * std::sqrt(2.0) + 0.02)
+      << "range " << c.range << " dprime " << c.dprime;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverNoise,
+    ::testing::Values(SolverCase{1.0, 0.55, 1e-4}, SolverCase{3.0, 0.55, 1e-4},
+                      SolverCase{5.0, 0.55, 1e-4}, SolverCase{7.0, 0.55, 1e-4},
+                      SolverCase{5.0, 0.15, 1e-4}, SolverCase{5.0, 0.35, 1e-4},
+                      SolverCase{3.0, 0.55, 5e-4}, SolverCase{7.0, 0.55, 2e-5}));
+
+// ---------------------------------------------------------------------------
+// Aperture monotonicity: with everything else fixed, a longer slide gives a
+// smaller range error (the paper's core claim, Fig. 14).
+
+TEST(ApertureProperty, LongerSlideTighterRange) {
+  const double d = kGalaxyS4MicSeparation;
+  Rng rng(321);
+  double err_short = 0.0, err_long = 0.0;
+  for (int trial = 0; trial < 32; ++trial) {
+    const geom::Vec2 truth{0.1, 5.0};
+    for (double dprime : {0.15, 0.55}) {
+      geom::AugmentedTdoa in;
+      in.slide_distance = dprime;
+      in.mic_separation = d;
+      const geom::Vec2 m1p{dprime / 2.0, 0.0}, m1m{-dprime / 2.0, 0.0};
+      const geom::Vec2 m2p{d + dprime / 2.0, 0.0}, m2m{d - dprime / 2.0, 0.0};
+      const double noise = 1.5e-4;
+      in.range_diff_mic1 =
+          distance(truth, m1p) - distance(truth, m1m) + rng.gaussian(0.0, noise);
+      in.range_diff_mic2 =
+          distance(truth, m2p) - distance(truth, m2m) + rng.gaussian(0.0, noise);
+      const geom::TriangulationResult r = geom::solve_augmented(in);
+      if (!r.converged) continue;
+      (dprime < 0.3 ? err_short : err_long) += std::abs(r.position.y - truth.y);
+    }
+  }
+  EXPECT_LT(err_long, err_short);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end seed sweep: every seed must produce a valid, sane 2D fix.
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, RulerSessionAlwaysLocalizes) {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 3.0;
+  c.slides_per_stature = 2;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  Rng rng(10000 + static_cast<std::uint64_t>(GetParam()) * 7919);
+  const sim::Session s = sim::make_localization_session(c, rng);
+  const core::LocalizationResult r = core::localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.range, 1.5);
+  EXPECT_LT(r.range, 5.0);
+  EXPECT_LT(core::localization_error(r, s), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Clock-offset sweep: accuracy must be flat across the crystal tolerance
+// range when SFO correction is on.
+
+class ClockSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSweep, SfoCorrectedAccuracyFlat) {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.slides_per_stature = 2;
+  c.calibration_duration = 3.5;
+  c.jitter = sim::ruler_jitter();
+  // Force a specific speaker offset instead of a random draw.
+  c.speaker_clock_ppm_sigma = 0.0;
+  c.phone_clock_ppm_sigma = 0.0;
+  c.speaker.clock_offset_ppm = GetParam();
+  Rng rng(777);
+  sim::Session s = sim::make_localization_session(c, rng);
+  const core::LocalizationResult r = core::localize(s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(core::localization_error(r, s), 0.35) << "ppm " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PpmRange, ClockSweep,
+                         ::testing::Values(-80.0, -30.0, 0.0, 30.0, 80.0));
+
+}  // namespace
+}  // namespace hyperear

@@ -1,0 +1,89 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+namespace {
+
+TEST(Protocol, TwoDHappyPath) {
+  ProtocolStateMachine sm(3, /*three_d=*/false);
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kFindDirection);
+  EXPECT_TRUE(sm.on_event(ProtocolEvent::kDirectionFound));
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kCalibrate);
+  EXPECT_TRUE(sm.on_event(ProtocolEvent::kCalibrationElapsed));
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kSlideLow);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(sm.done());
+    EXPECT_TRUE(sm.on_event(ProtocolEvent::kSlideAccepted));
+  }
+  EXPECT_TRUE(sm.done());
+  EXPECT_EQ(sm.total_slides(), 3);
+}
+
+TEST(Protocol, ThreeDIncludesRaiseAndSecondStature) {
+  ProtocolStateMachine sm(2, /*three_d=*/true);
+  (void)sm.on_event(ProtocolEvent::kDirectionFound);
+  (void)sm.on_event(ProtocolEvent::kCalibrationElapsed);
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kRaise);
+  EXPECT_TRUE(sm.on_event(ProtocolEvent::kStatureChanged));
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kSlideHigh);
+  EXPECT_EQ(sm.slides_completed(), 0);  // per-stature counter resets
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  EXPECT_TRUE(sm.done());
+  EXPECT_EQ(sm.total_slides(), 4);
+}
+
+TEST(Protocol, RejectedSlidesDoNotAdvance) {
+  ProtocolStateMachine sm(2, false);
+  (void)sm.on_event(ProtocolEvent::kDirectionFound);
+  (void)sm.on_event(ProtocolEvent::kCalibrationElapsed);
+  EXPECT_TRUE(sm.on_event(ProtocolEvent::kSlideRejected));
+  EXPECT_TRUE(sm.on_event(ProtocolEvent::kSlideRejected));
+  EXPECT_EQ(sm.slides_completed(), 0);
+  EXPECT_EQ(sm.slides_rejected(), 2);
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kSlideLow);
+}
+
+TEST(Protocol, OutOfPhaseEventsIgnored) {
+  ProtocolStateMachine sm(2, true);
+  // Sensor noise: slide events while still finding the direction.
+  EXPECT_FALSE(sm.on_event(ProtocolEvent::kSlideAccepted));
+  EXPECT_FALSE(sm.on_event(ProtocolEvent::kStatureChanged));
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kFindDirection);
+  (void)sm.on_event(ProtocolEvent::kDirectionFound);
+  EXPECT_FALSE(sm.on_event(ProtocolEvent::kDirectionFound));  // duplicate
+  EXPECT_EQ(sm.phase(), ProtocolPhase::kCalibrate);
+}
+
+TEST(Protocol, DoneAbsorbsEverything) {
+  ProtocolStateMachine sm(1, false);
+  (void)sm.on_event(ProtocolEvent::kDirectionFound);
+  (void)sm.on_event(ProtocolEvent::kCalibrationElapsed);
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  ASSERT_TRUE(sm.done());
+  EXPECT_FALSE(sm.on_event(ProtocolEvent::kSlideAccepted));
+  EXPECT_EQ(sm.total_slides(), 1);
+}
+
+TEST(Protocol, InstructionsNonEmptyInEveryPhase) {
+  ProtocolStateMachine sm(2, true);
+  EXPECT_FALSE(sm.instruction().empty());
+  (void)sm.on_event(ProtocolEvent::kDirectionFound);
+  EXPECT_FALSE(sm.instruction().empty());
+  (void)sm.on_event(ProtocolEvent::kCalibrationElapsed);
+  EXPECT_NE(sm.instruction().find("2 more"), std::string::npos);
+  (void)sm.on_event(ProtocolEvent::kSlideAccepted);
+  EXPECT_NE(sm.instruction().find("1 more"), std::string::npos);
+}
+
+TEST(Protocol, PreconditionsEnforced) {
+  EXPECT_THROW(ProtocolStateMachine(0, false), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::core

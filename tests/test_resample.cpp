@@ -1,0 +1,92 @@
+#include "dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::dsp {
+namespace {
+
+std::vector<double> bandlimited_tone(double cycles_per_sample, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(2.0 * kPi * cycles_per_sample * i);
+  return x;
+}
+
+TEST(SincInterpolate, ExactAtIntegerIndices) {
+  const std::vector<double> x = bandlimited_tone(0.05, 64);
+  for (std::size_t i = 20; i < 44; ++i) {
+    EXPECT_NEAR(sinc_interpolate(x, static_cast<double>(i)), x[i], 1e-6);
+  }
+}
+
+TEST(SincInterpolate, AccurateBetweenSamples) {
+  const double f = 0.08;  // well below Nyquist
+  const std::vector<double> x = bandlimited_tone(f, 128);
+  for (double idx = 40.0; idx < 80.0; idx += 0.37) {
+    const double truth = std::sin(2.0 * kPi * f * idx);
+    EXPECT_NEAR(sinc_interpolate(x, idx), truth, 5e-3) << idx;
+  }
+}
+
+TEST(SincInterpolate, PreconditionsEnforced) {
+  EXPECT_THROW((void)sinc_interpolate(std::vector<double>{}, 0.0), PreconditionError);
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)sinc_interpolate(x, 0.5, 0), PreconditionError);
+}
+
+TEST(Upsample, LengthAndAnchors) {
+  const std::vector<double> x = bandlimited_tone(0.05, 32);
+  const std::vector<double> up = upsample(x, 4);
+  ASSERT_EQ(up.size(), x.size() * 4);
+  for (std::size_t i = 8; i < 24; ++i) {
+    EXPECT_NEAR(up[4 * i], x[i], 1e-6);
+  }
+}
+
+TEST(Upsample, FactorOneIsCopy) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> up = upsample(x, 1);
+  EXPECT_EQ(up, x);
+  EXPECT_THROW((void)upsample(x, 0), PreconditionError);
+}
+
+TEST(Upsample, IntermediateSamplesFollowTone) {
+  const double f = 0.06;
+  const std::vector<double> x = bandlimited_tone(f, 64);
+  const std::vector<double> up = upsample(x, 8);
+  for (std::size_t k = 200; k < 300; ++k) {
+    const double idx = static_cast<double>(k) / 8.0;
+    EXPECT_NEAR(up[k], std::sin(2.0 * kPi * f * idx), 1e-2);
+  }
+}
+
+TEST(ResampleLinear, HalvingKeepsShape) {
+  std::vector<double> x(101);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const std::vector<double> y = resample_linear(x, 100.0, 50.0);
+  // Linear ramp resamples exactly.
+  for (std::size_t k = 0; k < y.size(); ++k) {
+    EXPECT_NEAR(y[k], static_cast<double>(2 * k), 1e-9);
+  }
+}
+
+TEST(ResampleLinear, UpsamplingInterpolates) {
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y = resample_linear(x, 1.0, 4.0);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_NEAR(y[1], 0.25, 1e-12);
+  EXPECT_NEAR(y[2], 0.5, 1e-12);
+}
+
+TEST(ResampleLinear, BadRatesThrow) {
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)resample_linear(x, 0.0, 10.0), PreconditionError);
+  EXPECT_THROW((void)resample_linear(x, 10.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::dsp

@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace hyperear {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(6);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+  EXPECT_LT(lo, -2.5);  // the range is actually explored
+  EXPECT_GT(hi, 6.5);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  const std::vector<double> v = rng.gaussian_vector(50000);
+  EXPECT_NEAR(mean(v), 0.0, 0.02);
+  EXPECT_NEAR(stddev(v), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.gaussian(10.0, 3.0));
+  EXPECT_NEAR(mean(v), 10.0, 0.1);
+  EXPECT_NEAR(stddev(v), 3.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(10);
+  Rng b = a.split();
+  // The split stream must not replay the parent stream.
+  Rng a2(10);
+  (void)a2.next_u64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.next_u64() == a2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace hyperear

@@ -1,0 +1,114 @@
+#include "core/sdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "imu/preprocess.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+sim::ScenarioConfig sweep_config() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.speaker_height = 1.3;
+  c.phone_height = 1.3;
+  c.jitter = sim::ruler_jitter();
+  return c;
+}
+
+TEST(Sdf, PairsInterMicTdoas) {
+  AspResult asp;
+  for (int i = 0; i < 10; ++i) {
+    asp.mic1.push_back({0.1 + 0.2 * i, 0.9});
+    asp.mic2.push_back({0.1 + 0.2 * i + 0.0002, 0.9});  // 0.2 ms TDoA
+  }
+  const std::vector<TdoaSample> samples = pair_inter_mic_tdoas(asp, 0.7e-3);
+  ASSERT_EQ(samples.size(), 10u);
+  for (const TdoaSample& s : samples) EXPECT_NEAR(s.tdoa_s, -0.0002, 1e-9);
+}
+
+TEST(Sdf, UnpairableEventsDropped) {
+  AspResult asp;
+  asp.mic1.push_back({1.0, 0.9});
+  asp.mic2.push_back({1.5, 0.9});  // 0.5 s apart: not the same chirp
+  EXPECT_TRUE(pair_inter_mic_tdoas(asp, 0.7e-3).empty());
+}
+
+TEST(Sdf, FindsDirectionDuringSweep) {
+  // The phone starts facing the speaker along body +y (alpha = 0) and
+  // sweeps its yaw; the zero crossing happens when the speaker passes the
+  // body +x axis (alpha = 90 deg), i.e. after a -90 deg yaw... here we
+  // sweep 0 -> -pi so the +x axis passes the speaker direction.
+  Rng rng(161);
+  const sim::Session s =
+      sim::make_rotation_sweep_session(sweep_config(), deg2rad(60.0), deg2rad(-60.0),
+                                       8.0, rng);
+  const AspResult asp = preprocess_audio(s.audio, s.prior.chirp, 0.2, 1.0);
+  const imu::MotionSignals motion = imu::preprocess(s.imu);
+  const SdfResult r = find_direction(asp, motion);
+  ASSERT_TRUE(r.found);
+  // Speaker is along world +x; in-direction yaw = 0. The estimated yaw is
+  // relative to the sweep start (+60 deg), so expect -60 deg.
+  EXPECT_NEAR(rad2deg(r.yaw_rad), -60.0, 3.0);
+  EXPECT_TRUE(r.speaker_on_positive_x);
+}
+
+TEST(Sdf, SweepTraceMatchesCosineModel) {
+  // Fig. 7: TDoA(alpha) = -D cos(alpha) / S.
+  Rng rng(162);
+  const sim::Session s =
+      sim::make_rotation_sweep_session(sweep_config(), 0.0, deg2rad(-180.0), 10.0, rng);
+  const AspResult asp = preprocess_audio(s.audio, s.prior.chirp, 0.2, 1.0);
+  const imu::MotionSignals motion = imu::preprocess(s.imu);
+  const SdfResult r = find_direction(asp, motion);
+  ASSERT_GE(r.samples.size(), 30u);
+  const double d = s.config.phone.mic_separation;
+  int checked = 0;
+  for (const TdoaSample& ts : r.samples) {
+    if (ts.time_s < 1.2 || ts.time_s > 10.8) continue;  // inside the sweep
+    const double yaw = integrated_yaw_at(motion, ts.time_s);
+    // alpha is the angle from body +y to the speaker (at world +x):
+    // alpha = 90deg + (-yaw)... with yaw measured from the start pose where
+    // the speaker sits at alpha0 = 90 deg relative to body +y? Compute
+    // directly: body +y at yaw psi points (-sin psi, cos psi); speaker at
+    // +x. cos(alpha) = dot = -sin(psi).
+    const double cos_alpha = -std::sin(yaw);
+    const double expected = -d * cos_alpha / kSpeedOfSound;
+    EXPECT_NEAR(ts.tdoa_s, expected, 6e-5) << "t=" << ts.time_s;
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(Sdf, NoCrossingWhenSweepAvoidsDirection) {
+  // Sweep far from the in-direction: no zero crossing of sufficient swing.
+  Rng rng(163);
+  const sim::Session s = sim::make_rotation_sweep_session(
+      sweep_config(), deg2rad(140.0), deg2rad(60.0), 6.0, rng);
+  const AspResult asp = preprocess_audio(s.audio, s.prior.chirp, 0.2, 1.0);
+  const imu::MotionSignals motion = imu::preprocess(s.imu);
+  const SdfResult r = find_direction(asp, motion);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Sdf, IntegratedYawLinearInterpolation) {
+  imu::MotionSignals m;
+  m.sample_rate = 100.0;
+  m.gyro_z.assign(201, 0.1);  // constant 0.1 rad/s
+  m.lin_accel_x.assign(201, 0.0);
+  m.lin_accel_y.assign(201, 0.0);
+  m.lin_accel_z.assign(201, 0.0);
+  m.gyro_x.assign(201, 0.0);
+  m.gyro_y.assign(201, 0.0);
+  EXPECT_NEAR(integrated_yaw_at(m, 1.0), 0.1, 1e-6);
+  EXPECT_NEAR(integrated_yaw_at(m, 1.505), 0.1505, 1e-6);
+  // Clamped beyond the record.
+  EXPECT_NEAR(integrated_yaw_at(m, 99.0), 0.2, 1e-6);
+}
+
+}  // namespace
+}  // namespace hyperear::core

@@ -1,0 +1,117 @@
+#include "imu/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::imu {
+namespace {
+
+/// Paper-style slide acceleration: a minimum-jerk stroke's acceleration is
+/// a scaled, zero-mean wave. Build a record with strokes at given sample
+/// offsets.
+std::vector<double> record_with_strokes(const std::vector<std::size_t>& starts,
+                                        std::size_t stroke_len, std::size_t total,
+                                        double amplitude, double noise_rms, Rng& rng) {
+  std::vector<double> accel(total);
+  for (auto& v : accel) v = rng.gaussian(0.0, noise_rms);
+  for (std::size_t s : starts) {
+    for (std::size_t i = 0; i < stroke_len && s + i < total; ++i) {
+      const double tau = static_cast<double>(i) / static_cast<double>(stroke_len - 1);
+      // min-jerk acceleration shape: 60t - 180t^2 + 120t^3, scaled.
+      accel[s + i] += amplitude * (60.0 * tau - 180.0 * tau * tau + 120.0 * tau * tau * tau);
+    }
+  }
+  return accel;
+}
+
+TEST(PowerLevel, ConstantSignal) {
+  const std::vector<double> x(20, 2.0);
+  const std::vector<double> p = power_level(x, 4);
+  ASSERT_EQ(p.size(), x.size());
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(PowerLevel, WindowTruncatesAtEnd) {
+  const std::vector<double> x{1.0, 1.0, 1.0, 3.0};
+  const std::vector<double> p = power_level(x, 4);
+  // Last element averages only itself.
+  EXPECT_DOUBLE_EQ(p.back(), 9.0);
+}
+
+TEST(PowerLevel, ZeroWindowThrows) {
+  const std::vector<double> x{1.0};
+  EXPECT_THROW((void)power_level(x, 0), PreconditionError);
+}
+
+TEST(Segmentation, FindsFiveStrokes) {
+  // Mirrors the paper's Fig. 8: back-and-forth slides at 100 Hz.
+  Rng rng(71);
+  std::vector<std::size_t> starts{100, 280, 460, 640, 820};
+  const std::vector<double> accel = record_with_strokes(starts, 100, 1100, 2.5, 0.03, rng);
+  const std::vector<Segment> segs = segment_movements(accel);
+  ASSERT_EQ(segs.size(), starts.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(segs[i].start), static_cast<double>(starts[i]), 15.0);
+  }
+}
+
+TEST(Segmentation, QuietRecordYieldsNothing) {
+  Rng rng(72);
+  const std::vector<double> accel = record_with_strokes({}, 100, 500, 0.0, 0.03, rng);
+  EXPECT_TRUE(segment_movements(accel).empty());
+}
+
+TEST(Segmentation, ShortBlipRejectedByMinLength) {
+  Rng rng(73);
+  std::vector<double> accel(500);
+  for (auto& v : accel) v = rng.gaussian(0.0, 0.02);
+  // A 5-sample spike (e.g. a bump) must not count as a slide.
+  for (std::size_t i = 200; i < 205; ++i) accel[i] = 3.0;
+  SegmentationOptions opts;
+  opts.min_length = 20;
+  EXPECT_TRUE(segment_movements(accel, opts).empty());
+}
+
+TEST(Segmentation, SlideAtRecordEndClosed) {
+  Rng rng(74);
+  const std::vector<double> accel = record_with_strokes({420}, 100, 500, 2.5, 0.02, rng);
+  const std::vector<Segment> segs = segment_movements(accel);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_LE(segs[0].end, accel.size());
+}
+
+TEST(Segmentation, ThresholdSeparatesAmplitudes) {
+  Rng rng(75);
+  // A weak stroke below threshold and a strong one above.
+  std::vector<double> accel = record_with_strokes({100}, 100, 600, 0.03, 0.01, rng);
+  const std::vector<double> strong = record_with_strokes({400}, 100, 600, 2.5, 0.0, rng);
+  for (std::size_t i = 0; i < accel.size(); ++i) accel[i] += strong[i];
+  const std::vector<Segment> segs = segment_movements(accel);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_GT(segs[0].start, 300u);
+}
+
+TEST(Segmentation, HysteresisBridgesZeroCrossing) {
+  // Min-jerk acceleration crosses zero mid-stroke; the m-sample quiet run
+  // requirement must keep the stroke as ONE segment.
+  Rng rng(76);
+  const std::vector<double> accel = record_with_strokes({100}, 100, 400, 2.5, 0.02, rng);
+  SegmentationOptions opts;  // quiet_run = 8 (paper)
+  const std::vector<Segment> segs = segment_movements(accel, opts);
+  EXPECT_EQ(segs.size(), 1u);
+}
+
+TEST(Segmentation, PaperDefaultsExposed) {
+  const SegmentationOptions opts;
+  EXPECT_EQ(opts.window, 4u);       // W = 4 samples (40 ms at 100 Hz)
+  EXPECT_DOUBLE_EQ(opts.threshold, 0.2);
+  EXPECT_EQ(opts.quiet_run, 8u);    // m = 8
+}
+
+}  // namespace
+}  // namespace hyperear::imu

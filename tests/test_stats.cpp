@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hyperear {
+namespace {
+
+TEST(Mean, Basics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean(v), 2.5, 1e-12);
+  EXPECT_THROW((void)mean(std::vector<double>{}), PreconditionError);
+}
+
+TEST(Variance, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; the unbiased sample variance is 32/7.
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_THROW((void)variance(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(Rms, SineLikeValues) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_NEAR(rms(v), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_NEAR(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5, 1e-12);
+  EXPECT_NEAR(median(std::vector<double>{5.0}), 5.0, 1e-12);
+}
+
+TEST(Median, DoesNotMutateInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  (void)median(v);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 1.0);
+}
+
+TEST(MedianAbsoluteDeviation, KnownValue) {
+  const std::vector<double> v{1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0};
+  // median = 2, |v - 2| = {1,1,0,0,2,4,7}, MAD = 1.
+  EXPECT_NEAR(median_absolute_deviation(v), 1.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_NEAR(percentile(v, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 100.0), 50.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 50.0), 30.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 25.0), 20.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 90.0), 46.0, 1e-12);
+  EXPECT_THROW((void)percentile(v, 101.0), PreconditionError);
+}
+
+TEST(ArgMax, PlainAndAbsolute) {
+  const std::vector<double> v{1.0, -7.0, 3.0, 2.0};
+  EXPECT_EQ(argmax(v), 2u);
+  EXPECT_EQ(argmax_abs(v), 1u);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  Rng rng(7);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.gaussian(5.0, 2.0));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, v.size());
+  EXPECT_NEAR(s.mean, 5.0, 0.3);
+  EXPECT_NEAR(s.median, 5.0, 0.3);
+  EXPECT_NEAR(s.stddev, 2.0, 0.3);
+  EXPECT_GT(s.p90, s.median);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_GE(s.max, s.p90);
+}
+
+// Property: percentile is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, NonDecreasing) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(rng.uniform(-10.0, 10.0));
+  double last = percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, last - 1e-12) << "p=" << p;
+    last = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hyperear

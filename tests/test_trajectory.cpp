@@ -1,0 +1,175 @@
+#include "sim/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::sim {
+namespace {
+
+TEST(MinJerk, BoundaryConditions) {
+  EXPECT_DOUBLE_EQ(min_jerk(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_jerk(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(min_jerk_vel(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_jerk_vel(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_jerk_acc(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_jerk_acc(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_jerk(0.5), 0.5);  // odd symmetry about the midpoint
+}
+
+TEST(MinJerk, DerivativesConsistent) {
+  const double h = 1e-6;
+  for (double tau = 0.1; tau < 0.95; tau += 0.17) {
+    const double num_vel = (min_jerk(tau + h) - min_jerk(tau - h)) / (2.0 * h);
+    EXPECT_NEAR(num_vel, min_jerk_vel(tau), 1e-6);
+    const double num_acc = (min_jerk_vel(tau + h) - min_jerk_vel(tau - h)) / (2.0 * h);
+    EXPECT_NEAR(num_acc, min_jerk_acc(tau), 1e-5);
+  }
+}
+
+Trajectory ruler_slide(double distance, double duration) {
+  TrajectoryBuilder b({5.0, 5.0, 1.3}, 0.0);
+  b.hold(1.0).slide_mic_axis(distance, duration).hold(1.0);
+  Rng rng(111);
+  return b.build(ruler_jitter(), rng);
+}
+
+TEST(Trajectory, SlideEndpointsAndDuration) {
+  const Trajectory t = ruler_slide(-0.5, 1.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 3.0);
+  // Yaw 0: body -y axis is world (0, -1, 0); distance -0.5 slides +y.
+  const geom::Vec3 start = t.pose(0.0).position;
+  const geom::Vec3 end = t.pose(3.0).position;
+  EXPECT_NEAR(start.y, 5.0, 1e-12);
+  EXPECT_NEAR(end.y, 5.5, 1e-12);
+  EXPECT_NEAR(end.x, 5.0, 1e-12);
+}
+
+TEST(Trajectory, VelocityZeroAtHolds) {
+  const Trajectory t = ruler_slide(0.5, 1.0);
+  EXPECT_NEAR(t.velocity(0.5).norm(), 0.0, 1e-12);
+  EXPECT_NEAR(t.velocity(2.5).norm(), 0.0, 1e-12);
+  EXPECT_GT(t.velocity(1.5).norm(), 0.5);  // mid-slide peak ~1.88 d/T
+}
+
+TEST(Trajectory, AccelerationConsistentWithVelocity) {
+  const Trajectory t = ruler_slide(0.5, 1.0);
+  const double h = 1e-5;
+  for (double time : {1.2, 1.5, 1.8}) {
+    const geom::Vec3 num =
+        (t.velocity(time + h) - t.velocity(time - h)) / (2.0 * h);
+    const geom::Vec3 ana = t.acceleration(time);
+    EXPECT_NEAR(num.x, ana.x, 1e-4);
+    EXPECT_NEAR(num.y, ana.y, 1e-4);
+    EXPECT_NEAR(num.z, ana.z, 1e-4);
+  }
+}
+
+TEST(Trajectory, SpecificForceAtRestIsGravity) {
+  const Trajectory t = ruler_slide(0.5, 1.0);
+  const geom::Vec3 f = t.specific_force_body(0.5);
+  EXPECT_NEAR(f.x, 0.0, 1e-9);
+  EXPECT_NEAR(f.y, 0.0, 1e-9);
+  EXPECT_NEAR(f.z, kGravity, 1e-9);
+}
+
+TEST(Trajectory, SpecificForceDuringSlide) {
+  const Trajectory t = ruler_slide(-0.5, 1.0);
+  // Mid-slide: horizontal acceleration appears on body y (phone level).
+  const geom::Vec3 a = t.acceleration(1.25);
+  const geom::Vec3 f = t.specific_force_body(1.25);
+  EXPECT_NEAR(f.y, a.y, 1e-9);  // yaw = 0, body y == world y
+  EXPECT_NEAR(f.z, kGravity, 1e-9);
+}
+
+TEST(Trajectory, RotationSweepTracksYaw) {
+  TrajectoryBuilder b({5.0, 5.0, 1.3}, 0.0);
+  b.hold(0.5).rotate_to(kPi, 2.0).hold(0.5);
+  Rng rng(112);
+  const Trajectory t = b.build(ruler_jitter(), rng);
+  EXPECT_NEAR(t.pose(0.2).orientation.yaw(), 0.0, 1e-9);
+  EXPECT_NEAR(t.pose(3.0).orientation.yaw(), kPi, 1e-9);
+  // Angular rate integrates to the total rotation.
+  double integral = 0.0;
+  const double dt = 1e-3;
+  for (double time = 0.0; time < 3.0; time += dt) {
+    integral += t.angular_rate_body(time).z * dt;
+  }
+  EXPECT_NEAR(integral, kPi, 1e-3);
+}
+
+TEST(Trajectory, StatureChangeMovesVertically) {
+  TrajectoryBuilder b({5.0, 5.0, 1.3}, 0.3);
+  b.hold(0.5).change_stature(0.45, 1.0).hold(0.5);
+  Rng rng(113);
+  const Trajectory t = b.build(ruler_jitter(), rng);
+  EXPECT_NEAR(t.pose(2.0).position.z, 1.75, 1e-12);
+  EXPECT_NEAR(t.pose(2.0).position.x, 5.0, 1e-12);
+}
+
+TEST(Trajectory, SlidesAnnotated) {
+  TrajectoryBuilder b({0.0, 0.0, 1.0}, 0.0);
+  b.hold(1.0);
+  b.slide_mic_axis(0.5, 1.0).hold(0.5).slide_mic_axis(-0.5, 1.0).hold(0.5);
+  Rng rng(114);
+  const Trajectory t = b.build(ruler_jitter(), rng);
+  ASSERT_EQ(t.slides().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.slides()[0].t0, 1.0);
+  EXPECT_DOUBLE_EQ(t.slides()[0].t1, 2.0);
+  EXPECT_NEAR(distance(t.slides()[0].from, t.slides()[0].to), 0.5, 1e-12);
+}
+
+TEST(Trajectory, HandJitterBoundedAcceleration) {
+  TrajectoryBuilder b({5.0, 5.0, 1.3}, 0.0);
+  b.hold(5.0);
+  Rng rng(115);
+  const Trajectory t = b.build(hand_jitter(), rng);
+  double max_acc = 0.0;
+  double max_disp = 0.0;
+  for (double time = 0.1; time < 4.9; time += 0.003) {
+    max_acc = std::max(max_acc, t.acceleration(time).norm());
+    max_disp = std::max(max_disp, (t.pose(time).position - geom::Vec3{5.0, 5.0, 1.3}).norm());
+  }
+  // Tremor: decimeters of acceleration, millimeters of displacement.
+  EXPECT_GT(max_acc, 0.05);
+  EXPECT_LT(max_acc, 1.5);
+  EXPECT_GT(max_disp, 1e-4);
+  EXPECT_LT(max_disp, 0.02);
+}
+
+TEST(Trajectory, RulerHasNoJitterOrTilt) {
+  TrajectoryBuilder b({5.0, 5.0, 1.3}, 0.0);
+  b.hold(2.0);
+  Rng rng(116);
+  const Trajectory t = b.build(ruler_jitter(), rng);
+  EXPECT_DOUBLE_EQ(t.base_pitch(), 0.0);
+  EXPECT_DOUBLE_EQ(t.base_roll(), 0.0);
+  for (double time = 0.0; time < 2.0; time += 0.1) {
+    EXPECT_NEAR((t.pose(time).position - geom::Vec3{5.0, 5.0, 1.3}).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(Trajectory, PointPositionRigidBody) {
+  const Trajectory t = ruler_slide(0.5, 1.0);
+  const geom::Vec3 mic1{0.0, 0.0683, 0.0};
+  const geom::Vec3 mic2{0.0, -0.0683, 0.0};
+  for (double time = 0.0; time < 3.0; time += 0.25) {
+    EXPECT_NEAR(distance(t.point_position(mic1, time), t.point_position(mic2, time)),
+                0.1366, 1e-12);
+  }
+}
+
+TEST(TrajectoryBuilder, Preconditions) {
+  TrajectoryBuilder b({0, 0, 0}, 0.0);
+  EXPECT_THROW(b.hold(0.0), PreconditionError);
+  EXPECT_THROW(b.slide_mic_axis(0.0, 1.0), PreconditionError);
+  Rng rng(117);
+  EXPECT_THROW((void)TrajectoryBuilder({0, 0, 0}, 0.0).build(ruler_jitter(), rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::sim

@@ -1,0 +1,128 @@
+#include "geom/triangulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace hyperear::geom {
+namespace {
+
+/// Build exact augmented-TDoA inputs for a speaker at (x, y) in the
+/// canonical slide frame (paper Fig. 10 geometry).
+AugmentedTdoa exact_inputs(const Vec2& speaker, double dprime, double d) {
+  AugmentedTdoa in;
+  in.slide_distance = dprime;
+  in.mic_separation = d;
+  const Vec2 m1_post{dprime / 2.0, 0.0}, m1_pre{-dprime / 2.0, 0.0};
+  const Vec2 m2_post{d + dprime / 2.0, 0.0}, m2_pre{d - dprime / 2.0, 0.0};
+  in.range_diff_mic1 = distance(speaker, m1_post) - distance(speaker, m1_pre);
+  in.range_diff_mic2 = distance(speaker, m2_post) - distance(speaker, m2_pre);
+  return in;
+}
+
+TEST(SolveAugmented, RecoversExactPosition) {
+  const Vec2 truth{0.1, 5.0};
+  const AugmentedTdoa in = exact_inputs(truth, 0.55, kGalaxyS4MicSeparation);
+  const TriangulationResult r = solve_augmented(in);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.position.x, truth.x, 1e-6);
+  EXPECT_NEAR(r.position.y, truth.y, 1e-6);
+}
+
+// Property sweep over ranges and lateral offsets (the paper's Fig. 15/16
+// operating envelope).
+struct SweepCase {
+  double x;
+  double y;
+  double dprime;
+};
+
+class AugmentedSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AugmentedSweep, ExactRecovery) {
+  const SweepCase c = GetParam();
+  const Vec2 truth{c.x, c.y};
+  const AugmentedTdoa in = exact_inputs(truth, c.dprime, kGalaxyS4MicSeparation);
+  const TriangulationResult r = solve_augmented(in);
+  ASSERT_TRUE(r.converged) << "x=" << c.x << " y=" << c.y;
+  EXPECT_NEAR(r.position.x, truth.x, 1e-4);
+  EXPECT_NEAR(r.position.y, truth.y, 1e-4 * std::max(1.0, c.y));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, AugmentedSweep,
+    ::testing::Values(SweepCase{0.0, 1.0, 0.55}, SweepCase{0.3, 1.0, 0.55},
+                      SweepCase{-0.2, 2.0, 0.55}, SweepCase{0.1, 3.0, 0.55},
+                      SweepCase{0.0, 5.0, 0.55}, SweepCase{0.5, 5.0, 0.55},
+                      SweepCase{0.1, 7.0, 0.55}, SweepCase{-0.4, 7.0, 0.55},
+                      SweepCase{0.1, 7.0, 0.15}, SweepCase{0.1, 7.0, 0.35},
+                      SweepCase{0.0, 0.5, 0.3}, SweepCase{1.0, 4.0, 0.55}));
+
+TEST(SolveAugmented, QuantizedInputsDegradeGracefully) {
+  const Vec2 truth{0.1, 5.0};
+  AugmentedTdoa in = exact_inputs(truth, 0.55, kGalaxyS4MicSeparation);
+  // Quantize the range differences to the 44.1 kHz grid (0.778 cm).
+  const double step = 343.0 / 44100.0;
+  in.range_diff_mic1 = std::round(in.range_diff_mic1 / step) * step;
+  in.range_diff_mic2 = std::round(in.range_diff_mic2 / step) * step;
+  const TriangulationResult r = solve_augmented(in);
+  ASSERT_TRUE(r.converged);
+  // Quantization error is large at 5 m, but the answer stays in the right
+  // region (this is exactly the ambiguity the paper's Fig. 14 quantifies).
+  EXPECT_NEAR(r.position.y, truth.y, 3.0);
+}
+
+TEST(SolveAugmented, RangeDiffClampedToAperture) {
+  AugmentedTdoa in;
+  in.slide_distance = 0.5;
+  in.mic_separation = 0.14;
+  in.range_diff_mic1 = -0.6;  // beyond the physical limit of D'
+  in.range_diff_mic2 = -0.4;
+  // Must not throw: the implementation clamps into the valid hyperbola set.
+  const TriangulationResult r = solve_augmented(in);
+  (void)r;
+}
+
+TEST(SolveAugmented, InvalidGeometryThrows) {
+  AugmentedTdoa in;
+  in.slide_distance = 0.0;
+  in.mic_separation = 0.14;
+  EXPECT_THROW((void)solve_augmented(in), PreconditionError);
+  in.slide_distance = 0.5;
+  in.mic_separation = -1.0;
+  EXPECT_THROW((void)solve_augmented(in), PreconditionError);
+}
+
+TEST(FarFieldGuess, CloseToTruthAtRange) {
+  const Vec2 truth{0.2, 6.0};
+  const AugmentedTdoa in = exact_inputs(truth, 0.55, kGalaxyS4MicSeparation);
+  const Vec2 guess = far_field_initial_guess(in);
+  EXPECT_NEAR(guess.norm(), truth.norm(), 0.2 * truth.norm());
+}
+
+TEST(FarFieldGuess, DegenerateMeasurementClampedToMaxRange) {
+  AugmentedTdoa in;
+  in.slide_distance = 0.5;
+  in.mic_separation = 0.14;
+  in.range_diff_mic1 = 0.01;
+  in.range_diff_mic2 = 0.01;  // identical -> infinite range in far field
+  const Vec2 guess = far_field_initial_guess(in, 50.0);
+  EXPECT_LE(guess.norm(), 51.0);
+}
+
+TEST(Intersect, GeneralHyperbolas) {
+  const Vec2 truth{1.0, 2.0};
+  const Vec2 a1{-0.5, 0.0}, a2{0.5, 0.0}, b1{2.0, 0.0}, b2{3.0, 0.0};
+  const Hyperbola h1(a1, a2, distance(truth, a1) - distance(truth, a2));
+  const Hyperbola h2(b1, b2, distance(truth, b1) - distance(truth, b2));
+  const TriangulationResult r = intersect(h1, h2, {0.5, 1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.position.x, truth.x, 1e-6);
+  EXPECT_NEAR(r.position.y, truth.y, 1e-6);
+}
+
+}  // namespace
+}  // namespace hyperear::geom

@@ -1,0 +1,162 @@
+#include "core/ttl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "core/asp.hpp"
+#include "imu/preprocess.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::core {
+namespace {
+
+sim::ScenarioConfig fast_config() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.speaker_height = 1.3;  // coplanar: true L equals the range
+  c.phone_height = 1.3;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  c.randomize_placement = false;
+  return c;
+}
+
+struct Prepared {
+  sim::Session session;
+  AspResult asp;
+  imu::MotionSignals motion;
+};
+
+Prepared prepare(const sim::ScenarioConfig& c, std::uint64_t seed) {
+  Rng rng(seed);
+  Prepared p{sim::make_localization_session(c, rng), {}, {}};
+  p.asp = preprocess_audio(p.session.audio, p.session.prior.chirp, 0.2,
+                           p.session.prior.calibration_duration);
+  p.motion = imu::preprocess(p.session.imu);
+  return p;
+}
+
+TEST(Ttl, MeasuresEverySlide) {
+  const Prepared p = prepare(fast_config(), 171);
+  const std::vector<SlideMeasurement> slides = measure_slides(
+      p.asp, p.motion, p.session.prior, p.session.config.phone.mic_separation, {});
+  EXPECT_EQ(slides.size(), 3u);
+  for (const SlideMeasurement& m : slides) {
+    EXPECT_TRUE(m.accepted);
+    EXPECT_GT(m.pairs_used, 0);
+    EXPECT_NEAR(std::abs(m.motion.displacement), 0.55, 0.02);
+    EXPECT_NEAR(m.range_l, 4.0, 0.6);
+  }
+}
+
+TEST(Ttl, Localize2dAccurateOnRuler) {
+  const Prepared p = prepare(fast_config(), 172);
+  const TtlResult r = localize_2d(p.asp, p.motion, p.session.prior,
+                                  p.session.config.phone.mic_separation);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.accepted_count, 3);
+  const double err =
+      distance(r.estimated_position, p.session.truth.speaker_position.xy());
+  EXPECT_LT(err, 0.25);
+}
+
+TEST(Ttl, QualityGateRejectsShortSlides) {
+  sim::ScenarioConfig c = fast_config();
+  c.slide_distance = 0.25;
+  const Prepared p = prepare(c, 173);
+  TtlOptions opts;
+  opts.min_slide_distance = 0.5;  // the paper's acceptance rule
+  const std::vector<SlideMeasurement> slides = measure_slides(
+      p.asp, p.motion, p.session.prior, p.session.config.phone.mic_separation, opts);
+  for (const SlideMeasurement& m : slides) EXPECT_FALSE(m.accepted);
+  const TtlResult r = aggregate_slides(slides, 0.0, 1e9);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Ttl, WindowedAggregationSplitsSlides) {
+  const Prepared p = prepare(fast_config(), 174);
+  const std::vector<SlideMeasurement> slides = measure_slides(
+      p.asp, p.motion, p.session.prior, p.session.config.phone.mic_separation, {});
+  ASSERT_EQ(slides.size(), 3u);
+  const double split = slides[1].t_start + 0.01;
+  const TtlResult first = aggregate_slides(slides, 0.0, split);
+  const TtlResult rest = aggregate_slides(slides, split, 1e9);
+  EXPECT_EQ(first.accepted_count, 2);
+  EXPECT_EQ(rest.accepted_count, 1);
+}
+
+TEST(Ttl, LargerRangeLargerError) {
+  // Property from Figs. 15-16: accuracy decays with speaker distance.
+  sim::ScenarioConfig near_cfg = fast_config();
+  near_cfg.speaker_distance = 1.0;
+  sim::ScenarioConfig far_cfg = fast_config();
+  far_cfg.speaker_distance = 7.0;
+  double near_err_sum = 0.0, far_err_sum = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const Prepared pn = prepare(near_cfg, 175 + s);
+    const Prepared pf = prepare(far_cfg, 275 + s);
+    const TtlResult rn = localize_2d(pn.asp, pn.motion, pn.session.prior,
+                                     pn.session.config.phone.mic_separation);
+    const TtlResult rf = localize_2d(pf.asp, pf.motion, pf.session.prior,
+                                     pf.session.config.phone.mic_separation);
+    ASSERT_TRUE(rn.valid && rf.valid);
+    near_err_sum += distance(rn.estimated_position, pn.session.truth.speaker_position.xy());
+    far_err_sum += distance(rf.estimated_position, pf.session.truth.speaker_position.xy());
+  }
+  EXPECT_LT(near_err_sum, far_err_sum);
+}
+
+TEST(Ttl, SpeakerSideRespected) {
+  // If the prior says the speaker is on the -x body side, the estimate
+  // lands on the opposite side of the slide axis.
+  const Prepared p = prepare(fast_config(), 176);
+  sim::Session::Prior flipped = p.session.prior;
+  flipped.speaker_on_positive_x = false;
+  const TtlResult normal = localize_2d(p.asp, p.motion, p.session.prior,
+                                       p.session.config.phone.mic_separation);
+  const TtlResult mirrored =
+      localize_2d(p.asp, p.motion, flipped, p.session.config.phone.mic_separation);
+  ASSERT_TRUE(normal.valid && mirrored.valid);
+  const geom::Vec2 start = p.session.prior.phone_start_position.xy();
+  // Mirrored estimate on the other side of the start position along x.
+  EXPECT_GT(normal.estimated_position.x, start.x);
+  EXPECT_LT(mirrored.estimated_position.x, start.x);
+}
+
+TEST(Ttl, RotationCorrectionImprovesHandSessions) {
+  sim::ScenarioConfig c = fast_config();
+  c.speaker_distance = 6.0;
+  c.jitter = sim::hand_jitter();
+  c.slides_per_stature = 4;
+  double with_sum = 0.0, without_sum = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const Prepared p = prepare(c, 177 + s);
+    TtlOptions on;
+    TtlOptions off;
+    off.rotation_correction = false;
+    const TtlResult r_on = localize_2d(p.asp, p.motion, p.session.prior,
+                                       p.session.config.phone.mic_separation, on);
+    const TtlResult r_off = localize_2d(p.asp, p.motion, p.session.prior,
+                                        p.session.config.phone.mic_separation, off);
+    ASSERT_TRUE(r_on.valid && r_off.valid);
+    const geom::Vec2 truth = p.session.truth.speaker_position.xy();
+    with_sum += distance(r_on.estimated_position, truth);
+    without_sum += distance(r_off.estimated_position, truth);
+  }
+  EXPECT_LT(with_sum, without_sum);
+}
+
+TEST(Ttl, EmptyWindowInvalid) {
+  const Prepared p = prepare(fast_config(), 178);
+  const std::vector<SlideMeasurement> slides = measure_slides(
+      p.asp, p.motion, p.session.prior, p.session.config.phone.mic_separation, {});
+  const TtlResult r = aggregate_slides(slides, 500.0, 600.0);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.accepted_count, 0);
+}
+
+}  // namespace
+}  // namespace hyperear::core

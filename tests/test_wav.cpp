@@ -1,0 +1,98 @@
+#include "io/wav.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hyperear::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string("/tmp/hyperear_test_") + name + ".wav";
+}
+
+TEST(Wav, RoundTripStereo) {
+  Rng rng(301);
+  std::vector<std::vector<double>> channels(2, std::vector<double>(1000));
+  for (auto& ch : channels) {
+    for (auto& v : ch) v = rng.uniform(-0.9, 0.9);
+  }
+  const std::string path = temp_path("roundtrip");
+  write_wav(path, channels, 44100.0);
+  const WavData back = read_wav(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.channels.size(), 2u);
+  ASSERT_EQ(back.frames(), 1000u);
+  EXPECT_DOUBLE_EQ(back.sample_rate, 44100.0);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t n = 0; n < 1000; ++n) {
+      EXPECT_NEAR(back.channels[c][n], channels[c][n], 1.0 / 32767.0) << c << "," << n;
+    }
+  }
+}
+
+TEST(Wav, MonoRoundTrip) {
+  std::vector<std::vector<double>> channels(1, std::vector<double>(64, 0.5));
+  const std::string path = temp_path("mono");
+  write_wav(path, channels, 8000.0);
+  const WavData back = read_wav(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.channels.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.sample_rate, 8000.0);
+  EXPECT_NEAR(back.channels[0][10], 0.5, 1e-4);
+}
+
+TEST(Wav, ClipsOutOfRangeSamples) {
+  std::vector<std::vector<double>> channels(1, std::vector<double>{2.0, -3.0, 0.0});
+  const std::string path = temp_path("clip");
+  write_wav(path, channels, 44100.0);
+  const WavData back = read_wav(path);
+  std::remove(path.c_str());
+  EXPECT_NEAR(back.channels[0][0], 1.0, 1e-4);
+  EXPECT_NEAR(back.channels[0][1], -1.0, 1e-4);
+}
+
+TEST(Wav, SineSurvivesQuantization) {
+  std::vector<std::vector<double>> channels(1, std::vector<double>(4410));
+  for (std::size_t i = 0; i < channels[0].size(); ++i) {
+    channels[0][i] = 0.8 * std::sin(0.071 * static_cast<double>(i));
+  }
+  const std::string path = temp_path("sine");
+  write_wav(path, channels, 44100.0);
+  const WavData back = read_wav(path);
+  std::remove(path.c_str());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < channels[0].size(); ++i) {
+    max_err = std::max(max_err, std::abs(back.channels[0][i] - channels[0][i]));
+  }
+  EXPECT_LT(max_err, 1.0 / 32000.0);
+}
+
+TEST(Wav, WriterValidation) {
+  EXPECT_THROW(write_wav("/tmp/x.wav", {}, 44100.0), PreconditionError);
+  EXPECT_THROW(write_wav("/tmp/x.wav", {{}}, 44100.0), PreconditionError);
+  EXPECT_THROW(write_wav("/tmp/x.wav", {{1.0}, {1.0, 2.0}}, 44100.0), PreconditionError);
+  EXPECT_THROW(write_wav("/tmp/x.wav", {{1.0}}, 0.0), PreconditionError);
+  EXPECT_THROW(write_wav("/nonexistent_dir/x.wav", {{1.0}}, 44100.0), Error);
+}
+
+TEST(Wav, ReaderRejectsGarbage) {
+  const std::string path = temp_path("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is definitely not a wav file, padded to 44 bytes....", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_wav(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_wav("/tmp/definitely_missing_hyperear.wav"), Error);
+}
+
+}  // namespace
+}  // namespace hyperear::io
