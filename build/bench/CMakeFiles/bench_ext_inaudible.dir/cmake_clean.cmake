@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_inaudible.dir/bench_ext_inaudible.cpp.o"
+  "CMakeFiles/bench_ext_inaudible.dir/bench_ext_inaudible.cpp.o.d"
+  "bench_ext_inaudible"
+  "bench_ext_inaudible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_inaudible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_alpha_tdoa.dir/bench_fig07_alpha_tdoa.cpp.o"
+  "CMakeFiles/bench_fig07_alpha_tdoa.dir/bench_fig07_alpha_tdoa.cpp.o.d"
+  "bench_fig07_alpha_tdoa"
+  "bench_fig07_alpha_tdoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_alpha_tdoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_segmentation.dir/bench_fig08_segmentation.cpp.o"
+  "CMakeFiles/bench_fig08_segmentation.dir/bench_fig08_segmentation.cpp.o.d"
+  "bench_fig08_segmentation"
+  "bench_fig08_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_3d_handheld.dir/bench_fig17_18_3d_handheld.cpp.o"
+  "CMakeFiles/bench_fig17_18_3d_handheld.dir/bench_fig17_18_3d_handheld.cpp.o.d"
+  "bench_fig17_18_3d_handheld"
+  "bench_fig17_18_3d_handheld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_3d_handheld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_environments.dir/bench_fig19_environments.cpp.o"
+  "CMakeFiles/bench_fig19_environments.dir/bench_fig19_environments.cpp.o.d"
+  "bench_fig19_environments"
+  "bench_fig19_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

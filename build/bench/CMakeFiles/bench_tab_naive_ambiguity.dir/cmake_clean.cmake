@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_naive_ambiguity.dir/bench_tab_naive_ambiguity.cpp.o"
+  "CMakeFiles/bench_tab_naive_ambiguity.dir/bench_tab_naive_ambiguity.cpp.o.d"
+  "bench_tab_naive_ambiguity"
+  "bench_tab_naive_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_naive_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direction_finding.dir/direction_finding.cpp.o"
+  "CMakeFiles/direction_finding.dir/direction_finding.cpp.o.d"
+  "direction_finding"
+  "direction_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direction_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_my_keys.dir/find_my_keys.cpp.o"
+  "CMakeFiles/find_my_keys.dir/find_my_keys.cpp.o.d"
+  "find_my_keys"
+  "find_my_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_my_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guided_search.dir/guided_search.cpp.o"
+  "CMakeFiles/guided_search.dir/guided_search.cpp.o.d"
+  "guided_search"
+  "guided_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guided_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mall_scenario.dir/mall_scenario.cpp.o"
+  "CMakeFiles/mall_scenario.dir/mall_scenario.cpp.o.d"
+  "mall_scenario"
+  "mall_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mall_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

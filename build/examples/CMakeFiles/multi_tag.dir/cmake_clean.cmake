@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tag.dir/multi_tag.cpp.o"
+  "CMakeFiles/multi_tag.dir/multi_tag.cpp.o.d"
+  "multi_tag"
+  "multi_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlos_recovery.dir/nlos_recovery.cpp.o"
+  "CMakeFiles/nlos_recovery.dir/nlos_recovery.cpp.o.d"
+  "nlos_recovery"
+  "nlos_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlos_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

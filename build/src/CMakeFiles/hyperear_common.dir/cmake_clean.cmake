@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_common.dir/common/cdf.cpp.o"
+  "CMakeFiles/hyperear_common.dir/common/cdf.cpp.o.d"
+  "CMakeFiles/hyperear_common.dir/common/math_util.cpp.o"
+  "CMakeFiles/hyperear_common.dir/common/math_util.cpp.o.d"
+  "CMakeFiles/hyperear_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hyperear_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hyperear_common.dir/common/stats.cpp.o"
+  "CMakeFiles/hyperear_common.dir/common/stats.cpp.o.d"
+  "libhyperear_common.a"
+  "libhyperear_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

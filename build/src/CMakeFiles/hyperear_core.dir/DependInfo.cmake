@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aoa.cpp" "src/CMakeFiles/hyperear_core.dir/core/aoa.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/aoa.cpp.o.d"
+  "/root/repo/src/core/asp.cpp" "src/CMakeFiles/hyperear_core.dir/core/asp.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/asp.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/hyperear_core.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/discovery.cpp" "src/CMakeFiles/hyperear_core.dir/core/discovery.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/discovery.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "src/CMakeFiles/hyperear_core.dir/core/error_model.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/error_model.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/CMakeFiles/hyperear_core.dir/core/naive.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/naive.cpp.o.d"
+  "/root/repo/src/core/nlos.cpp" "src/CMakeFiles/hyperear_core.dir/core/nlos.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/nlos.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/hyperear_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/ple.cpp" "src/CMakeFiles/hyperear_core.dir/core/ple.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/ple.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/hyperear_core.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/core/sdf.cpp" "src/CMakeFiles/hyperear_core.dir/core/sdf.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/sdf.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/CMakeFiles/hyperear_core.dir/core/tracker.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/tracker.cpp.o.d"
+  "/root/repo/src/core/ttl.cpp" "src/CMakeFiles/hyperear_core.dir/core/ttl.cpp.o" "gcc" "src/CMakeFiles/hyperear_core.dir/core/ttl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

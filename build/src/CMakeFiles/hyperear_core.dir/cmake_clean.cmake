@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_core.dir/core/aoa.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/aoa.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/asp.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/asp.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/calibration.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/calibration.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/discovery.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/discovery.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/error_model.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/error_model.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/naive.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/naive.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/nlos.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/nlos.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/ple.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/ple.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/protocol.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/protocol.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/sdf.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/sdf.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/tracker.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/tracker.cpp.o.d"
+  "CMakeFiles/hyperear_core.dir/core/ttl.cpp.o"
+  "CMakeFiles/hyperear_core.dir/core/ttl.cpp.o.d"
+  "libhyperear_core.a"
+  "libhyperear_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/biquad.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/biquad.cpp.o.d"
+  "/root/repo/src/dsp/chirp.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/chirp.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/chirp.cpp.o.d"
+  "/root/repo/src/dsp/correlation.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/correlation.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/correlation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/fir.cpp.o.d"
+  "/root/repo/src/dsp/matched_filter.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/matched_filter.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/matched_filter.cpp.o.d"
+  "/root/repo/src/dsp/peak.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/peak.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/peak.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/resample.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/resample.cpp.o.d"
+  "/root/repo/src/dsp/sma.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/sma.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/sma.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/stft.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/hyperear_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/hyperear_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_dsp.dir/dsp/biquad.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/biquad.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/chirp.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/chirp.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/correlation.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/correlation.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/fir.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/fir.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/matched_filter.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/matched_filter.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/peak.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/peak.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/resample.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/resample.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/sma.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/sma.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/stft.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/stft.cpp.o.d"
+  "CMakeFiles/hyperear_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/hyperear_dsp.dir/dsp/window.cpp.o.d"
+  "libhyperear_dsp.a"
+  "libhyperear_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

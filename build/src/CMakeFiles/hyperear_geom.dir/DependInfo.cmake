@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/hyperbola.cpp" "src/CMakeFiles/hyperear_geom.dir/geom/hyperbola.cpp.o" "gcc" "src/CMakeFiles/hyperear_geom.dir/geom/hyperbola.cpp.o.d"
+  "/root/repo/src/geom/least_squares.cpp" "src/CMakeFiles/hyperear_geom.dir/geom/least_squares.cpp.o" "gcc" "src/CMakeFiles/hyperear_geom.dir/geom/least_squares.cpp.o.d"
+  "/root/repo/src/geom/projection.cpp" "src/CMakeFiles/hyperear_geom.dir/geom/projection.cpp.o" "gcc" "src/CMakeFiles/hyperear_geom.dir/geom/projection.cpp.o.d"
+  "/root/repo/src/geom/rotation.cpp" "src/CMakeFiles/hyperear_geom.dir/geom/rotation.cpp.o" "gcc" "src/CMakeFiles/hyperear_geom.dir/geom/rotation.cpp.o.d"
+  "/root/repo/src/geom/triangulation.cpp" "src/CMakeFiles/hyperear_geom.dir/geom/triangulation.cpp.o" "gcc" "src/CMakeFiles/hyperear_geom.dir/geom/triangulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

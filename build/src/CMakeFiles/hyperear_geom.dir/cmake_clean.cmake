@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_geom.dir/geom/hyperbola.cpp.o"
+  "CMakeFiles/hyperear_geom.dir/geom/hyperbola.cpp.o.d"
+  "CMakeFiles/hyperear_geom.dir/geom/least_squares.cpp.o"
+  "CMakeFiles/hyperear_geom.dir/geom/least_squares.cpp.o.d"
+  "CMakeFiles/hyperear_geom.dir/geom/projection.cpp.o"
+  "CMakeFiles/hyperear_geom.dir/geom/projection.cpp.o.d"
+  "CMakeFiles/hyperear_geom.dir/geom/rotation.cpp.o"
+  "CMakeFiles/hyperear_geom.dir/geom/rotation.cpp.o.d"
+  "CMakeFiles/hyperear_geom.dir/geom/triangulation.cpp.o"
+  "CMakeFiles/hyperear_geom.dir/geom/triangulation.cpp.o.d"
+  "libhyperear_geom.a"
+  "libhyperear_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imu/displacement.cpp" "src/CMakeFiles/hyperear_imu.dir/imu/displacement.cpp.o" "gcc" "src/CMakeFiles/hyperear_imu.dir/imu/displacement.cpp.o.d"
+  "/root/repo/src/imu/gravity.cpp" "src/CMakeFiles/hyperear_imu.dir/imu/gravity.cpp.o" "gcc" "src/CMakeFiles/hyperear_imu.dir/imu/gravity.cpp.o.d"
+  "/root/repo/src/imu/imu_model.cpp" "src/CMakeFiles/hyperear_imu.dir/imu/imu_model.cpp.o" "gcc" "src/CMakeFiles/hyperear_imu.dir/imu/imu_model.cpp.o.d"
+  "/root/repo/src/imu/preprocess.cpp" "src/CMakeFiles/hyperear_imu.dir/imu/preprocess.cpp.o" "gcc" "src/CMakeFiles/hyperear_imu.dir/imu/preprocess.cpp.o.d"
+  "/root/repo/src/imu/segmentation.cpp" "src/CMakeFiles/hyperear_imu.dir/imu/segmentation.cpp.o" "gcc" "src/CMakeFiles/hyperear_imu.dir/imu/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

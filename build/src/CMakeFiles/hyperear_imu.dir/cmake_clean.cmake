@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_imu.dir/imu/displacement.cpp.o"
+  "CMakeFiles/hyperear_imu.dir/imu/displacement.cpp.o.d"
+  "CMakeFiles/hyperear_imu.dir/imu/gravity.cpp.o"
+  "CMakeFiles/hyperear_imu.dir/imu/gravity.cpp.o.d"
+  "CMakeFiles/hyperear_imu.dir/imu/imu_model.cpp.o"
+  "CMakeFiles/hyperear_imu.dir/imu/imu_model.cpp.o.d"
+  "CMakeFiles/hyperear_imu.dir/imu/preprocess.cpp.o"
+  "CMakeFiles/hyperear_imu.dir/imu/preprocess.cpp.o.d"
+  "CMakeFiles/hyperear_imu.dir/imu/segmentation.cpp.o"
+  "CMakeFiles/hyperear_imu.dir/imu/segmentation.cpp.o.d"
+  "libhyperear_imu.a"
+  "libhyperear_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

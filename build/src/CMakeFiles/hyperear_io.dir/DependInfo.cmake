@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/hyperear_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/hyperear_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/wav.cpp" "src/CMakeFiles/hyperear_io.dir/io/wav.cpp.o" "gcc" "src/CMakeFiles/hyperear_io.dir/io/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

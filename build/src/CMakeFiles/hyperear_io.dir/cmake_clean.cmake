@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_io.dir/io/csv.cpp.o"
+  "CMakeFiles/hyperear_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/hyperear_io.dir/io/wav.cpp.o"
+  "CMakeFiles/hyperear_io.dir/io/wav.cpp.o.d"
+  "libhyperear_io.a"
+  "libhyperear_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

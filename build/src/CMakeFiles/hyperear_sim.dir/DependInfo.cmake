@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/acoustic_renderer.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/acoustic_renderer.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/acoustic_renderer.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/environment.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/environment.cpp.o.d"
+  "/root/repo/src/sim/image_source.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/image_source.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/image_source.cpp.o.d"
+  "/root/repo/src/sim/microphone.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/microphone.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/microphone.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/phone.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/phone.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/phone.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/speaker.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/speaker.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/speaker.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/CMakeFiles/hyperear_sim.dir/sim/trajectory.cpp.o" "gcc" "src/CMakeFiles/hyperear_sim.dir/sim/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_sim.dir/sim/acoustic_renderer.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/acoustic_renderer.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/environment.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/environment.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/image_source.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/image_source.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/microphone.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/microphone.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/phone.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/phone.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/speaker.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/speaker.cpp.o.d"
+  "CMakeFiles/hyperear_sim.dir/sim/trajectory.cpp.o"
+  "CMakeFiles/hyperear_sim.dir/sim/trajectory.cpp.o.d"
+  "libhyperear_sim.a"
+  "libhyperear_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

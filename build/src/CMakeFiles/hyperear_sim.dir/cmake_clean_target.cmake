@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyperear_sim.a"
+)

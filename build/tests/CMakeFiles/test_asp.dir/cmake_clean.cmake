@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asp.dir/test_asp.cpp.o"
+  "CMakeFiles/test_asp.dir/test_asp.cpp.o.d"
+  "test_asp"
+  "test_asp.pdb"
+  "test_asp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_displacement.dir/test_displacement.cpp.o"
+  "CMakeFiles/test_displacement.dir/test_displacement.cpp.o.d"
+  "test_displacement"
+  "test_displacement.pdb"
+  "test_displacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperbola.dir/test_hyperbola.cpp.o"
+  "CMakeFiles/test_hyperbola.dir/test_hyperbola.cpp.o.d"
+  "test_hyperbola"
+  "test_hyperbola.pdb"
+  "test_hyperbola[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperbola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_source.dir/test_image_source.cpp.o"
+  "CMakeFiles/test_image_source.dir/test_image_source.cpp.o.d"
+  "test_image_source"
+  "test_image_source.pdb"
+  "test_image_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

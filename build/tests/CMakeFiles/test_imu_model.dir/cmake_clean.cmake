@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imu_model.dir/test_imu_model.cpp.o"
+  "CMakeFiles/test_imu_model.dir/test_imu_model.cpp.o.d"
+  "test_imu_model"
+  "test_imu_model.pdb"
+  "test_imu_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_integration.dir/test_io_integration.cpp.o"
+  "CMakeFiles/test_io_integration.dir/test_io_integration.cpp.o.d"
+  "test_io_integration"
+  "test_io_integration.pdb"
+  "test_io_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

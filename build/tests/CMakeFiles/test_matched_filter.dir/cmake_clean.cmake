@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matched_filter.dir/test_matched_filter.cpp.o"
+  "CMakeFiles/test_matched_filter.dir/test_matched_filter.cpp.o.d"
+  "test_matched_filter"
+  "test_matched_filter.pdb"
+  "test_matched_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matched_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

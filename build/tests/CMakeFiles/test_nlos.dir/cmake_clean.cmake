@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlos.dir/test_nlos.cpp.o"
+  "CMakeFiles/test_nlos.dir/test_nlos.cpp.o.d"
+  "test_nlos"
+  "test_nlos.pdb"
+  "test_nlos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

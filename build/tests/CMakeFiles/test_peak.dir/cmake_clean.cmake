@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peak.dir/test_peak.cpp.o"
+  "CMakeFiles/test_peak.dir/test_peak.cpp.o.d"
+  "test_peak"
+  "test_peak.pdb"
+  "test_peak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

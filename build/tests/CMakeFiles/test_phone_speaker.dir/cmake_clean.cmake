@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phone_speaker.dir/test_phone_speaker.cpp.o"
+  "CMakeFiles/test_phone_speaker.dir/test_phone_speaker.cpp.o.d"
+  "test_phone_speaker"
+  "test_phone_speaker.pdb"
+  "test_phone_speaker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phone_speaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

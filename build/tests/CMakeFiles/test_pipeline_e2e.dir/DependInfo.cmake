@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline_e2e.cpp" "tests/CMakeFiles/test_pipeline_e2e.dir/test_pipeline_e2e.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline_e2e.dir/test_pipeline_e2e.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hyperear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

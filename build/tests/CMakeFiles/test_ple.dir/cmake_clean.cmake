@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ple.dir/test_ple.cpp.o"
+  "CMakeFiles/test_ple.dir/test_ple.cpp.o.d"
+  "test_ple"
+  "test_ple.pdb"
+  "test_ple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

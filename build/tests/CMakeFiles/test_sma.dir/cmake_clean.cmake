@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sma.dir/test_sma.cpp.o"
+  "CMakeFiles/test_sma.dir/test_sma.cpp.o.d"
+  "test_sma"
+  "test_sma.pdb"
+  "test_sma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttl.dir/test_ttl.cpp.o"
+  "CMakeFiles/test_ttl.dir/test_ttl.cpp.o.d"
+  "test_ttl"
+  "test_ttl.pdb"
+  "test_ttl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wav.dir/test_wav.cpp.o"
+  "CMakeFiles/test_wav.dir/test_wav.cpp.o.d"
+  "test_wav"
+  "test_wav.pdb"
+  "test_wav[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

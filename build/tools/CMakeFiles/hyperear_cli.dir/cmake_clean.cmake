@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperear_cli.dir/hyperear_cli.cpp.o"
+  "CMakeFiles/hyperear_cli.dir/hyperear_cli.cpp.o.d"
+  "hyperear_cli"
+  "hyperear_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperear_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
