@@ -36,18 +36,18 @@ sim::ScenarioConfig scenario(int slides, bool chatting = false) {
 }
 
 std::vector<double> run(int n_trials, int slides,
-                        const std::function<void(core::PipelineOptions&)>& tweak,
+                        const std::function<void(core::PipelineConfig&)>& tweak,
                         bool chatting = false) {
   std::vector<double> errors;
   for (int t = 0; t < n_trials; ++t) {
     Rng rng(2100 + t * 53);
     const sim::Session s =
         sim::make_localization_session(scenario(slides, chatting), rng);
-    core::PipelineOptions opts;
+    core::PipelineConfig opts;
     tweak(opts);
-    const core::LocalizationResult r = core::localize(s, opts);
-    if (!r.valid) continue;
-    errors.push_back(core::localization_error(r, s));
+    const auto fix = core::try_localize(s, opts);
+    if (!fix.has_value() || !fix->valid) continue;
+    errors.push_back(core::localization_error(*fix, s));
   }
   return errors;
 }
@@ -59,31 +59,31 @@ int main() {
   std::printf("=== Design-choice ablations (S4, hand-held, 6 m, 2D) ===\n");
 
   bench::print_summary("full pipeline",
-                       run(n_trials, 5, [](core::PipelineOptions&) {}));
-  bench::print_summary("no SFO correction", run(n_trials, 5, [](core::PipelineOptions& o) {
+                       run(n_trials, 5, [](core::PipelineConfig&) {}));
+  bench::print_summary("no SFO correction", run(n_trials, 5, [](core::PipelineConfig& o) {
                          o.asp.sfo_correction = false;
                        }));
   bench::print_summary("no drift correction (Eq. 4)",
-                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                       run(n_trials, 5, [](core::PipelineConfig& o) {
                          o.ttl.displacement.drift_correction = false;
                        }));
   bench::print_summary("no rotation correction",
-                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                       run(n_trials, 5, [](core::PipelineConfig& o) {
                          o.ttl.rotation_correction = false;
                        }));
   // The band-pass earns its keep against out-of-band noise (Section VII-E),
   // so its ablation runs in the chatting room.
   bench::print_summary("full pipeline (chatting room)",
-                       run(n_trials, 5, [](core::PipelineOptions&) {}, true));
+                       run(n_trials, 5, [](core::PipelineConfig&) {}, true));
   bench::print_summary("no band-pass (chatting room)",
-                       run(n_trials, 5, [](core::PipelineOptions& o) {
+                       run(n_trials, 5, [](core::PipelineConfig& o) {
                          o.asp.bandpass = false;
                        }, true));
   bench::print_summary("1-slide session",
-                       run(n_trials, 1, [](core::PipelineOptions&) {}));
+                       run(n_trials, 1, [](core::PipelineConfig&) {}));
   bench::print_summary("3-slide session",
-                       run(n_trials, 3, [](core::PipelineOptions&) {}));
+                       run(n_trials, 3, [](core::PipelineConfig&) {}));
   bench::print_summary("5-slide session",
-                       run(n_trials, 5, [](core::PipelineOptions&) {}));
+                       run(n_trials, 5, [](core::PipelineConfig&) {}));
   return 0;
 }

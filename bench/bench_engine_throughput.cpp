@@ -1,0 +1,98 @@
+/// Batch-engine throughput: sessions/sec of the full ASP -> MSP -> TTL
+/// pipeline at 1, 2, 4 and hardware-concurrency worker threads over one
+/// shared pool of pre-rendered sessions. Sessions are independent pure
+/// functions of their inputs, so the engine must deliver (a) near-linear
+/// scaling on multi-core hardware and (b) bit-identical per-session
+/// results at every thread count — both are checked and printed.
+///
+/// HYPEREAR_TRIALS scales the batch size (default 8 sessions).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "runtime/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+using Clock = std::chrono::steady_clock;
+
+std::vector<sim::Session> make_batch(std::size_t count) {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 5.0;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::hand_jitter();
+  std::vector<sim::Session> sessions;
+  sessions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(4200 + i * 17);
+    sessions.push_back(sim::make_localization_session(c, rng));
+  }
+  return sessions;
+}
+
+bool identical(const core::LocalizationResult& a, const core::LocalizationResult& b) {
+  return a.valid == b.valid && a.slides_used == b.slides_used &&
+         a.estimated_position.x == b.estimated_position.x &&
+         a.estimated_position.y == b.estimated_position.y && a.range == b.range &&
+         a.estimated_period == b.estimated_period && a.sfo_ppm == b.sfo_ppm;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_sessions = static_cast<std::size_t>(bench::trials(8));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== Batch-engine throughput (%zu sessions, %u hardware threads) ===\n",
+              n_sessions, hw);
+  std::printf("rendering %zu sessions...\n", n_sessions);
+  const std::vector<sim::Session> sessions = make_batch(n_sessions);
+
+  std::set<std::size_t> counts = {1, 2, 4, hw};
+  std::vector<runtime::SessionReport> baseline;
+  double baseline_rate = 0.0;
+  bool all_identical = true;
+
+  std::printf("%8s %10s %12s %9s %6s %13s\n", "threads", "wall s", "sessions/s",
+              "speedup", "ok", "identical");
+  for (const std::size_t threads : counts) {
+    runtime::BatchEngine engine({}, threads);
+    const Clock::time_point t0 = Clock::now();
+    const std::vector<runtime::SessionReport> reports = engine.localize_all(sessions);
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    const double rate = static_cast<double>(n_sessions) / seconds;
+
+    std::size_t ok = 0;
+    for (const runtime::SessionReport& r : reports) {
+      if (r.status == runtime::SessionStatus::ok) ++ok;
+    }
+    bool same = true;
+    if (baseline.empty()) {
+      baseline = reports;
+      baseline_rate = rate;
+    } else {
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        same = same && identical(reports[i].result, baseline[i].result);
+      }
+      all_identical = all_identical && same;
+    }
+    std::printf("%8zu %10.2f %12.2f %8.2fx %6zu %13s\n", threads, seconds, rate,
+                rate / baseline_rate, ok, same ? "yes" : "MISMATCH");
+  }
+
+  std::printf("\nresults bit-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — determinism bug");
+  if (hw < 4) {
+    std::printf("note: only %u hardware thread(s) available; speedup beyond %u\n"
+                "requires multi-core hardware (workers time-slice here).\n", hw, hw);
+  }
+  return all_identical ? 0 : 1;
+}

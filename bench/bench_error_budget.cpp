@@ -52,9 +52,9 @@ int main() {
         Rng rng(2700 + t * 67 + static_cast<std::uint64_t>(range * 11) +
                 (hand ? 500 : 0));
         const sim::Session s = sim::make_localization_session(c, rng);
-        const core::LocalizationResult r = core::localize(s);
-        if (!r.valid) continue;
-        range_errors.push_back(std::abs(r.range - range));
+        const auto fix = core::try_localize(s);
+        if (!fix.has_value() || !fix->valid) continue;
+        range_errors.push_back(std::abs(fix->range - range));
       }
       const double simulated =
           range_errors.empty() ? -1.0 : mean(range_errors);

@@ -37,12 +37,12 @@ int main() {
         Rng rng(2300 + t * 59 + static_cast<std::uint64_t>(range * 7) +
                 (inaudible ? 4000 : 0));
         const sim::Session s = sim::make_localization_session(c, rng);
-        const core::LocalizationResult r = core::localize(s);
-        if (!r.valid) {
+        const auto fix = core::try_localize(s);
+        if (!fix.has_value() || !fix->valid) {
           ++invalid;
           continue;
         }
-        errors.push_back(core::localization_error(r, s));
+        errors.push_back(core::localization_error(*fix, s));
       }
       const std::string label = std::string(inaudible ? "inaudible" : "audible  ") +
                                 " @" + std::to_string(int(range)) + "m";

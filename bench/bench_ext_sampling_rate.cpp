@@ -40,9 +40,9 @@ int main() {
       c.jitter = sim::ruler_jitter();
       Rng rng(2500 + t * 61 + static_cast<std::uint64_t>(fs));
       const sim::Session s = sim::make_localization_session(c, rng);
-      const core::LocalizationResult r = core::localize(s);
-      if (!r.valid) continue;
-      errors.push_back(core::localization_error(r, s));
+      const auto fix = core::try_localize(s);
+      if (!fix.has_value() || !fix->valid) continue;
+      errors.push_back(core::localization_error(*fix, s));
     }
     bench::print_summary("fs " + std::to_string(int(fs)) + " Hz", errors);
   }

@@ -43,10 +43,10 @@ int main() {
       // Short slides need a gentler stroke so the endpoints stay clean.
       c.slide_duration = 0.9;
       const sim::Session s = sim::make_localization_session(c, rng);
-      core::PipelineOptions opts;  // no min-distance gate: it IS the sweep
-      const core::LocalizationResult r = core::localize(s, opts);
-      if (!r.valid) continue;
-      errors.push_back(core::localization_error(r, s));
+      core::PipelineConfig opts;  // no min-distance gate: it IS the sweep
+      const auto fix = core::try_localize(s, opts);
+      if (!fix.has_value() || !fix->valid) continue;
+      errors.push_back(core::localization_error(*fix, s));
     }
     bench::print_cdf(bin.label, errors, 2.0);
   }

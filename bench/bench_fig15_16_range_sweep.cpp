@@ -38,9 +38,9 @@ int main() {
                 (phone.name == "Galaxy S4" ? 0 : 5000));
         c.slide_distance = rng.uniform(0.50, 0.60);
         const sim::Session s = sim::make_localization_session(c, rng);
-        const core::LocalizationResult r = core::localize(s);
-        if (!r.valid) continue;
-        errors.push_back(core::localization_error(r, s));
+        const auto fix = core::try_localize(s);
+        if (!fix.has_value() || !fix->valid) continue;
+        errors.push_back(core::localization_error(*fix, s));
       }
       bench::print_cdf(phone.name + std::string(" @") + std::to_string(int(range)) + "m",
                        errors, 0.6);

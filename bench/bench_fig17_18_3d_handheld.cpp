@@ -40,13 +40,13 @@ int main() {
                 (phone.name == "Galaxy S4" ? 0 : 7000));
         c.slide_distance = rng.uniform(0.50, 0.60);
         const sim::Session s = sim::make_localization_session(c, rng);
-        core::PipelineOptions opts;
+        core::PipelineConfig opts;
         // The paper's acceptance rule for hand operation.
         opts.ttl.min_slide_distance = 0.45;
         opts.ttl.max_z_rotation_deg = 20.0;
-        const core::LocalizationResult r = core::localize(s, opts);
-        if (!r.valid) continue;
-        errors.push_back(core::localization_error(r, s));
+        const auto fix = core::try_localize(s, opts);
+        if (!fix.has_value() || !fix->valid) continue;
+        errors.push_back(core::localization_error(*fix, s));
       }
       bench::print_cdf(phone.name + std::string(" 3D @") + std::to_string(int(range)) + "m",
                        errors, 0.6);

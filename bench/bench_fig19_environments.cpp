@@ -42,11 +42,11 @@ int main() {
       Rng rng(1900 + t * 43 + salt * 1009);
       c.slide_distance = rng.uniform(0.50, 0.60);
       const sim::Session s = sim::make_localization_session(c, rng);
-      core::PipelineOptions opts;
+      core::PipelineConfig opts;
       opts.ttl.min_slide_distance = 0.45;
-      const core::LocalizationResult r = core::localize(s, opts);
-      if (!r.valid) continue;
-      errors.push_back(core::localization_error(r, s));
+      const auto fix = core::try_localize(s, opts);
+      if (!fix.has_value() || !fix->valid) continue;
+      errors.push_back(core::localization_error(*fix, s));
     }
     bench::print_cdf(env.name, errors, 1.5);
     ++salt;

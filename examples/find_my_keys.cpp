@@ -34,10 +34,15 @@ int main() {
               config.phone.name.c_str());
   const sim::Session session = sim::make_localization_session(config, rng);
 
-  core::PipelineOptions options;
-  options.ttl.min_slide_distance = 0.45;   // the paper's slide acceptance rule
-  options.ttl.max_z_rotation_deg = 20.0;
-  const core::LocalizationResult result = core::localize(session, options);
+  core::PipelineConfig pipeline;
+  pipeline.ttl.min_slide_distance = 0.45;   // the paper's slide acceptance rule
+  pipeline.ttl.max_z_rotation_deg = 20.0;
+  const auto outcome = core::try_localize(session, pipeline);
+  if (!outcome.has_value()) {
+    std::printf("Pipeline error: %s\n", core::describe(outcome.error()).c_str());
+    return 1;
+  }
+  const core::LocalizationResult& result = *outcome;
   if (!result.valid) {
     std::printf("Could not localize the beacon; slide again.\n");
     return 1;
@@ -48,9 +53,9 @@ int main() {
   const geom::Vec2 delta = est - user;
   std::printf("\n--- HyperEar report ---\n");
   std::printf("slides accepted: %d; stature change estimate: %.2f m\n",
-              result.slides_used, result.ple.stature_change);
+              result.slides_used, result.ple->stature_change);
   std::printf("slant distances L1=%.2f m L2=%.2f m -> projected L*=%.2f m\n",
-              result.ple.l1, result.ple.l2, result.range);
+              result.ple->l1, result.ple->l2, result.range);
   std::printf("beacon bearing %.1f deg, distance %.2f m from you\n",
               rad2deg(delta.angle()), delta.norm());
   std::printf("estimated map position (%.2f, %.2f)\n", est.x, est.y);

@@ -33,11 +33,12 @@ int main() {
     c.jitter = sim::hand_jitter();
     Rng rng(seed++);
     const sim::Session s = sim::make_localization_session(c, rng);
-    const core::LocalizationResult fix = core::localize(s);
-    if (!fix.valid) {
+    const auto outcome = core::try_localize(s);
+    if (!outcome.has_value() || !outcome->valid) {
       std::printf("leg %d: no fix, sliding again\n", leg);
       continue;
     }
+    const core::LocalizationResult& fix = *outcome;
     // Express the fix relative to the user so legs are comparable (each
     // session has its own random placement).
     const geom::Vec2 rel =

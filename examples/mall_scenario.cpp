@@ -27,11 +27,16 @@ void run_condition(const sim::Environment& env, std::uint64_t seed) {
 
   Rng rng(seed);
   const sim::Session session = sim::make_localization_session(config, rng);
-  core::PipelineOptions options;
-  options.ttl.min_slide_distance = 0.45;
-  const core::LocalizationResult result = core::localize(session, options);
+  core::PipelineConfig pipeline;
+  pipeline.ttl.min_slide_distance = 0.45;
+  const auto outcome = core::try_localize(session, pipeline);
 
   std::printf("%-24s SNR %4.1f dB: ", env.name.c_str(), env.snr_db);
+  if (!outcome.has_value()) {
+    std::printf("pipeline error %s\n", core::describe(outcome.error()).c_str());
+    return;
+  }
+  const core::LocalizationResult& result = *outcome;
   if (!result.valid) {
     std::printf("localization FAILED (too few clean chirps)\n");
     return;

@@ -35,11 +35,12 @@ sim::Session record(const sim::SpeakerSpec& target, const sim::SpeakerSpec& othe
 }
 
 void localize_and_report(const char* name, const sim::Session& s) {
-  const core::LocalizationResult r = core::localize(s);
-  if (!r.valid) {
+  const auto outcome = core::try_localize(s);
+  if (!outcome.has_value() || !outcome->valid) {
     std::printf("%-10s NOT FOUND\n", name);
     return;
   }
+  const core::LocalizationResult& r = *outcome;
   std::printf("%-10s range %.2f m, error %.1f cm (%d slides)\n", name, r.range,
               100.0 * core::localization_error(r, s), r.slides_used);
 }
@@ -63,9 +64,10 @@ int main() {
   std::printf("\nCross-check: listening for tag B's chirp in tag A's session\n");
   sim::Session cross = sa;
   cross.prior.chirp = tag_b.chirp;
-  const core::LocalizationResult r = core::localize(cross);
+  const auto r = core::try_localize(cross);
+  const bool found = r.has_value() && r->valid;
   std::printf("-> %s (the band-pass keeps the tags orthogonal%s)\n",
-              r.valid ? "found something" : "nothing detected at tag A's location",
-              r.valid ? "... at tag B's position, as it should" : "");
+              found ? "found something" : "nothing detected at tag A's location",
+              found ? "... at tag B's position, as it should" : "");
   return 0;
 }

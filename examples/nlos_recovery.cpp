@@ -43,10 +43,10 @@ int main() {
               1e6 * first.tdoa_mad_s, first.amplitude_dispersion,
               first.suspected ? "OBSTRUCTED" : "clear");
   if (first.suspected) {
-    const core::LocalizationResult bad = core::localize(blocked);
-    if (bad.valid) {
+    const auto bad = core::try_localize(blocked);
+    if (bad.has_value() && bad->valid) {
       std::printf("  (a naive fix would have been %.1f cm off)\n",
-                  100.0 * core::localization_error(bad, blocked));
+                  100.0 * core::localization_error(*bad, blocked));
     } else {
       std::printf("  (no usable fix from reflections alone)\n");
     }
@@ -59,11 +59,12 @@ int main() {
   std::printf("  LoS check: tdoa dispersion %.1f us, amplitude churn %.2f -> %s\n",
               1e6 * second.tdoa_mad_s, second.amplitude_dispersion,
               second.suspected ? "OBSTRUCTED" : "clear");
-  const core::LocalizationResult fix = core::localize(clear);
-  if (!fix.valid) {
+  const auto outcome = core::try_localize(clear);
+  if (!outcome.has_value() || !outcome->valid) {
     std::printf("  localization failed\n");
     return 1;
   }
+  const core::LocalizationResult& fix = *outcome;
   std::printf("  beacon localized %.2f m away; error %.1f cm\n", fix.range,
               100.0 * core::localization_error(fix, clear));
   return 0;

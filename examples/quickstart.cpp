@@ -33,7 +33,12 @@ int main() {
               session.audio.sample_rate, session.imu.size(),
               session.imu.sample_rate);
 
-  const core::LocalizationResult result = core::localize(session);
+  const auto outcome = core::try_localize(session);
+  if (!outcome.has_value()) {
+    std::printf("Localization error: %s\n", core::describe(outcome.error()).c_str());
+    return 1;
+  }
+  const core::LocalizationResult& result = *outcome;
   if (!result.valid) {
     std::printf("Localization failed (no accepted slides).\n");
     return 1;

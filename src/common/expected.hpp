@@ -1,0 +1,88 @@
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+/// @file expected.hpp
+/// A minimal `Expected<T, E>` — a value or an error, never both — used to
+/// carry pipeline failures as values across thread boundaries where an
+/// exception must not escape (std::expected arrives in C++23; this is the
+/// subset the codebase needs). Construct success implicitly from a `T` and
+/// failure via `Unexpected<E>` / `make_unexpected`:
+///
+///   Expected<double, std::string> parse(...) {
+///     if (bad) return make_unexpected<std::string>("bad input");
+///     return 1.0;
+///   }
+
+namespace hyperear {
+
+/// Wrapper that disambiguates the error alternative of `Expected`.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return {std::forward<E>(error)};
+}
+
+template <typename T, typename E>
+class Expected {
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> error)
+      : state_(std::in_place_index<1>, std::move(error.error)) {}
+
+  [[nodiscard]] bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  /// Access the value; violating the precondition throws PreconditionError.
+  [[nodiscard]] T& value() & {
+    require(has_value(), "Expected::value: holds an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require(has_value(), "Expected::value: holds an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    require(has_value(), "Expected::value: holds an error");
+    return std::get<0>(std::move(state_));
+  }
+
+  /// Access the error; violating the precondition throws PreconditionError.
+  [[nodiscard]] E& error() & {
+    require(!has_value(), "Expected::error: holds a value");
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] const E& error() const& {
+    require(!has_value(), "Expected::error: holds a value");
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] E&& error() && {
+    require(!has_value(), "Expected::error: holds a value");
+    return std::get<1>(std::move(state_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace hyperear

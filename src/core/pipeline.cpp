@@ -1,36 +1,153 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 
 namespace hyperear::core {
 
-LocalizationResult localize(const sim::Session& session, PipelineOptions options) {
-  options.sync();
-  const AspResult asp =
-      preprocess_audio(session.audio, session.prior.chirp, session.prior.nominal_period,
-                       session.prior.calibration_duration, options.asp);
-  const imu::MotionSignals motion = imu::preprocess(session.imu, options.msp);
-  const double mic_separation = session.config.phone.mic_separation;
+namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::optional<PipelineError> config_violation(bool bad, const std::string& what) {
+  if (!bad) return std::nullopt;
+  return PipelineError{ErrorCategory::config, PipelineStage::config,
+                       "PipelineConfig: " + what};
+}
+
+}  // namespace
+
+std::optional<PipelineError> PipelineConfig::validate() const {
+  if (auto e = config_violation(asp.bandpass_taps < 3, "asp.bandpass_taps must be >= 3"))
+    return e;
+  if (auto e = config_violation(
+          asp.detector_threshold <= 0.0 || asp.detector_threshold >= 1.0,
+          "asp.detector_threshold must lie in (0, 1)"))
+    return e;
+  if (auto e = config_violation(asp.min_event_spacing_s <= 0.0,
+                                "asp.min_event_spacing_s must be positive"))
+    return e;
+  if (auto e = config_violation(asp.min_calibration_events < 2,
+                                "asp.min_calibration_events must be >= 2"))
+    return e;
+  if (auto e = config_violation(msp.sma_length == 0, "msp.sma_length must be >= 1"))
+    return e;
+  if (auto e = config_violation(ttl.min_slide_distance < 0.0,
+                                "ttl.min_slide_distance must be non-negative"))
+    return e;
+  if (auto e = config_violation(ttl.max_z_rotation_deg <= 0.0,
+                                "ttl.max_z_rotation_deg must be positive"))
+    return e;
+  if (auto e = config_violation(ttl.chirp_duration_s <= 0.0,
+                                "ttl.chirp_duration_s must be positive"))
+    return e;
+  if (auto e =
+          config_violation(ttl.lookback_s <= 0.0, "ttl.lookback_s must be positive"))
+    return e;
+  if (auto e = config_violation(ttl.max_pairs == 0, "ttl.max_pairs must be >= 1"))
+    return e;
+  if (auto e = config_violation(ttl.max_range <= 0.0, "ttl.max_range must be positive"))
+    return e;
+  if (auto e = config_violation(min_stature_change < 0.0,
+                                "min_stature_change must be non-negative"))
+    return e;
+  return std::nullopt;
+}
+
+PleOptions PipelineConfig::ple_options() const {
+  PleOptions ple;
+  ple.ttl = ttl;
+  ple.min_stature_change = min_stature_change;
+  ple.z_segmentation = z_segmentation;
+  return ple;
+}
+
+Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& session,
+                                                         const PipelineConfig& config,
+                                                         StageMetrics* metrics) {
+  StageMetrics local;
+  if (metrics != nullptr) *metrics = local;
+  if (std::optional<PipelineError> bad = config.validate()) {
+    return make_unexpected(*std::move(bad));
+  }
+
+  const auto fail = [&](const std::exception& e, PipelineStage stage) {
+    if (metrics != nullptr) *metrics = local;
+    return make_unexpected(error_from_exception(e, stage));
+  };
+
+  AspResult asp;
+  try {
+    const Clock::time_point t0 = Clock::now();
+    asp = preprocess_audio(session.audio, session.prior.chirp,
+                           session.prior.nominal_period,
+                           session.prior.calibration_duration, config.asp);
+    local.asp_ms = ms_since(t0);
+    local.chirps_mic1 = asp.mic1.size();
+    local.chirps_mic2 = asp.mic2.size();
+    local.sfo_estimated = asp.sfo_estimated;
+  } catch (const std::exception& e) {
+    return fail(e, PipelineStage::asp);
+  }
+
+  imu::MotionSignals motion;
+  try {
+    const Clock::time_point t0 = Clock::now();
+    motion = imu::preprocess(session.imu, config.msp);
+    local.msp_ms = ms_since(t0);
+  } catch (const std::exception& e) {
+    return fail(e, PipelineStage::msp);
+  }
+
+  const double mic_separation = session.config.phone.mic_separation;
   LocalizationResult result;
   result.estimated_period = asp.estimated_period;
   result.sfo_ppm = asp.sfo_ppm;
 
   if (session.prior.two_statures) {
-    result.used_3d = true;
-    result.ple = localize_3d(asp, motion, session.prior, mic_separation, options.ple);
-    result.valid = result.ple.valid;
-    result.estimated_position = result.ple.estimated_position;
-    result.range = result.ple.projected_distance;
-    result.slides_used = result.ple.slides_used;
+    try {
+      const Clock::time_point t0 = Clock::now();
+      result.ple = localize_3d(asp, motion, session.prior, mic_separation,
+                               config.ple_options());
+      local.solve_ms = ms_since(t0);
+    } catch (const std::exception& e) {
+      return fail(e, PipelineStage::ple);
+    }
+    result.valid = result.ple->valid;
+    result.estimated_position = result.ple->estimated_position;
+    result.range = result.ple->projected_distance;
+    result.slides_used = result.ple->slides_used;
+    local.slides_segmented = static_cast<int>(result.ple->slides.size());
+    local.slides_accepted = result.ple->slides_used;
   } else {
-    result.ttl = localize_2d(asp, motion, session.prior, mic_separation, options.ttl);
-    result.valid = result.ttl.valid;
-    result.estimated_position = result.ttl.estimated_position;
-    result.range = result.ttl.aggregated_l;
-    result.slides_used = result.ttl.accepted_count;
+    try {
+      const Clock::time_point t0 = Clock::now();
+      result.ttl = localize_2d(asp, motion, session.prior, mic_separation, config.ttl);
+      local.solve_ms = ms_since(t0);
+    } catch (const std::exception& e) {
+      return fail(e, PipelineStage::ttl);
+    }
+    result.valid = result.ttl->valid;
+    result.estimated_position = result.ttl->estimated_position;
+    result.range = result.ttl->aggregated_l;
+    result.slides_used = result.ttl->accepted_count;
+    local.slides_segmented = static_cast<int>(result.ttl->slides.size());
+    local.slides_accepted = result.ttl->accepted_count;
   }
+
+  if (metrics != nullptr) *metrics = local;
   return result;
+}
+
+LocalizationResult localize(const sim::Session& session, const PipelineConfig& config) {
+  Expected<LocalizationResult, PipelineError> r = try_localize(session, config);
+  if (!r.has_value()) rethrow(r.error());
+  return *std::move(r);
 }
 
 double localization_error(const LocalizationResult& result, const sim::Session& session) {

@@ -1,0 +1,68 @@
+#include "core/status.hpp"
+
+#include "common/error.hpp"
+
+namespace hyperear::core {
+
+const char* to_string(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::precondition: return "precondition";
+    case ErrorCategory::numerical: return "numerical";
+    case ErrorCategory::detection: return "detection";
+    case ErrorCategory::config: return "config";
+    case ErrorCategory::internal: return "internal";
+  }
+  return "internal";
+}
+
+const char* to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::config: return "config";
+    case PipelineStage::asp: return "asp";
+    case PipelineStage::msp: return "msp";
+    case PipelineStage::ttl: return "ttl";
+    case PipelineStage::ple: return "ple";
+    case PipelineStage::aggregate: return "aggregate";
+  }
+  return "config";
+}
+
+std::string describe(const PipelineError& error) {
+  return std::string("[") + to_string(error.stage) + "] " + to_string(error.category) +
+         ": " + error.message;
+}
+
+ErrorCategory classify_exception(const std::exception& e) {
+  // Order matters: most-derived first.
+  if (dynamic_cast<const PreconditionError*>(&e) != nullptr) {
+    return ErrorCategory::precondition;
+  }
+  if (dynamic_cast<const NumericalError*>(&e) != nullptr) {
+    return ErrorCategory::numerical;
+  }
+  if (dynamic_cast<const DetectionError*>(&e) != nullptr) {
+    return ErrorCategory::detection;
+  }
+  return ErrorCategory::internal;
+}
+
+PipelineError error_from_exception(const std::exception& e, PipelineStage stage) {
+  return {classify_exception(e), stage, e.what()};
+}
+
+void rethrow(const PipelineError& error) {
+  switch (error.category) {
+    case ErrorCategory::precondition:
+    case ErrorCategory::config:
+      throw PreconditionError(error.message);
+    case ErrorCategory::numerical:
+      throw NumericalError(error.message);
+    case ErrorCategory::detection:
+      throw DetectionError(error.message);
+    case ErrorCategory::internal:
+      throw Error(error.message);
+  }
+  throw Error(error.message);
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+/// @file status.hpp
+/// The pipeline's error taxonomy: every failure a localization attempt can
+/// produce, as a value. `core::try_localize` and the runtime engine report
+/// a `PipelineError` instead of letting an exception escape — essential
+/// once sessions run on worker threads, where an unhandled exception would
+/// terminate the process. The taxonomy round-trips with the exception
+/// hierarchy in common/error.hpp: `classify_exception` maps an exception to
+/// a category and `rethrow` reconstructs the matching exception type.
+
+namespace hyperear::core {
+
+/// What went wrong, by failure class (mirrors the Error hierarchy).
+enum class ErrorCategory {
+  precondition,  ///< caller violated a documented contract (PreconditionError)
+  numerical,     ///< a solver failed to converge or degenerated (NumericalError)
+  detection,     ///< a stage found nothing usable in the data (DetectionError)
+  config,        ///< PipelineConfig failed validation
+  internal,      ///< anything else (bad_alloc, logic errors, unknown throws)
+};
+
+/// Where in the ASP -> MSP -> TTL/PLE flow the failure surfaced.
+enum class PipelineStage {
+  config,     ///< option validation, before any signal processing
+  asp,        ///< acoustic signal preprocessing
+  msp,        ///< motion signal preprocessing
+  ttl,        ///< 2D TDoA localization (includes PDE)
+  ple,        ///< 3D projected location estimation
+  aggregate,  ///< cross-slide/session aggregation and scoring
+};
+
+/// One pipeline failure, as a value.
+struct PipelineError {
+  ErrorCategory category = ErrorCategory::internal;
+  PipelineStage stage = PipelineStage::config;
+  std::string message;
+};
+
+[[nodiscard]] const char* to_string(ErrorCategory category);
+[[nodiscard]] const char* to_string(PipelineStage stage);
+
+/// "[stage] category: message" — the human-readable rendering.
+[[nodiscard]] std::string describe(const PipelineError& error);
+
+/// Map a caught exception to its taxonomy category.
+[[nodiscard]] ErrorCategory classify_exception(const std::exception& e);
+
+/// Build a PipelineError from a caught exception at a given stage.
+[[nodiscard]] PipelineError error_from_exception(const std::exception& e,
+                                                 PipelineStage stage);
+
+/// Inverse of `classify_exception`: throw the Error subclass matching the
+/// category (config/internal map to PreconditionError/Error). Used by the
+/// throwing `core::localize` shim so legacy catch sites keep working.
+[[noreturn]] void rethrow(const PipelineError& error);
+
+}  // namespace hyperear::core

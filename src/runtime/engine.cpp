@@ -1,0 +1,122 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace hyperear::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t default_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+const char* to_string(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::ok: return "ok";
+    case SessionStatus::no_solution: return "no_solution";
+    case SessionStatus::error: return "error";
+  }
+  return "error";
+}
+
+BatchEngine::BatchEngine(core::PipelineConfig config, std::size_t threads)
+    : config_(std::move(config)), pool_(default_threads(threads)) {
+  if (std::optional<core::PipelineError> bad = config_.validate()) {
+    throw PreconditionError("BatchEngine: " + describe(*bad));
+  }
+}
+
+SessionReport BatchEngine::run_one(const sim::Session& session) {
+  SessionReport report;
+  const Clock::time_point t0 = Clock::now();
+  try {
+    Expected<core::LocalizationResult, core::PipelineError> outcome =
+        core::try_localize(session, config_, &report.metrics);
+    if (outcome.has_value()) {
+      report.result = *std::move(outcome);
+      report.status =
+          report.result.valid ? SessionStatus::ok : SessionStatus::no_solution;
+    } else {
+      report.status = SessionStatus::error;
+      report.error = std::move(outcome).error();
+    }
+  } catch (const std::exception& e) {
+    // try_localize already maps stage failures; this guards the remaining
+    // surface (bad_alloc, metric copies) so no exception reaches the pool.
+    report.status = SessionStatus::error;
+    report.error = core::error_from_exception(e, core::PipelineStage::aggregate);
+  }
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  record(report);
+  return report;
+}
+
+void BatchEngine::record(const SessionReport& report) {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.completed;
+  switch (report.status) {
+    case SessionStatus::ok: ++stats_.ok; break;
+    case SessionStatus::no_solution: ++stats_.no_solution; break;
+    case SessionStatus::error:
+      ++stats_.errors;
+      ++stats_.errors_by_category[static_cast<std::size_t>(report.error.category)];
+      break;
+  }
+  stats_.asp_ms += report.metrics.asp_ms;
+  stats_.msp_ms += report.metrics.msp_ms;
+  stats_.solve_ms += report.metrics.solve_ms;
+  stats_.total_ms += report.wall_ms;
+  stats_.chirps_detected += report.metrics.chirps_mic1 + report.metrics.chirps_mic2;
+}
+
+std::future<SessionReport> BatchEngine::submit(const sim::Session& session) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  auto task = std::make_shared<std::packaged_task<SessionReport()>>(
+      [this, &session] { return run_one(session); });
+  std::future<SessionReport> future = task->get_future();
+  pool_.post([task] { (*task)(); });
+  return future;
+}
+
+std::future<SessionReport> BatchEngine::submit(sim::Session&& session) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  auto owned = std::make_shared<sim::Session>(std::move(session));
+  auto task = std::make_shared<std::packaged_task<SessionReport()>>(
+      [this, owned] { return run_one(*owned); });
+  std::future<SessionReport> future = task->get_future();
+  pool_.post([task] { (*task)(); });
+  return future;
+}
+
+std::vector<SessionReport> BatchEngine::localize_all(
+    std::span<const sim::Session> sessions) {
+  std::vector<std::future<SessionReport>> futures;
+  futures.reserve(sessions.size());
+  for (const sim::Session& s : sessions) futures.push_back(submit(s));
+  std::vector<SessionReport> reports;
+  reports.reserve(futures.size());
+  for (std::future<SessionReport>& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+EngineStats BatchEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace hyperear::runtime

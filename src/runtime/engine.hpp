@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/scenario.hpp"
+
+/// @file engine.hpp
+/// The batch-localization engine: runs the full ASP -> MSP -> TTL/PLE
+/// pipeline over many independent sessions concurrently on an internal
+/// thread pool. Every per-session failure is captured as a value
+/// (`SessionReport`), never as an exception escaping a worker — one
+/// corrupt session cannot poison a batch. Results are deterministic:
+/// sessions are pure functions of their inputs, so a report is
+/// bit-identical no matter which worker produced it or how many workers
+/// exist (bench_engine_throughput asserts this).
+
+namespace hyperear::runtime {
+
+/// Terminal status of one session run.
+enum class SessionStatus {
+  ok,           ///< pipeline produced a valid fix
+  no_solution,  ///< pipeline ran cleanly but no slide passed the gate
+  error,        ///< a stage failed; see `error`
+};
+
+[[nodiscard]] const char* to_string(SessionStatus status);
+
+/// Everything the engine has to say about one session.
+struct SessionReport {
+  SessionStatus status = SessionStatus::error;
+  core::LocalizationResult result;  ///< meaningful unless status == error
+  core::PipelineError error;        ///< meaningful iff status == error
+  core::StageMetrics metrics;       ///< filled up to the failing stage
+  double wall_ms = 0.0;             ///< end-to-end time on the worker
+};
+
+/// Aggregate counters across every session the engine has completed.
+/// Snapshot via BatchEngine::stats().
+struct EngineStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t ok = 0;
+  std::size_t no_solution = 0;
+  std::size_t errors = 0;
+  /// Errors by ErrorCategory (indexed by static_cast<size_t>(category)).
+  std::array<std::size_t, 5> errors_by_category{};
+  // Cumulative per-stage wall time across sessions (observability, not
+  // wall-clock: stages on different workers overlap).
+  double asp_ms = 0.0;
+  double msp_ms = 0.0;
+  double solve_ms = 0.0;
+  double total_ms = 0.0;
+  std::size_t chirps_detected = 0;
+};
+
+/// Concurrent batch localizer. Construction validates the config (throws
+/// PreconditionError on a violation — a misconfigured engine is a
+/// programming error, unlike a corrupt session, which is data) and spins
+/// up the pool; the config is immutable for the engine's lifetime.
+class BatchEngine {
+ public:
+  /// `threads == 0` means hardware_concurrency (min 1).
+  explicit BatchEngine(core::PipelineConfig config = {}, std::size_t threads = 0);
+
+  /// Enqueue one session; the future resolves when a worker finishes it.
+  /// The caller must keep `session` alive until then (localize_all does
+  /// this for you); the owning overload below takes that burden.
+  [[nodiscard]] std::future<SessionReport> submit(const sim::Session& session);
+  [[nodiscard]] std::future<SessionReport> submit(sim::Session&& session);
+
+  /// Run a whole batch and block until every session is done. Reports come
+  /// back in input order regardless of completion order.
+  [[nodiscard]] std::vector<SessionReport> localize_all(
+      std::span<const sim::Session> sessions);
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
+  [[nodiscard]] const core::PipelineConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] SessionReport run_one(const sim::Session& session);
+  void record(const SessionReport& report);
+
+  const core::PipelineConfig config_;
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+  ThreadPool pool_;  // declared last: workers must die before state above
+};
+
+}  // namespace hyperear::runtime

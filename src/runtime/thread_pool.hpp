@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// @file thread_pool.hpp
+/// A fixed-size worker pool with a single FIFO task queue — the execution
+/// substrate of the batch-localization engine. Tasks must not throw (the
+/// engine wraps every session in a catch-all and reports failures as
+/// values); a task that does throw terminates the process, by design, so
+/// bugs surface instead of vanishing on a worker thread.
+
+namespace hyperear::runtime {
+
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers (>= 1; pass hardware_concurrency yourself if
+  /// you want "all cores" — the pool does not guess).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue: blocks until every posted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some worker, FIFO order.
+  void post(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hyperear::runtime

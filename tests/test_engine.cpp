@@ -1,0 +1,148 @@
+/// Concurrency tests of the batch-localization engine (ctest label
+/// "engine"; run them under ThreadSanitizer via the `tsan` preset):
+/// results must be bit-identical regardless of the worker count, and one
+/// corrupt session must not poison the rest of its batch.
+
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::runtime {
+namespace {
+
+sim::ScenarioConfig small_scenario() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  return c;
+}
+
+std::vector<sim::Session> make_batch(std::size_t count, std::uint64_t seed0) {
+  std::vector<sim::Session> sessions;
+  sessions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(seed0 + i);
+    sessions.push_back(sim::make_localization_session(small_scenario(), rng));
+  }
+  return sessions;
+}
+
+/// Bit-exact equality of the deterministic result fields.
+void expect_identical(const core::LocalizationResult& a,
+                      const core::LocalizationResult& b) {
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.slides_used, b.slides_used);
+  EXPECT_EQ(a.estimated_position.x, b.estimated_position.x);
+  EXPECT_EQ(a.estimated_position.y, b.estimated_position.y);
+  EXPECT_EQ(a.range, b.range);
+  EXPECT_EQ(a.estimated_period, b.estimated_period);
+  EXPECT_EQ(a.sfo_ppm, b.sfo_ppm);
+}
+
+TEST(BatchEngine, DeterministicAcrossThreadCounts) {
+  const std::vector<sim::Session> sessions = make_batch(3, 700);
+  BatchEngine serial({}, 1);
+  BatchEngine wide({}, 4);
+  const std::vector<SessionReport> base = serial.localize_all(sessions);
+  const std::vector<SessionReport> out = wide.localize_all(sessions);
+  ASSERT_EQ(base.size(), sessions.size());
+  ASSERT_EQ(out.size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(base[i].status, out[i].status) << "session " << i;
+    expect_identical(base[i].result, out[i].result);
+  }
+}
+
+TEST(BatchEngine, CorruptSessionDoesNotPoisonTheBatch) {
+  std::vector<sim::Session> sessions = make_batch(2, 710);
+  sessions.insert(sessions.begin() + 1, sim::Session{});  // empty audio
+  BatchEngine engine({}, 4);
+  const std::vector<SessionReport> reports = engine.localize_all(sessions);
+  ASSERT_EQ(reports.size(), 3u);
+
+  EXPECT_EQ(reports[1].status, SessionStatus::error);
+  EXPECT_EQ(reports[1].error.category, core::ErrorCategory::precondition);
+  EXPECT_EQ(reports[1].error.stage, core::PipelineStage::asp);
+
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_EQ(reports[i].status, SessionStatus::ok) << "session " << i;
+    EXPECT_TRUE(reports[i].result.valid);
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.errors_by_category[static_cast<std::size_t>(
+                core::ErrorCategory::precondition)],
+            1u);
+}
+
+TEST(BatchEngine, StationarySessionReportsNoSolution) {
+  std::vector<sim::Session> sessions = make_batch(1, 720);
+  // The user never slides: keep gravity, erase the motion.
+  for (auto* ch : {&sessions[0].imu.accel_x, &sessions[0].imu.accel_y}) {
+    std::fill(ch->begin(), ch->end(), 0.0);
+  }
+  std::fill(sessions[0].imu.accel_z.begin(), sessions[0].imu.accel_z.end(), 9.80665);
+  BatchEngine engine({}, 2);
+  const std::vector<SessionReport> reports = engine.localize_all(sessions);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, SessionStatus::no_solution);
+  EXPECT_FALSE(reports[0].result.valid);
+  EXPECT_EQ(engine.stats().no_solution, 1u);
+}
+
+TEST(BatchEngine, SubmitFutureAndOwningOverload) {
+  std::vector<sim::Session> sessions = make_batch(1, 730);
+  BatchEngine engine({}, 2);
+
+  std::future<SessionReport> borrowed = engine.submit(sessions[0]);
+  const SessionReport r1 = borrowed.get();
+  EXPECT_EQ(r1.status, SessionStatus::ok);
+
+  sim::Session moved = sessions[0];
+  std::future<SessionReport> owned = engine.submit(std::move(moved));
+  const SessionReport r2 = owned.get();
+  EXPECT_EQ(r2.status, SessionStatus::ok);
+  expect_identical(r1.result, r2.result);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GT(stats.chirps_detected, 0u);
+  EXPECT_GT(stats.asp_ms, 0.0);
+}
+
+TEST(BatchEngine, RejectsInvalidConfigAtConstruction) {
+  core::PipelineConfig bad;
+  bad.ttl.max_range = -1.0;
+  EXPECT_THROW(BatchEngine(bad, 1), PreconditionError);
+}
+
+TEST(BatchEngine, DefaultsToAtLeastOneWorker) {
+  BatchEngine engine({}, 0);
+  EXPECT_GE(engine.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryPostedTask) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) pool.post([&hits] { ++hits; });
+  }  // destructor drains the queue
+  EXPECT_EQ(hits.load(), 50);
+}
+
+}  // namespace
+}  // namespace hyperear::runtime

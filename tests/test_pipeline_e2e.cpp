@@ -27,7 +27,7 @@ TEST(PipelineE2E, Ruler2dLocalizesWithinDecimeters) {
   const sim::Session s = sim::make_localization_session(base_config(), rng);
   const LocalizationResult r = localize(s);
   ASSERT_TRUE(r.valid);
-  EXPECT_FALSE(r.used_3d);
+  EXPECT_FALSE(r.used_3d());
   EXPECT_EQ(r.slides_used, 3);
   EXPECT_LT(localization_error(r, s), 0.3);
   EXPECT_NEAR(r.range, 4.0, 0.3);
@@ -42,7 +42,7 @@ TEST(PipelineE2E, HandHeld3dLocalizes) {
   const sim::Session s = sim::make_localization_session(c, rng);
   const LocalizationResult r = localize(s);
   ASSERT_TRUE(r.valid);
-  EXPECT_TRUE(r.used_3d);
+  EXPECT_TRUE(r.used_3d());
   EXPECT_LT(localization_error(r, s), 0.8);
 }
 
@@ -68,8 +68,8 @@ TEST(PipelineE2E, SfoCorrectionMattersWithBigOffset) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     Rng rng(204 + seed);
     const sim::Session s = sim::make_localization_session(c, rng);
-    PipelineOptions on;
-    PipelineOptions off;
+    PipelineConfig on;
+    PipelineConfig off;
     off.asp.sfo_correction = false;
     const LocalizationResult r_on = localize(s, on);
     const LocalizationResult r_off = localize(s, off);
@@ -97,8 +97,8 @@ TEST(PipelineE2E, DriftCorrectionMatters) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     Rng rng(208 + seed);
     const sim::Session s = sim::make_localization_session(c, rng);
-    PipelineOptions on;
-    PipelineOptions off;
+    PipelineConfig on;
+    PipelineConfig off;
     off.ttl.displacement.drift_correction = false;
     const LocalizationResult r_on = localize(s, on);
     const LocalizationResult r_off = localize(s, off);

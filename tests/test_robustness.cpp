@@ -117,7 +117,7 @@ TEST(Robustness, WrongNominalPeriodPriorAbsorbedBySfo) {
   EXPECT_LT(localization_error(r, s), 0.4);
   // ...but without SFO correction the n*T bookkeeping is off by ~20 ms per
   // slide and the fix collapses.
-  PipelineOptions no_sfo;
+  PipelineConfig no_sfo;
   no_sfo.asp.sfo_correction = false;
   const LocalizationResult broken = localize(s, no_sfo);
   EXPECT_TRUE(!broken.valid || localization_error(broken, s) > 1.0);

@@ -81,15 +81,22 @@ sim::ScenarioConfig config_from(const Args& args) {
   return c;
 }
 
-void print_fix(const core::LocalizationResult& fix) {
+/// Print a localization outcome; returns the process exit code (0 = fix).
+int print_fix(const Expected<core::LocalizationResult, core::PipelineError>& outcome) {
+  if (!outcome.has_value()) {
+    std::printf("localization ERROR %s\n", core::describe(outcome.error()).c_str());
+    return 1;
+  }
+  const core::LocalizationResult& fix = *outcome;
   if (!fix.valid) {
     std::printf("localization FAILED (no accepted slides)\n");
-    return;
+    return 1;
   }
   std::printf("fix: position (%.3f, %.3f) m on the map, range %.3f m\n",
               fix.estimated_position.x, fix.estimated_position.y, fix.range);
   std::printf("     %d slides used, SFO %+.1f ppm (period %.6f s)\n", fix.slides_used,
               fix.sfo_ppm, fix.estimated_period);
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -144,23 +151,22 @@ int cmd_localize(const Args& args) {
   s.prior.two_statures = args.has("3d");
   s.config.phone =
       args.get("phone", "s4") == "note3" ? sim::galaxy_note3() : sim::galaxy_s4();
-  const core::LocalizationResult fix = core::localize(s);
-  print_fix(fix);
-  return fix.valid ? 0 : 1;
+  const auto outcome = core::try_localize(s);
+  return print_fix(outcome);
 }
 
 int cmd_demo(const Args& args) {
   Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 7.0)));
   sim::ScenarioConfig c = config_from(args);
   const sim::Session s = sim::make_localization_session(c, rng);
-  const core::LocalizationResult fix = core::localize(s);
-  print_fix(fix);
-  if (fix.valid) {
+  const auto outcome = core::try_localize(s);
+  const int code = print_fix(outcome);
+  if (code == 0) {
     std::printf("     truth (%.3f, %.3f) -> error %.1f cm\n",
                 s.truth.speaker_position.x, s.truth.speaker_position.y,
-                100.0 * core::localization_error(fix, s));
+                100.0 * core::localization_error(*outcome, s));
   }
-  return fix.valid ? 0 : 1;
+  return code;
 }
 
 }  // namespace
