@@ -5,6 +5,11 @@
 /// scaling on multi-core hardware and (b) bit-identical per-session
 /// results at every thread count — both are checked and printed.
 ///
+/// The first row ("no-ctx") runs the pipeline serially WITHOUT the shared
+/// PipelineContext, rebuilding every DSP plan (band-pass taps, chirp
+/// reference, reference FFT spectrum) per session — the cost the engine's
+/// plan cache removes. Engine rows must match it bit-for-bit.
+///
 /// HYPEREAR_TRIALS scales the batch size (default 8 sessions).
 
 #include <algorithm>
@@ -63,6 +68,28 @@ int main() {
 
   std::printf("%8s %10s %12s %9s %6s %13s\n", "threads", "wall s", "sessions/s",
               "speedup", "ok", "identical");
+  {
+    // Per-session plan construction (the pre-PipelineContext behaviour):
+    // serial try_localize with no shared context.
+    const Clock::time_point t0 = Clock::now();
+    std::size_t ok = 0;
+    baseline.resize(n_sessions);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      auto outcome = core::try_localize(sessions[i], {}, &baseline[i].metrics);
+      if (outcome.has_value()) {
+        baseline[i].result = *std::move(outcome);
+        baseline[i].status = baseline[i].result.valid
+                                 ? runtime::SessionStatus::ok
+                                 : runtime::SessionStatus::no_solution;
+      }
+      if (baseline[i].status == runtime::SessionStatus::ok) ++ok;
+    }
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    baseline_rate = static_cast<double>(n_sessions) / seconds;
+    std::printf("%8s %10.2f %12.2f %8.2fx %6zu %13s\n", "no-ctx", seconds,
+                baseline_rate, 1.0, ok, "(ref)");
+  }
+
   for (const std::size_t threads : counts) {
     runtime::BatchEngine engine({}, threads);
     const Clock::time_point t0 = Clock::now();
@@ -75,21 +102,17 @@ int main() {
       if (r.status == runtime::SessionStatus::ok) ++ok;
     }
     bool same = true;
-    if (baseline.empty()) {
-      baseline = reports;
-      baseline_rate = rate;
-    } else {
-      for (std::size_t i = 0; i < reports.size(); ++i) {
-        same = same && identical(reports[i].result, baseline[i].result);
-      }
-      all_identical = all_identical && same;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      same = same && identical(reports[i].result, baseline[i].result);
     }
+    all_identical = all_identical && same;
     std::printf("%8zu %10.2f %12.2f %8.2fx %6zu %13s\n", threads, seconds, rate,
                 rate / baseline_rate, ok, same ? "yes" : "MISMATCH");
   }
 
-  std::printf("\nresults bit-identical across thread counts: %s\n",
-              all_identical ? "yes" : "NO — determinism bug");
+  std::printf("\nresults bit-identical to per-session plans at every thread "
+              "count: %s\n",
+              all_identical ? "yes" : "NO — shared-context or determinism bug");
   if (hw < 4) {
     std::printf("note: only %u hardware thread(s) available; speedup beyond %u\n"
                 "requires multi-core hardware (workers time-slice here).\n", hw, hw);

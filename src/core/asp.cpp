@@ -1,9 +1,11 @@
 #include "core/asp.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "core/pipeline_context.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/matched_filter.hpp"
 
@@ -12,13 +14,7 @@ namespace hyperear::core {
 namespace {
 
 std::vector<ChirpEvent> detect_events(const std::vector<double>& signal,
-                                      const dsp::Chirp& chirp, double sample_rate,
-                                      const AspOptions& options) {
-  dsp::DetectorConfig cfg;
-  cfg.sample_rate = sample_rate;
-  cfg.threshold = options.detector_threshold;
-  cfg.min_spacing_s = options.min_event_spacing_s;
-  const dsp::MatchedFilterDetector detector(chirp.reference(sample_rate), cfg);
+                                      const dsp::MatchedFilterDetector& detector) {
   std::vector<ChirpEvent> events;
   for (const dsp::Detection& d : detector.detect(signal)) {
     events.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
@@ -53,28 +49,32 @@ double estimate_period(const std::vector<ChirpEvent>& events, double nominal_per
 
 AspResult preprocess_audio(const sim::StereoRecording& recording,
                            const dsp::ChirpParams& chirp_params, double nominal_period,
-                           double calibration_duration, const AspOptions& options) {
+                           double calibration_duration, const AspOptions& options,
+                           const PipelineContext* context) {
   require(!recording.mic1.empty() && recording.mic1.size() == recording.mic2.size(),
           "preprocess_audio: bad recording");
   const double fs = recording.sample_rate;
-  const dsp::Chirp chirp(chirp_params);
+  // Reuse the caller's precomputed plans when they were built for exactly
+  // this configuration; otherwise derive session-local ones. Both paths run
+  // the same code on the same plans, so the results are bit-identical.
+  std::optional<PipelineContext> local;
+  if (context == nullptr || !context->matches(options, chirp_params, fs)) {
+    local.emplace(options, chirp_params, fs);
+    context = &*local;
+  }
 
   AspResult result;
   result.estimated_period = nominal_period;
 
   if (options.bandpass) {
-    const double lo = std::max(chirp_params.freq_low_hz - options.band_margin_hz, 50.0);
-    const double hi =
-        std::min(chirp_params.freq_high_hz + options.band_margin_hz, fs / 2.0 - 50.0);
-    const std::vector<double> taps =
-        dsp::design_bandpass(lo, hi, fs, options.bandpass_taps);
+    const std::vector<double>& taps = context->bandpass_taps();
     const std::vector<double> f1 = dsp::filter_same(recording.mic1, taps);
     const std::vector<double> f2 = dsp::filter_same(recording.mic2, taps);
-    result.mic1 = detect_events(f1, chirp, fs, options);
-    result.mic2 = detect_events(f2, chirp, fs, options);
+    result.mic1 = detect_events(f1, context->detector());
+    result.mic2 = detect_events(f2, context->detector());
   } else {
-    result.mic1 = detect_events(recording.mic1, chirp, fs, options);
-    result.mic2 = detect_events(recording.mic2, chirp, fs, options);
+    result.mic1 = detect_events(recording.mic1, context->detector());
+    result.mic2 = detect_events(recording.mic2, context->detector());
   }
 
   if (options.sfo_correction) {

@@ -30,6 +30,8 @@ struct ChirpEvent {
 };
 
 /// ASP configuration (defaults reproduce the paper's pipeline).
+/// Equality-comparable so a `PipelineContext` can tell whether its cached
+/// DSP plans were built for these exact options.
 struct AspOptions {
   bool bandpass = true;
   std::size_t bandpass_taps = 255;
@@ -39,6 +41,8 @@ struct AspOptions {
   bool sfo_correction = true;
   /// Minimum calibration-head events needed for an SFO estimate.
   std::size_t min_calibration_events = 5;
+
+  [[nodiscard]] friend bool operator==(const AspOptions&, const AspOptions&) = default;
 };
 
 /// Output of ASP.
@@ -50,14 +54,23 @@ struct AspResult {
   bool sfo_estimated = false;     ///< false -> nominal period was used
 };
 
+class PipelineContext;
+
 /// Run ASP on a stereo recording. `nominal_period` is the beacon's
 /// advertised chirp period; `calibration_duration` the static head of the
 /// session used for the SFO fit.
+///
+/// `context` may carry the precomputed DSP plans (band-pass taps, chirp
+/// reference, matched-filter spectra) for these options; pass nullptr — or
+/// a context built for different options/chirp/sample-rate — and a
+/// session-local context is built instead, so results never depend on
+/// whether a cache was supplied.
 [[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
                                          const dsp::ChirpParams& chirp,
                                          double nominal_period,
                                          double calibration_duration,
-                                         const AspOptions& options = {});
+                                         const AspOptions& options = {},
+                                         const PipelineContext* context = nullptr);
 
 /// Estimate the beacon period as seen by the phone clock from arrivals of a
 /// static interval: robust line fit of arrival time against chirp index

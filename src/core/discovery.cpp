@@ -9,24 +9,44 @@
 
 namespace hyperear::core {
 
+DiscoveryContext::DiscoveryContext(std::vector<TagSignature> candidates,
+                                   double sample_rate, const DiscoveryOptions& options)
+    : candidates_(std::move(candidates)), options_(options), sample_rate_(sample_rate) {
+  require(sample_rate_ > 0.0, "DiscoveryContext: bad sample rate");
+  detectors_.reserve(candidates_.size());
+  for (const TagSignature& tag : candidates_) {
+    const dsp::Chirp chirp(tag.spec.chirp);
+    dsp::DetectorConfig cfg;
+    cfg.sample_rate = sample_rate_;
+    cfg.threshold = options_.detector_threshold;
+    cfg.min_spacing_s = 0.5 * tag.spec.period_s;
+    detectors_.emplace_back(chirp.reference(sample_rate_), cfg);
+  }
+}
+
+const dsp::MatchedFilterDetector& DiscoveryContext::detector(std::size_t i) const {
+  require(i < detectors_.size(), "DiscoveryContext: tag index out of range");
+  return detectors_[i];
+}
+
 std::vector<TagPresence> discover_tags(const std::vector<double>& recording,
                                        double sample_rate,
                                        const std::vector<TagSignature>& candidates,
                                        const DiscoveryOptions& options) {
+  return discover_tags(recording, DiscoveryContext(candidates, sample_rate, options));
+}
+
+std::vector<TagPresence> discover_tags(const std::vector<double>& recording,
+                                       const DiscoveryContext& context) {
   require(!recording.empty(), "discover_tags: empty recording");
-  require(sample_rate > 0.0, "discover_tags: bad sample rate");
+  const DiscoveryOptions& options = context.options();
   std::vector<TagPresence> out;
-  out.reserve(candidates.size());
-  for (const TagSignature& tag : candidates) {
+  out.reserve(context.candidates().size());
+  for (std::size_t t = 0; t < context.candidates().size(); ++t) {
+    const TagSignature& tag = context.candidates()[t];
     TagPresence p;
     p.name = tag.name;
-    const dsp::Chirp chirp(tag.spec.chirp);
-    dsp::DetectorConfig cfg;
-    cfg.sample_rate = sample_rate;
-    cfg.threshold = options.detector_threshold;
-    cfg.min_spacing_s = 0.5 * tag.spec.period_s;
-    const dsp::MatchedFilterDetector detector(chirp.reference(sample_rate), cfg);
-    const std::vector<dsp::Detection> hits = detector.detect(recording);
+    const std::vector<dsp::Detection> hits = context.detector(t).detect(recording);
     p.detections = hits.size();
     if (hits.size() >= options.min_detections) {
       std::vector<double> gaps, amps;

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "dsp/matched_filter.hpp"
 #include "sim/acoustic_renderer.hpp"
 #include "sim/speaker.hpp"
 
@@ -42,9 +43,39 @@ struct DiscoveryOptions {
   double detector_threshold = 0.22;
 };
 
+/// Precomputed per-tag matched-filter plans for repeated scans: a guided
+/// search or a batch service scans every incoming recording against the
+/// same registered tags, and rebuilding each tag's reference + FFT plan
+/// per scan is pure waste. Immutable after construction; share one
+/// instance read-only across threads.
+class DiscoveryContext {
+ public:
+  DiscoveryContext(std::vector<TagSignature> candidates, double sample_rate,
+                   const DiscoveryOptions& options = {});
+
+  [[nodiscard]] const std::vector<TagSignature>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] const DiscoveryOptions& options() const { return options_; }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+  /// Detector for candidates()[i].
+  [[nodiscard]] const dsp::MatchedFilterDetector& detector(std::size_t i) const;
+
+ private:
+  std::vector<TagSignature> candidates_;
+  DiscoveryOptions options_;
+  double sample_rate_ = 0.0;
+  std::vector<dsp::MatchedFilterDetector> detectors_;
+};
+
 /// Scan one mic channel of a recording for every candidate tag.
 [[nodiscard]] std::vector<TagPresence> discover_tags(
     const std::vector<double>& recording, double sample_rate,
     const std::vector<TagSignature>& candidates, const DiscoveryOptions& options = {});
+
+/// Same scan through precomputed plans: use when the same tag set is
+/// scanned repeatedly. Results are identical to the plan-free overload.
+[[nodiscard]] std::vector<TagPresence> discover_tags(
+    const std::vector<double>& recording, const DiscoveryContext& context);
 
 }  // namespace hyperear::core

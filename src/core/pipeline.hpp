@@ -89,6 +89,8 @@ struct LocalizationResult {
   [[nodiscard]] bool used_3d() const { return ple.has_value(); }
 };
 
+class PipelineContext;
+
 /// Run the full pipeline on a session without throwing. Uses the 3D
 /// (two-stature) flow when the session prior says two statures were
 /// recorded, the 2D flow otherwise. A session that processes cleanly but
@@ -97,9 +99,16 @@ struct LocalizationResult {
 /// reserved for config violations and stage failures. When `metrics` is
 /// non-null it receives the per-stage observability record (also on
 /// failure, up to the stage that failed).
+///
+/// `context` optionally supplies the precomputed DSP plans
+/// (core/pipeline_context.hpp). Leave it null for one-off calls — a
+/// session-local context is built, which is exactly what the pre-context
+/// pipeline did per session. Batch callers (`runtime::BatchEngine`) pass a
+/// shared immutable context so plans are built once per configuration, not
+/// once per session; results are bit-identical either way.
 [[nodiscard]] Expected<LocalizationResult, PipelineError> try_localize(
     const sim::Session& session, const PipelineConfig& config = {},
-    StageMetrics* metrics = nullptr);
+    StageMetrics* metrics = nullptr, const PipelineContext* context = nullptr);
 
 /// Throwing shim over `try_localize` for single-session callers: unwraps
 /// the success value or rethrows the taxonomy-matched Error subclass.

@@ -1,0 +1,50 @@
+#include "core/pipeline_context.hpp"
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "dsp/fir.hpp"
+
+namespace hyperear::core {
+
+namespace {
+
+std::vector<double> make_bandpass_taps(const AspOptions& asp,
+                                       const dsp::ChirpParams& chirp,
+                                       double sample_rate) {
+  if (!asp.bandpass) return {};
+  const double lo = std::max(chirp.freq_low_hz - asp.band_margin_hz, 50.0);
+  const double hi =
+      std::min(chirp.freq_high_hz + asp.band_margin_hz, sample_rate / 2.0 - 50.0);
+  return dsp::design_bandpass(lo, hi, sample_rate, asp.bandpass_taps);
+}
+
+dsp::DetectorConfig make_detector_config(const AspOptions& asp, double sample_rate) {
+  dsp::DetectorConfig cfg;
+  cfg.sample_rate = sample_rate;
+  cfg.threshold = asp.detector_threshold;
+  cfg.min_spacing_s = asp.min_event_spacing_s;
+  return cfg;
+}
+
+}  // namespace
+
+PipelineContext::PipelineContext(const AspOptions& asp, const dsp::ChirpParams& chirp,
+                                 double sample_rate)
+    : asp_(asp),
+      chirp_params_(chirp),
+      sample_rate_(sample_rate),
+      chirp_(chirp),
+      bandpass_taps_(make_bandpass_taps(asp, chirp, sample_rate)),
+      detector_(chirp_.reference(sample_rate), make_detector_config(asp, sample_rate)) {}
+
+PipelineContext::PipelineContext(const PipelineConfig& config,
+                                 const dsp::ChirpParams& chirp, double sample_rate)
+    : PipelineContext(config.asp, chirp, sample_rate) {}
+
+bool PipelineContext::matches(const AspOptions& asp, const dsp::ChirpParams& chirp,
+                              double sample_rate) const {
+  return asp_ == asp && chirp_params_ == chirp && sample_rate_ == sample_rate;
+}
+
+}  // namespace hyperear::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "core/asp.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/matched_filter.hpp"
+
+/// @file pipeline_context.hpp
+/// The shared DSP plan cache of the localization pipeline.
+///
+/// Every quantity the ASP stage derives from the *configuration* alone —
+/// the band-pass FIR taps, the sampled matched-filter reference, the
+/// reference's FFT spectrum at the detector chunk size and the FFT
+/// twiddle/plan tables behind it — is independent of the session being
+/// processed. A `PipelineContext` computes them once for a given
+/// (AspOptions, ChirpParams, sample rate) triple; `core::try_localize`
+/// and `asp::preprocess_audio` accept an optional context and fall back to
+/// building a session-local one when none (or an incompatible one) is
+/// supplied, so single-session callers keep working unchanged.
+///
+/// Threading rules: a constructed context is deeply immutable — every
+/// accessor is const and the underlying detector/plan state is read-only —
+/// so one instance may be shared by any number of concurrent pipeline
+/// runs without synchronization. `runtime::BatchEngine` owns a small cache
+/// of contexts (keyed by chirp parameters + sample rate) shared read-only
+/// by all of its workers. Results are bit-identical with and without a
+/// context: the context merely reuses the plans the planless path would
+/// rebuild per session.
+
+namespace hyperear::core {
+
+struct PipelineConfig;
+
+/// Immutable, shareable DSP plans for one (asp options, chirp, sample
+/// rate) combination. Construction validates the inputs the same way the
+/// per-session path does (throws PreconditionError on violations).
+class PipelineContext {
+ public:
+  PipelineContext(const AspOptions& asp, const dsp::ChirpParams& chirp,
+                  double sample_rate);
+  /// Convenience spelling: plans depend only on `config.asp`.
+  PipelineContext(const PipelineConfig& config, const dsp::ChirpParams& chirp,
+                  double sample_rate);
+
+  /// True when the cached plans are exactly the ones this combination
+  /// needs — the compatibility check callers use before reusing a context.
+  [[nodiscard]] bool matches(const AspOptions& asp, const dsp::ChirpParams& chirp,
+                             double sample_rate) const;
+
+  [[nodiscard]] const AspOptions& asp_options() const { return asp_; }
+  [[nodiscard]] const dsp::ChirpParams& chirp_params() const { return chirp_params_; }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+  [[nodiscard]] const dsp::Chirp& chirp() const { return chirp_; }
+  /// Empty when `asp_options().bandpass` is false.
+  [[nodiscard]] const std::vector<double>& bandpass_taps() const {
+    return bandpass_taps_;
+  }
+  /// Matched-filter detector with the reference spectrum and FFT plans
+  /// precomputed; `detect` is const and safe to call concurrently.
+  [[nodiscard]] const dsp::MatchedFilterDetector& detector() const {
+    return detector_;
+  }
+
+ private:
+  AspOptions asp_;
+  dsp::ChirpParams chirp_params_;
+  double sample_rate_;
+  dsp::Chirp chirp_;
+  std::vector<double> bandpass_taps_;
+  dsp::MatchedFilterDetector detector_;
+};
+
+}  // namespace hyperear::core

@@ -13,13 +13,18 @@
 
 namespace hyperear::dsp {
 
-/// Parameters of the up-down chirp.
+/// Parameters of the up-down chirp. Equality-comparable so plan caches
+/// (core::PipelineContext) can tell whether a precomputed reference
+/// waveform is reusable for a given beacon.
 struct ChirpParams {
   double freq_low_hz = 2000.0;   ///< start/end frequency
   double freq_high_hz = 6400.0;  ///< turn-around frequency
   double duration_s = 0.05;      ///< total length (up + down)
   double amplitude = 1.0;        ///< peak amplitude
   double edge_fade_fraction = 0.1;  ///< raised-cosine taper on each end
+
+  [[nodiscard]] friend bool operator==(const ChirpParams&,
+                                       const ChirpParams&) = default;
 };
 
 /// Analytic linear up/down chirp.

@@ -33,11 +33,20 @@ std::vector<double> correlate_valid(std::span<const double> x, std::span<const d
 
 std::vector<double> correlate_normalized(std::span<const double> x,
                                          std::span<const double> h) {
-  std::vector<double> corr = correlate_valid(x, h);
+  const std::vector<double> corr = correlate_valid(x, h);
   double h_energy = 0.0;
   for (double v : h) h_energy += v * v;
   require(h_energy > 0.0, "correlate_normalized: zero-energy template");
-  const double h_norm = std::sqrt(h_energy);
+  return normalize_correlation(corr, x, h.size(), std::sqrt(h_energy));
+}
+
+std::vector<double> normalize_correlation(std::span<const double> corr,
+                                          std::span<const double> x,
+                                          std::size_t h_size, double h_norm) {
+  require(h_norm > 0.0, "normalize_correlation: zero-energy template");
+  require(h_size >= 1 && h_size <= x.size() &&
+              corr.size() == x.size() - h_size + 1,
+          "normalize_correlation: correlation/signal length mismatch");
   // Running window energy of x via prefix sums. Silent stretches would
   // otherwise divide by (numerically) zero and amplify FFT round-off into
   // spurious peaks, so the window energy is floored at a small fraction of
@@ -45,14 +54,15 @@ std::vector<double> correlate_normalized(std::span<const double> x,
   std::vector<double> prefix(x.size() + 1, 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i] * x[i];
   const double mean_window_energy =
-      prefix[x.size()] * static_cast<double>(h.size()) / static_cast<double>(x.size());
+      prefix[x.size()] * static_cast<double>(h_size) / static_cast<double>(x.size());
   const double floor_energy = std::max(1e-4 * mean_window_energy, 1e-30);
+  std::vector<double> out(corr.size());
   for (std::size_t k = 0; k < corr.size(); ++k) {
-    const double win_energy = prefix[k + h.size()] - prefix[k];
+    const double win_energy = prefix[k + h_size] - prefix[k];
     const double denom = std::sqrt(std::max(win_energy, floor_energy)) * h_norm;
-    corr[k] /= denom;
+    out[k] = corr[k] / denom;
   }
-  return corr;
+  return out;
 }
 
 std::vector<double> correlate_full(std::span<const double> x, std::span<const double> h) {

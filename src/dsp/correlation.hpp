@@ -24,6 +24,17 @@ namespace hyperear::dsp {
 [[nodiscard]] std::vector<double> correlate_normalized(std::span<const double> x,
                                                        std::span<const double> h);
 
+/// Normalize an already-computed valid-mode correlation of `x` against a
+/// template of length `h_size` and L2 norm `h_norm`. Exactly the
+/// normalization `correlate_normalized` applies, split out so callers that
+/// need both the raw and the normalized statistic (the matched-filter
+/// detector) can correlate once instead of twice. Requires
+/// corr.size() == x.size() - h_size + 1 and h_norm > 0.
+[[nodiscard]] std::vector<double> normalize_correlation(std::span<const double> corr,
+                                                        std::span<const double> x,
+                                                        std::size_t h_size,
+                                                        double h_norm);
+
 /// Full "linear" cross-correlation with lags from -(h.size()-1) to
 /// x.size()-1 (like numpy.correlate(x, h, "full") reversed appropriately).
 /// Used by tests that check autocorrelation symmetry.

@@ -40,7 +40,65 @@ void fft_core(std::vector<Complex>& x, bool inverse) {
   }
 }
 
+// Per-stage twiddle tables built with the same `w *= wlen` recurrence
+// fft_core evaluates inline, so planned and planless transforms agree to
+// the last bit.
+std::vector<Complex> make_twiddles(std::size_t n, bool inverse) {
+  std::vector<Complex> table;
+  if (n >= 2) table.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    Complex w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      table.push_back(w);
+      w *= wlen;
+    }
+  }
+  return table;
+}
+
 }  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  require(is_pow2(n), "FftPlan: size must be a power of two");
+  bitrev_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bitrev_[i] = i;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = j;
+  }
+  forward_twiddles_ = make_twiddles(n, false);
+  inverse_twiddles_ = make_twiddles(n, true);
+}
+
+void FftPlan::run(std::vector<Complex>& x, bool inverse) const {
+  require(x.size() == n_, "FftPlan: input size does not match the plan");
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (i < bitrev_[i]) std::swap(x[i], x[bitrev_[i]]);
+  }
+  const std::vector<Complex>& tw = inverse ? inverse_twiddles_ : forward_twiddles_;
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + half] * tw[stage + k];
+        x[i + k] = u + v;
+        x[i + k + half] = u - v;
+      }
+    }
+    stage += half;
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
 
 void fft_inplace(std::vector<Complex>& x) { fft_core(x, false); }
 

@@ -8,6 +8,12 @@
 /// Iterative radix-2 FFT, implemented from scratch (no external DSP
 /// dependency). Used by cross-correlation, matched filtering, FIR design
 /// verification and spectral analysis.
+///
+/// Hot paths that transform many buffers of one fixed size (the matched
+/// filter's chunked correlation, via core::PipelineContext) should build an
+/// `FftPlan` once and reuse it: the plan precomputes the bit-reversal
+/// permutation and per-stage twiddle tables, and its transforms are
+/// bit-identical to the planless `fft_inplace`/`ifft_inplace`.
 
 namespace hyperear::dsp {
 
@@ -19,6 +25,33 @@ void fft_inplace(std::vector<Complex>& x);
 /// In-place inverse FFT (includes the 1/N normalization). Requires a
 /// power-of-two size.
 void ifft_inplace(std::vector<Complex>& x);
+
+/// Precomputed radix-2 plan for one transform size: the bit-reversal
+/// permutation plus forward/inverse twiddle tables. Immutable after
+/// construction, so one plan can be shared read-only across threads.
+/// The twiddles are generated with the same recurrence the planless FFT
+/// evaluates on the fly, so planned transforms are bit-identical to
+/// `fft_inplace`/`ifft_inplace` — results do not depend on whether a
+/// caller went through a plan.
+class FftPlan {
+ public:
+  /// `n` must be a power of two (>= 1).
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place transforms; require x.size() == size().
+  void forward(std::vector<Complex>& x) const { run(x, false); }
+  void inverse(std::vector<Complex>& x) const { run(x, true); }
+
+ private:
+  void run(std::vector<Complex>& x, bool inverse) const;
+
+  std::size_t n_ = 1;
+  std::vector<std::size_t> bitrev_;  ///< swap partner of each index
+  std::vector<Complex> forward_twiddles_;  ///< per-stage tables, concatenated
+  std::vector<Complex> inverse_twiddles_;
+};
 
 /// Forward FFT of a real signal, zero-padded up to the next power of two of
 /// `min_size` (or of x.size() when min_size == 0). Returns the full complex

@@ -4,11 +4,23 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/math_util.hpp"
 #include "common/stats.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/peak.hpp"
 
 namespace hyperear::dsp {
+
+namespace {
+
+/// A chunk-local peak awaiting the global min-spacing pass.
+struct Candidate {
+  Detection detection;
+  double key = 0.0;  ///< masked correlation height (selection strength)
+  std::size_t global_index = 0;  ///< unrefined correlation lag in the recording
+};
+
+}  // namespace
 
 MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
                                              const DetectorConfig& config)
@@ -19,6 +31,41 @@ MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
           "MatchedFilterDetector: chunk must be at least twice the reference length");
   require(config_.threshold > 0.0 && config_.threshold < 1.0,
           "MatchedFilterDetector: threshold must be in (0, 1)");
+  double energy = 0.0;
+  for (double v : reference_) energy += v * v;
+  require(energy > 0.0, "MatchedFilterDetector: zero-energy reference");
+  reference_norm_ = std::sqrt(energy);
+  // Precompute the chunk-sized correlation plan: full chunks correlate
+  // against this cached spectrum, so the reference is never re-transformed
+  // per chunk (or per detect call). Small signal/reference products take
+  // the direct path in correlate_valid, where an FFT would not pay off.
+  fft_size_ = next_pow2(config_.chunk + reference_.size() - 1);
+  if (config_.chunk * reference_.size() > (1u << 16)) {
+    plan_.emplace(fft_size_);
+    const std::vector<double> reversed(reference_.rbegin(), reference_.rend());
+    reference_spectrum_ = fft_real(reversed, fft_size_);
+  }
+}
+
+std::vector<double> MatchedFilterDetector::correlate_chunk(
+    std::span<const double> seg) const {
+  const std::size_t ref_len = reference_.size();
+  if (!plan_ || seg.size() * ref_len <= (1u << 16) ||
+      next_pow2(seg.size() + ref_len - 1) != fft_size_) {
+    // Direct evaluation or an odd-sized tail chunk: correlate_valid picks
+    // the same path (and transform size) the planless pipeline always used,
+    // keeping results bit-identical with or without the cached spectrum.
+    return correlate_valid(seg, reference_);
+  }
+  std::vector<Complex> buf(fft_size_, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < seg.size(); ++i) buf[i] = Complex(seg[i], 0.0);
+  plan_->forward(buf);
+  for (std::size_t i = 0; i < fft_size_; ++i) buf[i] *= reference_spectrum_[i];
+  plan_->inverse(buf);
+  const std::size_t out_len = seg.size() - ref_len + 1;
+  std::vector<double> out(out_len);
+  for (std::size_t k = 0; k < out_len; ++k) out[k] = buf[k + ref_len - 1].real();
+  return out;
 }
 
 std::vector<Detection> MatchedFilterDetector::detect(
@@ -28,67 +75,130 @@ std::vector<Detection> MatchedFilterDetector::detect(
   const auto min_spacing =
       static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
 
-  std::vector<Detection> detections;
+  // Pass 1: collect every above-threshold local maximum per chunk, WITHOUT
+  // spacing-gating inside the chunk — spacing is a global property and is
+  // enforced once over all chunks below, so the detections cannot depend on
+  // where the chunk boundaries happened to fall. Correlation lags are
+  // contiguous across chunks (chunks overlap by ref_len - 1 samples), and
+  // the local-maximum test reads its neighbors across chunk boundaries: a
+  // first-lag candidate checks the previous chunk's last value, and a
+  // last-lag candidate is held pending until the next chunk's first value
+  // is known.
+  std::vector<Candidate> candidates;
+  std::optional<Candidate> pending;
+  double prev_last_masked = 0.0;
+  bool have_prev = false;
+
   const std::size_t chunk = config_.chunk;
-  // Chunks overlap by ref_len - 1 so every correlation lag is computed once.
   const std::size_t hop = chunk - (ref_len - 1);
+  const auto exclusion = static_cast<std::size_t>(1.2e-3 * config_.sample_rate);
   for (std::size_t start = 0; start < recording.size(); start += hop) {
     const std::size_t end = std::min(start + chunk, recording.size());
     if (end - start < ref_len) break;
     const std::span<const double> seg = recording.subspan(start, end - start);
-    const std::vector<double> raw = correlate_valid(seg, reference_);
-    const std::vector<double> norm = correlate_normalized(seg, reference_);
+    const std::vector<double> raw = correlate_chunk(seg);
+    const std::vector<double> norm =
+        normalize_correlation(raw, seg, ref_len, reference_norm_);
     // Candidate gating on the normalized statistic, ranking on amplitude:
-    // suppress sub-threshold shapes, then find peaks of |raw|.
+    // suppress sub-threshold shapes, then find local maxima of |raw|.
     std::vector<double> masked(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
       masked[i] = norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
     }
-    const std::vector<Peak> peaks = find_peaks(masked, 1e-12, min_spacing);
-    // The autocorrelation main lobe plus near sidelobes span ~1 ms; only
-    // arrivals beyond that are genuine competing paths.
-    const auto exclusion =
-        static_cast<std::size_t>(1.2e-3 * config_.sample_rate);
-    for (const Peak& p : peaks) {
+
+    // The previous chunk's boundary candidate can be resolved now that its
+    // right neighbor (this chunk's first lag) is known.
+    if (pending) {
+      if (pending->key > masked.front()) candidates.push_back(*pending);
+      pending.reset();
+    }
+
+    const bool final_chunk = end == recording.size();
+    for (std::size_t i = 0; i < masked.size(); ++i) {
+      if (masked[i] < 1e-12) continue;
+      const bool left_ok = i > 0 ? masked[i] >= masked[i - 1]
+                                 : (!have_prev || masked[i] >= prev_last_masked);
+      if (!left_ok) continue;
+      const bool last_lag = i + 1 == masked.size();
+      bool defer = false;
+      if (!last_lag) {
+        if (!(masked[i] > masked[i + 1])) continue;
+      } else if (!final_chunk) {
+        defer = true;  // right neighbor lives in the next chunk
+      }
+
       // Refine timing on the raw correlation around the winning sample.
-      const Peak refined = refine_peak(raw, p.index);
+      const Peak refined = refine_peak(raw, i);
       Detection d;
-      d.time_s = (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
+      d.time_s =
+          (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
       d.amplitude = std::abs(refined.value);
-      d.score = norm[p.index];
+      d.score = norm[i];
       // Echo competition: strongest |raw| local max in the same window but
-      // outside the exclusion zone around the winner.
-      const std::size_t lo = p.index > min_spacing ? p.index - min_spacing : 0;
-      const std::size_t hi = std::min(p.index + min_spacing, raw.size() - 1);
+      // outside the exclusion zone around the winner (the autocorrelation
+      // main lobe plus near sidelobes span ~1 ms; only arrivals beyond that
+      // are genuine competing paths).
+      const std::size_t lo = i > min_spacing ? i - min_spacing : 0;
+      const std::size_t hi = std::min(i + min_spacing, raw.size() - 1);
       double runner = 0.0;
-      for (std::size_t i = lo + 1; i + 1 <= hi; ++i) {
-        const std::size_t gap = i > p.index ? i - p.index : p.index - i;
+      for (std::size_t j = lo + 1; j + 1 <= hi; ++j) {
+        const std::size_t gap = j > i ? j - i : i - j;
         if (gap < exclusion) continue;
-        const double v = std::abs(raw[i]);
-        if (v > runner && std::abs(raw[i]) >= std::abs(raw[i - 1]) &&
-            std::abs(raw[i]) > std::abs(raw[i + 1])) {
+        const double v = std::abs(raw[j]);
+        if (v > runner && std::abs(raw[j]) >= std::abs(raw[j - 1]) &&
+            std::abs(raw[j]) > std::abs(raw[j + 1])) {
           runner = v;
         }
       }
       d.echo_competition = d.amplitude > 0.0 ? runner / d.amplitude : 0.0;
-      detections.push_back(d);
-    }
-    if (end == recording.size()) break;
-  }
 
-  // Merge duplicates from chunk overlap: keep the stronger detection of any
-  // pair closer than min_spacing.
-  std::sort(detections.begin(), detections.end(),
-            [](const Detection& a, const Detection& b) { return a.time_s < b.time_s; });
-  std::vector<Detection> merged;
-  const double min_dt = static_cast<double>(min_spacing) / config_.sample_rate;
-  for (const Detection& d : detections) {
-    if (!merged.empty() && d.time_s - merged.back().time_s < min_dt) {
-      if (d.amplitude > merged.back().amplitude) merged.back() = d;
-    } else {
-      merged.push_back(d);
+      Candidate c{d, masked[i], start + i};
+      if (defer) {
+        pending = c;
+      } else {
+        candidates.push_back(c);
+      }
     }
+    prev_last_masked = masked.back();
+    have_prev = true;
+    if (final_chunk) break;
   }
+  // The recording ended right at a chunk boundary (the tail was shorter
+  // than the reference): the held-back candidate has no right neighbor and
+  // stands.
+  if (pending) candidates.push_back(*pending);
+
+  // Pass 2: enforce min_spacing once, globally, strongest-first — the same
+  // greedy rule find_peaks applies inside a single chunk, so two arrivals
+  // straddling a chunk boundary obey exactly the spacing semantics of
+  // arrivals within one chunk (regression: an ascending-amplitude chain
+  // across boundaries used to collapse to its last element).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.key != b.key) return a.key > b.key;
+              return a.global_index < b.global_index;
+            });
+  std::vector<Candidate> selected;
+  for (const Candidate& c : candidates) {
+    bool ok = true;
+    for (const Candidate& a : selected) {
+      const std::size_t gap = c.global_index > a.global_index
+                                  ? c.global_index - a.global_index
+                                  : a.global_index - c.global_index;
+      if (gap < min_spacing) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) selected.push_back(c);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.global_index < b.global_index;
+            });
+  std::vector<Detection> merged;
+  merged.reserve(selected.size());
+  for (const Candidate& c : selected) merged.push_back(c.detection);
 
   // Relative amplitude gate: direct arrivals have comparable strength; far
   // echoes and noise flukes fall well below the median and are dropped.

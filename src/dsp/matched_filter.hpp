@@ -1,8 +1,11 @@
 #pragma once
 
+#include <complex>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "dsp/peak.hpp"
 
 /// @file matched_filter.hpp
@@ -50,6 +53,20 @@ struct DetectorConfig {
 };
 
 /// Matched-filter detector for a fixed reference waveform.
+///
+/// Construction is the expensive part: the reference's FFT spectrum at the
+/// chunk transform size and the matching `FftPlan` are precomputed once, so
+/// every chunk of every `detect` call correlates against the cached
+/// spectrum instead of re-transforming the template. The detector is
+/// immutable after construction — one instance can serve concurrent
+/// `detect` calls from many threads (core::PipelineContext shares one per
+/// batch engine).
+///
+/// `detect` output is invariant to how the recording is chunked: candidate
+/// peaks are collected per chunk and the `min_spacing_s` rule is enforced
+/// once, globally, strongest-first — two arrivals straddling a chunk
+/// boundary obey exactly the spacing semantics of arrivals inside one
+/// chunk.
 class MatchedFilterDetector {
  public:
   /// `reference` is the sampled chirp (unit energy recommended); must be
@@ -61,10 +78,19 @@ class MatchedFilterDetector {
   [[nodiscard]] std::vector<Detection> detect(std::span<const double> recording) const;
 
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<double>& reference() const { return reference_; }
 
  private:
+  /// Valid-mode correlation of one chunk against the reference, through the
+  /// cached spectrum when the chunk matches the planned transform size.
+  [[nodiscard]] std::vector<double> correlate_chunk(std::span<const double> seg) const;
+
   std::vector<double> reference_;
   DetectorConfig config_;
+  double reference_norm_ = 0.0;  ///< L2 norm of the reference
+  std::size_t fft_size_ = 0;     ///< transform size for a full chunk
+  std::optional<FftPlan> plan_;  ///< engaged when full chunks take the FFT path
+  std::vector<Complex> reference_spectrum_;  ///< FFT of the reversed reference
 };
 
 }  // namespace hyperear::dsp

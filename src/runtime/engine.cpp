@@ -38,8 +38,9 @@ SessionReport BatchEngine::run_one(const sim::Session& session) {
   SessionReport report;
   const Clock::time_point t0 = Clock::now();
   try {
+    const std::shared_ptr<const core::PipelineContext> context = context_for(session);
     Expected<core::LocalizationResult, core::PipelineError> outcome =
-        core::try_localize(session, config_, &report.metrics);
+        core::try_localize(session, config_, &report.metrics, context.get());
     if (outcome.has_value()) {
       report.result = *std::move(outcome);
       report.status =
@@ -78,41 +79,80 @@ void BatchEngine::record(const SessionReport& report) {
   stats_.chirps_detected += report.metrics.chirps_mic1 + report.metrics.chirps_mic2;
 }
 
-std::future<SessionReport> BatchEngine::submit(const sim::Session& session) {
+std::shared_ptr<const core::PipelineContext> BatchEngine::context_for(
+    const sim::Session& session) {
+  // A bounded cache: virtually every batch uses one (chirp, sample-rate)
+  // combination, so this is one allocation for the engine's lifetime. The
+  // lock covers construction too — the first session of a combination
+  // builds the plans while any lookalikes wait, instead of racing to build
+  // duplicates.
+  constexpr std::size_t kMaxContexts = 16;
+  const double fs = session.audio.sample_rate;
+  const std::lock_guard<std::mutex> lock(context_mutex_);
+  for (const auto& c : contexts_) {
+    if (c->matches(config_.asp, session.prior.chirp, fs)) return c;
+  }
+  try {
+    auto fresh =
+        std::make_shared<const core::PipelineContext>(config_, session.prior.chirp, fs);
+    if (contexts_.size() < kMaxContexts) contexts_.push_back(fresh);
+    return fresh;
+  } catch (const std::exception&) {
+    // Pathological session (e.g. absurd sample rate): let try_localize
+    // rebuild and fail inside the ASP stage so the error is classified
+    // against the stage that owns it, exactly as the context-free path.
+    return nullptr;
+  }
+}
+
+std::future<SessionReport> BatchEngine::enqueue(
+    std::shared_ptr<const sim::Session> session) {
+  auto task = std::make_shared<std::packaged_task<SessionReport()>>(
+      [this, session = std::move(session)] { return run_one(*session); });
+  std::future<SessionReport> future = task->get_future();
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
   }
-  auto task = std::make_shared<std::packaged_task<SessionReport()>>(
-      [this, &session] { return run_one(session); });
-  std::future<SessionReport> future = task->get_future();
-  pool_.post([task] { (*task)(); });
+  try {
+    pool_.post([task] { (*task)(); });
+  } catch (...) {
+    // The pool refused (shutdown): the session will never run, so it was
+    // never submitted as far as the stats are concerned.
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.submitted;
+    throw;
+  }
   return future;
 }
 
+std::future<SessionReport> BatchEngine::submit(const sim::Session& session) {
+  // Copy into shared ownership: the caller's lvalue may die before a
+  // worker picks the task up (a `&session` capture here once dangled).
+  return enqueue(std::make_shared<const sim::Session>(session));
+}
+
 std::future<SessionReport> BatchEngine::submit(sim::Session&& session) {
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.submitted;
-  }
-  auto owned = std::make_shared<sim::Session>(std::move(session));
-  auto task = std::make_shared<std::packaged_task<SessionReport()>>(
-      [this, owned] { return run_one(*owned); });
-  std::future<SessionReport> future = task->get_future();
-  pool_.post([task] { (*task)(); });
-  return future;
+  return enqueue(std::make_shared<const sim::Session>(std::move(session)));
 }
 
 std::vector<SessionReport> BatchEngine::localize_all(
     std::span<const sim::Session> sessions) {
   std::vector<std::future<SessionReport>> futures;
   futures.reserve(sessions.size());
-  for (const sim::Session& s : sessions) futures.push_back(submit(s));
+  for (const sim::Session& s : sessions) {
+    // Non-owning alias: safe (and copy-free) because this function blocks
+    // on every future below, so the span outlives all queued work.
+    futures.push_back(enqueue(std::shared_ptr<const sim::Session>(
+        std::shared_ptr<const sim::Session>(), &s)));
+  }
   std::vector<SessionReport> reports;
   reports.reserve(futures.size());
   for (std::future<SessionReport>& f : futures) reports.push_back(f.get());
   return reports;
 }
+
+void BatchEngine::shutdown() { pool_.stop(); }
 
 EngineStats BatchEngine::stats() const {
   const std::lock_guard<std::mutex> lock(stats_mutex_);

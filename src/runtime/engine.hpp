@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/pipeline_context.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
@@ -65,21 +66,37 @@ struct EngineStats {
 /// PreconditionError on a violation — a misconfigured engine is a
 /// programming error, unlike a corrupt session, which is data) and spins
 /// up the pool; the config is immutable for the engine's lifetime.
+///
+/// The engine owns a small cache of immutable `core::PipelineContext`s —
+/// the DSP plans (band-pass taps, chirp reference, matched-filter
+/// spectra, FFT tables) shared read-only by every worker — so plans are
+/// built once per (chirp, sample-rate) combination instead of once per
+/// session. Results are bit-identical to context-free `core::try_localize`
+/// calls; only the redundant plan construction goes away.
 class BatchEngine {
  public:
   /// `threads == 0` means hardware_concurrency (min 1).
   explicit BatchEngine(core::PipelineConfig config = {}, std::size_t threads = 0);
 
   /// Enqueue one session; the future resolves when a worker finishes it.
-  /// The caller must keep `session` alive until then (localize_all does
-  /// this for you); the owning overload below takes that burden.
+  /// Both overloads give the queued work its own copy of the session (the
+  /// first copies, the second moves) — the caller's argument may die the
+  /// moment the call returns. Throws PreconditionError after shutdown();
+  /// a throwing submit leaves stats().submitted untouched.
   [[nodiscard]] std::future<SessionReport> submit(const sim::Session& session);
   [[nodiscard]] std::future<SessionReport> submit(sim::Session&& session);
 
   /// Run a whole batch and block until every session is done. Reports come
-  /// back in input order regardless of completion order.
+  /// back in input order regardless of completion order. Sessions are
+  /// processed in place (no copies — the span outlives the call by
+  /// construction).
   [[nodiscard]] std::vector<SessionReport> localize_all(
       std::span<const sim::Session> sessions);
+
+  /// Stop accepting new sessions; everything already submitted still runs
+  /// to completion and outstanding futures still resolve. Idempotent. The
+  /// destructor implies it.
+  void shutdown();
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
@@ -88,10 +105,21 @@ class BatchEngine {
  private:
   [[nodiscard]] SessionReport run_one(const sim::Session& session);
   void record(const SessionReport& report);
+  /// Shared DSP plans for this session's chirp + sample rate: cached when
+  /// possible, built fresh when the session is pathological (the per-stage
+  /// error mapping in try_localize then classifies any failure). May
+  /// return null for sessions whose plans cannot be built — try_localize
+  /// falls back to its local-context path and reports the stage error.
+  [[nodiscard]] std::shared_ptr<const core::PipelineContext> context_for(
+      const sim::Session& session);
+  [[nodiscard]] std::future<SessionReport> enqueue(
+      std::shared_ptr<const sim::Session> session);
 
   const core::PipelineConfig config_;
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
+  mutable std::mutex context_mutex_;
+  std::vector<std::shared_ptr<const core::PipelineContext>> contexts_;
   ThreadPool pool_;  // declared last: workers must die before state above
 };
 

@@ -13,12 +13,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::stop() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
-  for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::post(std::function<void()> task) {

@@ -29,8 +29,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task for execution on some worker, FIFO order.
+  /// Enqueue a task for execution on some worker, FIFO order. Throws
+  /// PreconditionError once the pool is stopping; the task is NOT enqueued
+  /// in that case.
   void post(std::function<void()> task);
+
+  /// Stop accepting new tasks. Already-queued tasks still run to
+  /// completion (workers drain the queue, then exit); `post` after this
+  /// throws. Idempotent; does not block — the destructor joins.
+  void stop();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

@@ -68,6 +68,24 @@ TEST(Discovery, PeriodicityGateRejectsAperiodicMatches) {
   EXPECT_FALSE(scan[0].present);
 }
 
+TEST(Discovery, ContextOverloadMatchesPlanFreeScan) {
+  // The precomputed-plan overload is an optimization only: verdicts and
+  // every diagnostic must be bit-identical to the plan-free scan.
+  const sim::Session s = record_with(sim::audible_beacon(), true, 984);
+  const DiscoveryContext context(registry(), s.audio.sample_rate);
+  const std::vector<TagPresence> direct =
+      discover_tags(s.audio.mic1, s.audio.sample_rate, registry());
+  const std::vector<TagPresence> cached = discover_tags(s.audio.mic1, context);
+  ASSERT_EQ(cached.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(cached[i].name, direct[i].name);
+    EXPECT_EQ(cached[i].present, direct[i].present);
+    EXPECT_EQ(cached[i].detections, direct[i].detections);
+    EXPECT_EQ(cached[i].period_error_s, direct[i].period_error_s);
+    EXPECT_EQ(cached[i].median_amplitude, direct[i].median_amplitude);
+  }
+}
+
 TEST(Discovery, EmptyInputsRejected) {
   EXPECT_THROW((void)discover_tags({}, 44100.0, registry()), PreconditionError);
 }

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -124,6 +126,71 @@ TEST(BatchEngine, SubmitFutureAndOwningOverload) {
   EXPECT_GT(stats.asp_ms, 0.0);
 }
 
+TEST(BatchEngine, SubmitCopiesSessionBeforeCallerScopeDies) {
+  // Regression: submit(const&) once captured the caller's lvalue by
+  // reference, so a session destroyed before a worker picked the task up
+  // was read after free. Hold the only worker busy so the probe session is
+  // guaranteed to still be queued when its source object dies.
+  std::vector<sim::Session> sessions = make_batch(1, 740);
+  BatchEngine engine({}, 1);
+  std::future<SessionReport> warm = engine.submit(sessions[0]);
+  std::future<SessionReport> probe;
+  {
+    auto scoped = std::make_unique<sim::Session>(sessions[0]);
+    probe = engine.submit(*scoped);
+  }  // source freed while the probe task sits in the queue
+  EXPECT_EQ(warm.get().status, SessionStatus::ok);
+  const SessionReport r = probe.get();
+  EXPECT_EQ(r.status, SessionStatus::ok);
+  const SessionReport direct = BatchEngine({}, 1).submit(sessions[0]).get();
+  expect_identical(r.result, direct.result);
+}
+
+TEST(BatchEngine, ShutdownRejectsSubmitWithoutStatsDrift) {
+  std::vector<sim::Session> sessions = make_batch(1, 750);
+  BatchEngine engine({}, 2);
+  EXPECT_EQ(engine.submit(sessions[0]).get().status, SessionStatus::ok);
+  engine.shutdown();
+  engine.shutdown();  // idempotent
+  EXPECT_THROW((void)engine.submit(sessions[0]), PreconditionError);
+  sim::Session moved = sessions[0];
+  EXPECT_THROW((void)engine.submit(std::move(moved)), PreconditionError);
+  // Regression: a throwing submit used to leave a phantom submission
+  // behind, so `submitted` drifted ahead of `completed` forever.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(BatchEngine, DestructionWithUnconsumedFuturesCompletesQueuedWork) {
+  std::vector<sim::Session> sessions = make_batch(1, 760);
+  std::future<SessionReport> kept;
+  {
+    BatchEngine engine({}, 1);
+    kept = engine.submit(sessions[0]);
+    std::future<SessionReport> dropped = engine.submit(sessions[0]);
+    // `dropped` dies unconsumed; the engine destructor must still drain
+    // the queue without deadlocking or abandoning `kept`'s shared state.
+  }
+  const SessionReport r = kept.get();  // resolves, not broken_promise
+  EXPECT_EQ(r.status, SessionStatus::ok);
+}
+
+TEST(BatchEngine, MatchesContextFreePipelineBitExactly) {
+  // The shared PipelineContext must only remove redundant plan
+  // construction — never change a single bit of the results.
+  const std::vector<sim::Session> sessions = make_batch(2, 770);
+  BatchEngine engine({}, 2);
+  const std::vector<SessionReport> reports = engine.localize_all(sessions);
+  ASSERT_EQ(reports.size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto direct = core::try_localize(sessions[i], engine.config());
+    ASSERT_TRUE(direct.has_value()) << "session " << i;
+    ASSERT_EQ(reports[i].status, SessionStatus::ok) << "session " << i;
+    expect_identical(reports[i].result, *direct);
+  }
+}
+
 TEST(BatchEngine, RejectsInvalidConfigAtConstruction) {
   core::PipelineConfig bad;
   bad.ttl.max_range = -1.0;
@@ -142,6 +209,22 @@ TEST(ThreadPool, RunsEveryPostedTask) {
     for (int i = 0; i < 50; ++i) pool.post([&hits] { ++hits; });
   }  // destructor drains the queue
   EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, StopRejectsNewTasksButDrainsQueued) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    pool.post([open] { open.wait(); });  // park the only worker
+    for (int i = 0; i < 8; ++i) pool.post([&hits] { ++hits; });
+    pool.stop();
+    pool.stop();  // idempotent
+    EXPECT_THROW(pool.post([&hits] { ++hits; }), PreconditionError);
+    gate.set_value();
+  }  // destructor joins after the queued-before-stop tasks all ran
+  EXPECT_EQ(hits.load(), 8);
 }
 
 }  // namespace

@@ -71,6 +71,40 @@ TEST(Fft, NonPowerOfTwoThrows) {
   EXPECT_THROW(fft_inplace(x), PreconditionError);
 }
 
+TEST(FftPlan, BitIdenticalToPlanlessTransforms) {
+  // The plan caches bit-reversal and twiddle tables; it must reproduce the
+  // planless path exactly (not approximately) so cached-plan pipelines are
+  // bit-identical to context-free ones.
+  Rng rng(25);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64},
+                              std::size_t{1024}}) {
+    std::vector<Complex> planned(n);
+    for (auto& v : planned) v = Complex(rng.gaussian(), rng.gaussian());
+    std::vector<Complex> planless = planned;
+    const FftPlan plan(n);
+    EXPECT_EQ(plan.size(), n);
+    plan.forward(planned);
+    fft_inplace(planless);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(planned[i].real(), planless[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(planned[i].imag(), planless[i].imag()) << "n=" << n << " i=" << i;
+    }
+    plan.inverse(planned);
+    ifft_inplace(planless);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(planned[i].real(), planless[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(planned[i].imag(), planless[i].imag()) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftPlan, RejectsBadSizes) {
+  EXPECT_THROW(FftPlan(12), PreconditionError);
+  const FftPlan plan(8);
+  std::vector<Complex> x(4);
+  EXPECT_THROW(plan.forward(x), PreconditionError);
+}
+
 TEST(FftReal, PadsToPowerOfTwo) {
   const std::vector<double> x{1.0, 2.0, 3.0};
   const std::vector<Complex> spec = fft_real(x);

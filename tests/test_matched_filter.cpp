@@ -133,6 +133,76 @@ TEST(MatchedFilter, ChunkingIsSeamless) {
   EXPECT_EQ(detections.size(), 3u);
 }
 
+TEST(MatchedFilter, MinSpacingInvariantToChunkPartition) {
+  // Regression: min spacing was once enforced per chunk (plus a merge pass
+  // that only compared adjacent chunks), so the set of survivors depended
+  // on where the chunk boundaries fell. Three arrivals — the middle one
+  // within min spacing of both neighbours — must resolve to the same two
+  // survivors whether the cluster is split across small chunks or seen
+  // whole by one big chunk.
+  const Chirp chirp{ChirpParams{}};
+  Rng rng(51);
+  // With chunk 8192 and a 2205-sample reference the hop is 5988, so the
+  // lag boundary at 3*5988 = 17964 splits the cluster below between the
+  // middle and last arrival.
+  const double t1 = 14000.0 / kFs;
+  const double t2 = 16600.0 / kFs;
+  const double t3 = 19200.0 / kFs;
+  std::vector<double> x = make_recording(chirp, {t1}, 1.0, 0.005, rng, 0.5);
+  {
+    Rng r2(52);
+    const auto b = make_recording(chirp, {t2}, 1.0, 0.0, r2, 0.6);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += b[i];
+  }
+  {
+    Rng r3(53);
+    const auto c = make_recording(chirp, {t3}, 1.0, 0.0, r3, 0.7);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += c[i];
+  }
+  DetectorConfig small_cfg;
+  small_cfg.sample_rate = kFs;
+  small_cfg.min_spacing_s = 5000.0 / kFs;  // middle conflicts with both ends
+  small_cfg.chunk = 8192;                  // boundary lands inside the cluster
+  DetectorConfig big_cfg = small_cfg;
+  big_cfg.chunk = 1u << 16;  // the whole cluster fits in one chunk
+
+  const std::vector<double>& ref = chirp.reference(kFs);
+  const auto small_d = MatchedFilterDetector(ref, small_cfg).detect(x);
+  const auto big_d = MatchedFilterDetector(ref, big_cfg).detect(x);
+
+  // Strongest-first: the 0.7 arrival wins, evicts the 0.6 inside its
+  // spacing window, and the 0.5 (far enough from the winner) survives.
+  ASSERT_EQ(big_d.size(), 2u);
+  ASSERT_EQ(small_d.size(), big_d.size());
+  for (std::size_t i = 0; i < big_d.size(); ++i) {
+    // Different chunk sizes use different FFT lengths, so allow rounding
+    // differences in the refined times — but not a different decision.
+    EXPECT_NEAR(small_d[i].time_s, big_d[i].time_s, 1e-6);
+  }
+  EXPECT_NEAR(big_d[0].time_s, t1, 1e-4);
+  EXPECT_NEAR(big_d[1].time_s, t3, 1e-4);
+}
+
+TEST(MatchedFilter, ArrivalOnChunkSeamDetectedOnce) {
+  // Land the correlation peak exactly on the final lag of a chunk: the
+  // local-maximum test needs the first lag of the NEXT chunk, so the
+  // candidate must be deferred across the seam — and must not be reported
+  // by both chunks.
+  const Chirp chirp{ChirpParams{}};
+  Rng rng(54);
+  DetectorConfig cfg;
+  cfg.sample_rate = kFs;
+  cfg.chunk = 8192;
+  const std::vector<double>& ref = chirp.reference(kFs);
+  const std::size_t hop = cfg.chunk - (ref.size() - 1);
+  const std::size_t peak = 4 * hop - 1;  // last lag of chunk 3
+  const double t0 = static_cast<double>(peak) / kFs;
+  const std::vector<double> x = make_recording(chirp, {t0}, 1.0, 0.005, rng);
+  const auto detections = MatchedFilterDetector(ref, cfg).detect(x);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_NEAR(detections[0].time_s, t0, 1e-4);
+}
+
 TEST(MatchedFilter, ConfigValidation) {
   const Chirp chirp{ChirpParams{}};
   DetectorConfig cfg;
