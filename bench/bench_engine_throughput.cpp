@@ -19,10 +19,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/pipeline.hpp"
 #include "runtime/engine.hpp"
 #include "sim/scenario.hpp"
+
+HYPEREAR_DEFINE_ALLOC_COUNTER()
 
 namespace {
 
@@ -65,12 +68,24 @@ int main() {
   std::vector<runtime::SessionReport> baseline;
   double baseline_rate = 0.0;
   bool all_identical = true;
+  std::vector<bench::BenchRow> rows;
+  const auto push_row = [&rows, n_sessions](const std::string& variant, double seconds,
+                                            std::size_t bytes) {
+    bench::BenchRow row;
+    row.op = "engine_localize_all";
+    row.variant = variant;
+    row.n = n_sessions;
+    row.ns_per_op = seconds * 1e9 / static_cast<double>(n_sessions);
+    row.bytes_allocated = bytes / n_sessions;
+    rows.push_back(row);
+  };
 
   std::printf("%8s %10s %12s %9s %6s %13s\n", "threads", "wall s", "sessions/s",
               "speedup", "ok", "identical");
   {
     // Per-session plan construction (the pre-PipelineContext behaviour):
     // serial try_localize with no shared context.
+    const std::size_t bytes0 = bench::allocated_bytes();
     const Clock::time_point t0 = Clock::now();
     std::size_t ok = 0;
     baseline.resize(n_sessions);
@@ -88,14 +103,18 @@ int main() {
     baseline_rate = static_cast<double>(n_sessions) / seconds;
     std::printf("%8s %10.2f %12.2f %8.2fx %6zu %13s\n", "no-ctx", seconds,
                 baseline_rate, 1.0, ok, "(ref)");
+    push_row("no-ctx-serial", seconds, bench::allocated_bytes() - bytes0);
   }
 
   for (const std::size_t threads : counts) {
     runtime::BatchEngine engine({}, threads);
+    const std::size_t bytes0 = bench::allocated_bytes();
     const Clock::time_point t0 = Clock::now();
     const std::vector<runtime::SessionReport> reports = engine.localize_all(sessions);
     const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
     const double rate = static_cast<double>(n_sessions) / seconds;
+    push_row("engine-threads-" + std::to_string(threads), seconds,
+             bench::allocated_bytes() - bytes0);
 
     std::size_t ok = 0;
     for (const runtime::SessionReport& r : reports) {
@@ -110,6 +129,7 @@ int main() {
                 rate / baseline_rate, ok, same ? "yes" : "MISMATCH");
   }
 
+  bench::write_bench_json("BENCH_engine.json", rows);
   std::printf("\nresults bit-identical to per-session plans at every thread "
               "count: %s\n",
               all_identical ? "yes" : "NO — shared-context or determinism bug");

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+/// @file bench_json.hpp
+/// Machine-readable benchmark output. The perf benches emit one JSON file
+/// each (BENCH_dsp.json, BENCH_engine.json) with flat rows —
+/// {op, variant, n, ns_per_op, bytes_allocated} — so before/after
+/// comparisons of the DSP hot path are a `jq` one-liner instead of a
+/// log-scraping exercise (README "Performance" quotes these files).
+///
+/// Allocation accounting: a bench binary that invokes
+/// HYPEREAR_DEFINE_ALLOC_COUNTER() at namespace scope (exactly once)
+/// replaces global operator new/delete with counting versions; the timing
+/// loop samples `allocated_bytes()` around the reps. Deallocations are not
+/// subtracted — the counter measures allocator traffic (how often the hot
+/// path hits the heap), not peak footprint.
+
+namespace hyperear::bench {
+
+/// Running total of bytes requested from global operator new. Defined by
+/// HYPEREAR_DEFINE_ALLOC_COUNTER(); zero forever if the binary opted out.
+extern std::atomic<std::size_t> g_allocated_bytes;
+
+inline std::size_t allocated_bytes() {
+  return g_allocated_bytes.load(std::memory_order_relaxed);
+}
+
+/// True when the binary runs as a ctest smoke check (label "bench-smoke"):
+/// shrink inputs and rep counts so the run finishes in well under a second
+/// while still exercising every code path the real run times.
+inline bool smoke_mode() {
+  const char* env = std::getenv("HYPEREAR_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// One measurement row.
+struct BenchRow {
+  std::string op;       ///< primitive measured, e.g. "filter_same"
+  std::string variant;  ///< implementation, e.g. "monolithic-fft" vs "ols"
+  std::size_t n = 0;    ///< problem size (samples)
+  double ns_per_op = 0.0;
+  std::size_t bytes_allocated = 0;  ///< heap bytes requested per op
+};
+
+/// Write rows as a JSON array of flat objects. Overwrites `path`.
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"variant\": \"%s\", \"n\": %zu, "
+                 "\"ns_per_op\": %.1f, \"bytes_allocated\": %zu}%s\n",
+                 r.op.c_str(), r.variant.c_str(), r.n, r.ns_per_op,
+                 r.bytes_allocated, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+}  // namespace hyperear::bench
+
+/// Define the counting global operator new/delete for this binary. Must
+/// appear exactly once per executable, at namespace scope.
+#define HYPEREAR_DEFINE_ALLOC_COUNTER()                                     \
+  namespace hyperear::bench {                                               \
+  std::atomic<std::size_t> g_allocated_bytes{0};                            \
+  }                                                                         \
+  void* operator new(std::size_t size) {                                    \
+    ::hyperear::bench::g_allocated_bytes.fetch_add(                         \
+        size, std::memory_order_relaxed);                                   \
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;              \
+    throw std::bad_alloc{};                                                 \
+  }                                                                         \
+  void* operator new[](std::size_t size) { return ::operator new(size); }   \
+  void operator delete(void* p) noexcept { std::free(p); }                  \
+  void operator delete[](void* p) noexcept { std::free(p); }                \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }     \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

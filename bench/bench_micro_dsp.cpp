@@ -6,15 +6,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <span>
+
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "dsp/chirp.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/matched_filter.hpp"
+#include "dsp/ols.hpp"
 #include "geom/triangulation.hpp"
 #include "sim/acoustic_renderer.hpp"
 #include "sim/scenario.hpp"
+
+HYPEREAR_DEFINE_ALLOC_COUNTER()
 
 namespace {
 
@@ -116,6 +126,114 @@ void BM_RenderSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderSecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_dsp.json: before/after rows for the two pipeline hot primitives.
+//
+// "monolithic-fft" reproduces the pre-overlap-save implementation (one FFT
+// at the next power of two covering the WHOLE signal, via the reference
+// fft_convolve path); "ols" is the shipping implementation (block
+// overlap-save through a cached kernel spectrum + reusable workspace). Both
+// compute the same function; the rows record the speedup and the per-op
+// allocator traffic.
+
+double time_ns_per_op(int reps, const std::function<void()>& op) {
+  using BenchClock = std::chrono::steady_clock;
+  op();  // warm-up: page in buffers, build lazy state
+  const BenchClock::time_point t0 = BenchClock::now();
+  for (int r = 0; r < reps; ++r) op();
+  const double ns =
+      std::chrono::duration<double, std::nano>(BenchClock::now() - t0).count();
+  return ns / reps;
+}
+
+bench::BenchRow measure(const std::string& op, const std::string& variant,
+                        std::size_t n, int reps, const std::function<void()>& fn) {
+  bench::BenchRow row;
+  row.op = op;
+  row.variant = variant;
+  row.n = n;
+  const std::size_t bytes0 = bench::allocated_bytes();
+  const int counted = reps + 1;  // the warm-up rep allocates like any other
+  row.ns_per_op = time_ns_per_op(reps, fn);
+  row.bytes_allocated = (bench::allocated_bytes() - bytes0) / counted;
+  std::printf("%-22s %-16s n=%-8zu %12.0f ns/op %12zu bytes/op\n", op.c_str(),
+              variant.c_str(), n, row.ns_per_op, row.bytes_allocated);
+  return row;
+}
+
+/// Pre-PR filter_same: monolithic full convolution, then trim to "same".
+std::vector<double> monolithic_filter_same(std::span<const double> x,
+                                           std::span<const double> taps) {
+  const std::vector<double> full = dsp::fft_convolve(x, taps);
+  const std::size_t half = taps.size() / 2;
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = full[i + half];
+  return out;
+}
+
+/// Pre-PR correlate_normalized: monolithic FFT correlation + normalization.
+std::vector<double> monolithic_correlate_normalized(std::span<const double> x,
+                                                    std::span<const double> h,
+                                                    double h_norm) {
+  const std::vector<double> hr(h.rbegin(), h.rend());
+  const std::vector<double> full = dsp::fft_convolve(x, hr);
+  std::vector<double> corr(x.size() - h.size() + 1);
+  for (std::size_t k = 0; k < corr.size(); ++k) corr[k] = full[k + h.size() - 1];
+  return dsp::normalize_correlation(corr, x, h.size(), h_norm);
+}
+
+void write_dsp_json() {
+  const bool smoke = bench::smoke_mode();
+  const std::vector<double> taps = dsp::design_bandpass(2000.0, 6400.0, 44100.0, 255);
+  double taps_energy = 0.0;
+  for (double v : taps) taps_energy += v * v;
+  const double taps_norm = std::sqrt(taps_energy);
+
+  const dsp::OlsConvolver filter_conv(taps);
+  const dsp::OlsConvolver reversed_conv(std::vector<double>(taps.rbegin(), taps.rend()));
+
+  std::vector<bench::BenchRow> rows;
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{1u << 12, 1u << 13}
+            : std::vector<std::size_t>{1u << 16, 1u << 20};
+  std::printf("\n=== BENCH_dsp.json rows (255-tap kernel) ===\n");
+  for (const std::size_t n : sizes) {
+    const int reps = smoke ? 1 : (n >= (1u << 20) ? 4 : 24);
+    Rng rng(99);
+    const std::vector<double> x = rng.gaussian_vector(n);
+    dsp::Workspace ws;
+
+    rows.push_back(measure("filter_same", "monolithic-fft", n, reps, [&] {
+      auto y = monolithic_filter_same(x, taps);
+      benchmark::DoNotOptimize(y.data());
+    }));
+    rows.push_back(measure("filter_same", "ols", n, reps, [&] {
+      auto y = dsp::filter_same(x, filter_conv, &ws);
+      benchmark::DoNotOptimize(y.data());
+    }));
+    rows.push_back(measure("correlate_normalized", "monolithic-fft", n, reps, [&] {
+      auto y = monolithic_correlate_normalized(x, taps, taps_norm);
+      benchmark::DoNotOptimize(y.data());
+    }));
+    std::vector<double> prefix_scratch;
+    std::vector<double> norm_out;
+    rows.push_back(measure("correlate_normalized", "ols", n, reps, [&] {
+      auto corr = dsp::correlate_valid(x, reversed_conv, &ws);
+      dsp::normalize_correlation_into(corr, x, taps.size(), taps_norm,
+                                      prefix_scratch, norm_out);
+      benchmark::DoNotOptimize(norm_out.data());
+    }));
+  }
+  bench::write_bench_json("BENCH_dsp.json", rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_dsp_json();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "core/parallel.hpp"
 #include "core/pipeline_context.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/matched_filter.hpp"
@@ -50,7 +51,7 @@ double estimate_period(const std::vector<ChirpEvent>& events, double nominal_per
 AspResult preprocess_audio(const sim::StereoRecording& recording,
                            const dsp::ChirpParams& chirp_params, double nominal_period,
                            double calibration_duration, const AspOptions& options,
-                           const PipelineContext* context) {
+                           const PipelineContext* context, const PairExecutor* executor) {
   require(!recording.mic1.empty() && recording.mic1.size() == recording.mic2.size(),
           "preprocess_audio: bad recording");
   const double fs = recording.sample_rate;
@@ -66,16 +67,25 @@ AspResult preprocess_audio(const sim::StereoRecording& recording,
   AspResult result;
   result.estimated_period = nominal_period;
 
-  if (options.bandpass) {
-    const std::vector<double>& taps = context->bandpass_taps();
-    const std::vector<double> f1 = dsp::filter_same(recording.mic1, taps);
-    const std::vector<double> f2 = dsp::filter_same(recording.mic2, taps);
-    result.mic1 = detect_events(f1, context->detector());
-    result.mic2 = detect_events(f2, context->detector());
-  } else {
-    result.mic1 = detect_events(recording.mic1, context->detector());
-    result.mic2 = detect_events(recording.mic2, context->detector());
-  }
+  // Each channel is an independent filter+detect pass over shared immutable
+  // plans with a channel-private workspace, so the two closures can run on
+  // different threads. Results cannot depend on the schedule: the closures
+  // touch disjoint outputs and never read each other's state.
+  const auto process_channel = [&](const std::vector<double>& mic,
+                                   std::vector<ChirpEvent>& events) {
+    if (options.bandpass) {
+      dsp::Workspace ws;
+      const std::vector<double> filtered =
+          dsp::filter_same(mic, *context->bandpass_convolver(), &ws);
+      events = detect_events(filtered, context->detector());
+    } else {
+      events = detect_events(mic, context->detector());
+    }
+  };
+  const SerialPairExecutor serial;
+  const PairExecutor& exec = executor != nullptr ? *executor : serial;
+  exec.run_pair([&] { process_channel(recording.mic1, result.mic1); },
+                [&] { process_channel(recording.mic2, result.mic2); });
 
   if (options.sfo_correction) {
     // Average the per-mic estimates when both are available (the two mics

@@ -55,6 +55,7 @@ struct AspResult {
 };
 
 class PipelineContext;
+class PairExecutor;
 
 /// Run ASP on a stereo recording. `nominal_period` is the beacon's
 /// advertised chirp period; `calibration_duration` the static head of the
@@ -65,12 +66,19 @@ class PipelineContext;
 /// a context built for different options/chirp/sample-rate — and a
 /// session-local context is built instead, so results never depend on
 /// whether a cache was supplied.
+///
+/// `executor` (core/parallel.hpp) lets the caller overlap the two
+/// per-microphone filter+detect passes — they read shared immutable plans
+/// and write disjoint outputs, so they are safe to run concurrently. Pass
+/// nullptr for the serial order; either way the results are identical
+/// because the channels never exchange data.
 [[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
                                          const dsp::ChirpParams& chirp,
                                          double nominal_period,
                                          double calibration_duration,
                                          const AspOptions& options = {},
-                                         const PipelineContext* context = nullptr);
+                                         const PipelineContext* context = nullptr,
+                                         const PairExecutor* executor = nullptr);
 
 /// Estimate the beacon period as seen by the phone clock from arrivals of a
 /// static interval: robust line fit of arrival time against chirp index

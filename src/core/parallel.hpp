@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+
+/// @file parallel.hpp
+/// Minimal execution-policy seam between the core pipeline and whatever
+/// thread infrastructure the host runtime owns.
+///
+/// The ASP stage processes the two microphone channels independently
+/// (filter + matched-filter detection per channel), which is a natural pair
+/// of tasks to overlap. But core cannot depend on runtime (the library
+/// layering is common -> ... -> core -> runtime), and spawning ad-hoc
+/// threads inside the pipeline would fight the runtime's own pool sizing.
+/// `PairExecutor` inverts the dependency: core states *what* can run
+/// concurrently, the runtime decides *how* (runtime::BatchEngine adapts its
+/// ThreadPool; everyone else gets the serial default).
+
+namespace hyperear::core {
+
+/// Executes two independent closures, possibly concurrently. Implementations
+/// must not return until both closures have completed, and must propagate an
+/// exception from either one (if both throw, either exception may win).
+/// Implementations must be safe to invoke from multiple threads at once —
+/// run_pair carries no state between calls.
+class PairExecutor {
+ public:
+  virtual ~PairExecutor() = default;
+  virtual void run_pair(const std::function<void()>& a,
+                        const std::function<void()>& b) const = 0;
+};
+
+/// The trivial policy: run both closures on the calling thread, in order.
+/// This is the behavior every caller had before the seam existed, so passing
+/// nullptr (-> serial) keeps single-session results and timing untouched.
+class SerialPairExecutor final : public PairExecutor {
+ public:
+  void run_pair(const std::function<void()>& a,
+                const std::function<void()>& b) const override {
+    a();
+    b();
+  }
+};
+
+}  // namespace hyperear::core

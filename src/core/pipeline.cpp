@@ -70,7 +70,8 @@ PleOptions PipelineConfig::ple_options() const {
 Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& session,
                                                          const PipelineConfig& config,
                                                          StageMetrics* metrics,
-                                                         const PipelineContext* context) {
+                                                         const PipelineContext* context,
+                                                         const PairExecutor* executor) {
   StageMetrics local;
   if (metrics != nullptr) *metrics = local;
   if (std::optional<PipelineError> bad = config.validate()) {
@@ -87,7 +88,8 @@ Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& ses
     const Clock::time_point t0 = Clock::now();
     asp = preprocess_audio(session.audio, session.prior.chirp,
                            session.prior.nominal_period,
-                           session.prior.calibration_duration, config.asp, context);
+                           session.prior.calibration_duration, config.asp, context,
+                           executor);
     local.asp_ms = ms_since(t0);
     local.chirps_mic1 = asp.mic1.size();
     local.chirps_mic2 = asp.mic2.size();

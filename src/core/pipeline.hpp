@@ -90,6 +90,7 @@ struct LocalizationResult {
 };
 
 class PipelineContext;
+class PairExecutor;
 
 /// Run the full pipeline on a session without throwing. Uses the 3D
 /// (two-stature) flow when the session prior says two statures were
@@ -106,9 +107,14 @@ class PipelineContext;
 /// pipeline did per session. Batch callers (`runtime::BatchEngine`) pass a
 /// shared immutable context so plans are built once per configuration, not
 /// once per session; results are bit-identical either way.
+///
+/// `executor` (core/parallel.hpp) optionally overlaps the two microphone
+/// channels inside the ASP stage; null means serial. Results are identical
+/// either way — the channels share only immutable plans.
 [[nodiscard]] Expected<LocalizationResult, PipelineError> try_localize(
     const sim::Session& session, const PipelineConfig& config = {},
-    StageMetrics* metrics = nullptr, const PipelineContext* context = nullptr);
+    StageMetrics* metrics = nullptr, const PipelineContext* context = nullptr,
+    const PairExecutor* executor = nullptr);
 
 /// Throwing shim over `try_localize` for single-session callers: unwraps
 /// the success value or rethrows the taxonomy-matched Error subclass.

@@ -36,7 +36,9 @@ PipelineContext::PipelineContext(const AspOptions& asp, const dsp::ChirpParams& 
       sample_rate_(sample_rate),
       chirp_(chirp),
       bandpass_taps_(make_bandpass_taps(asp, chirp, sample_rate)),
-      detector_(chirp_.reference(sample_rate), make_detector_config(asp, sample_rate)) {}
+      detector_(chirp_.reference(sample_rate), make_detector_config(asp, sample_rate)) {
+  if (!bandpass_taps_.empty()) bandpass_ols_.emplace(bandpass_taps_);
+}
 
 PipelineContext::PipelineContext(const PipelineConfig& config,
                                  const dsp::ChirpParams& chirp, double sample_rate)

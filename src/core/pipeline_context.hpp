@@ -1,19 +1,21 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/asp.hpp"
 #include "dsp/chirp.hpp"
 #include "dsp/matched_filter.hpp"
+#include "dsp/ols.hpp"
 
 /// @file pipeline_context.hpp
 /// The shared DSP plan cache of the localization pipeline.
 ///
 /// Every quantity the ASP stage derives from the *configuration* alone —
-/// the band-pass FIR taps, the sampled matched-filter reference, the
-/// reference's FFT spectrum at the detector chunk size and the FFT
-/// twiddle/plan tables behind it — is independent of the session being
-/// processed. A `PipelineContext` computes them once for a given
+/// the band-pass FIR taps and their overlap-save kernel spectrum, the
+/// sampled matched-filter reference, the reversed reference's overlap-save
+/// spectrum and the FFT twiddle/plan tables behind both — is independent of
+/// the session being processed. A `PipelineContext` computes them once for a given
 /// (AspOptions, ChirpParams, sample rate) triple; `core::try_localize`
 /// and `asp::preprocess_audio` accept an optional context and fall back to
 /// building a session-local one when none (or an incompatible one) is
@@ -56,6 +58,13 @@ class PipelineContext {
   [[nodiscard]] const std::vector<double>& bandpass_taps() const {
     return bandpass_taps_;
   }
+  /// Overlap-save convolver for the band-pass taps (kernel spectrum + FFT
+  /// plan at the block size chosen for the tap count), so per-session
+  /// filtering never re-transforms the kernel. Disengaged when
+  /// `asp_options().bandpass` is false.
+  [[nodiscard]] const std::optional<dsp::OlsConvolver>& bandpass_convolver() const {
+    return bandpass_ols_;
+  }
   /// Matched-filter detector with the reference spectrum and FFT plans
   /// precomputed; `detect` is const and safe to call concurrently.
   [[nodiscard]] const dsp::MatchedFilterDetector& detector() const {
@@ -68,6 +77,7 @@ class PipelineContext {
   double sample_rate_;
   dsp::Chirp chirp_;
   std::vector<double> bandpass_taps_;
+  std::optional<dsp::OlsConvolver> bandpass_ols_;
   dsp::MatchedFilterDetector detector_;
 };
 

@@ -5,30 +5,52 @@
 
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/ols.hpp"
 
 namespace hyperear::dsp {
+
+namespace {
+
+/// Direct valid-mode correlation. `reversed` flips the template indexing so
+/// the same loop serves callers holding h and callers holding reverse(h).
+std::vector<double> correlate_valid_direct(std::span<const double> x,
+                                           std::span<const double> h, bool reversed) {
+  const std::size_t out_len = x.size() - h.size() + 1;
+  std::vector<double> out(out_len, 0.0);
+  for (std::size_t k = 0; k < out_len; ++k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      s += x[k + j] * (reversed ? h[h.size() - 1 - j] : h[j]);
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<double> correlate_valid(std::span<const double> x, std::span<const double> h) {
   require(!x.empty() && !h.empty(), "correlate_valid: empty input");
   require(h.size() <= x.size(), "correlate_valid: template longer than signal");
-  const std::size_t out_len = x.size() - h.size() + 1;
-  if (x.size() * h.size() <= 1u << 16) {
-    std::vector<double> out(out_len, 0.0);
-    for (std::size_t k = 0; k < out_len; ++k) {
-      double s = 0.0;
-      for (std::size_t j = 0; j < h.size(); ++j) s += x[k + j] * h[j];
-      out[k] = s;
-    }
-    return out;
+  if (x.size() * h.size() <= kDirectProductLimit) {
+    return correlate_valid_direct(x, h, false);
   }
-  // FFT path: correlation = convolution with reversed template.
-  std::vector<double> hr(h.rbegin(), h.rend());
-  std::vector<double> full = fft_convolve(x, hr);
-  // full[k] = sum_j x[j] * hr[k - j]; valid correlation lag k corresponds to
-  // full index k + h.size() - 1.
-  std::vector<double> out(out_len);
-  for (std::size_t k = 0; k < out_len; ++k) out[k] = full[k + h.size() - 1];
-  return out;
+  // Overlap-save with the reversed template at the default block size — the
+  // same geometry a cached reversed-spectrum convolver uses, so both
+  // overloads agree bit for bit.
+  return OlsConvolver(std::vector<double>(h.rbegin(), h.rend())).correlate_valid(x);
+}
+
+std::vector<double> correlate_valid(std::span<const double> x,
+                                    const OlsConvolver& reversed_template,
+                                    Workspace* ws) {
+  require(!x.empty(), "correlate_valid: empty input");
+  require(reversed_template.kernel_size() <= x.size(),
+          "correlate_valid: template longer than signal");
+  if (x.size() * reversed_template.kernel_size() <= kDirectProductLimit) {
+    return correlate_valid_direct(x, reversed_template.kernel(), true);
+  }
+  return reversed_template.correlate_valid(x, ws);
 }
 
 std::vector<double> correlate_normalized(std::span<const double> x,
@@ -43,6 +65,16 @@ std::vector<double> correlate_normalized(std::span<const double> x,
 std::vector<double> normalize_correlation(std::span<const double> corr,
                                           std::span<const double> x,
                                           std::size_t h_size, double h_norm) {
+  std::vector<double> prefix;
+  std::vector<double> out;
+  normalize_correlation_into(corr, x, h_size, h_norm, prefix, out);
+  return out;
+}
+
+void normalize_correlation_into(std::span<const double> corr, std::span<const double> x,
+                                std::size_t h_size, double h_norm,
+                                std::vector<double>& prefix_scratch,
+                                std::vector<double>& out) {
   require(h_norm > 0.0, "normalize_correlation: zero-energy template");
   require(h_size >= 1 && h_size <= x.size() &&
               corr.size() == x.size() - h_size + 1,
@@ -51,24 +83,39 @@ std::vector<double> normalize_correlation(std::span<const double> corr,
   // otherwise divide by (numerically) zero and amplify FFT round-off into
   // spurious peaks, so the window energy is floored at a small fraction of
   // the average window energy.
-  std::vector<double> prefix(x.size() + 1, 0.0);
-  for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i] * x[i];
-  const double mean_window_energy =
-      prefix[x.size()] * static_cast<double>(h_size) / static_cast<double>(x.size());
+  prefix_scratch.resize(x.size() + 1);
+  prefix_scratch[0] = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    prefix_scratch[i + 1] = prefix_scratch[i] + x[i] * x[i];
+  }
+  const double mean_window_energy = prefix_scratch[x.size()] *
+                                    static_cast<double>(h_size) /
+                                    static_cast<double>(x.size());
   const double floor_energy = std::max(1e-4 * mean_window_energy, 1e-30);
-  std::vector<double> out(corr.size());
+  out.resize(corr.size());
   for (std::size_t k = 0; k < corr.size(); ++k) {
-    const double win_energy = prefix[k + h_size] - prefix[k];
+    const double win_energy = prefix_scratch[k + h_size] - prefix_scratch[k];
     const double denom = std::sqrt(std::max(win_energy, floor_energy)) * h_norm;
     out[k] = corr[k] / denom;
   }
-  return out;
 }
 
 std::vector<double> correlate_full(std::span<const double> x, std::span<const double> h) {
   require(!x.empty() && !h.empty(), "correlate_full: empty input");
   std::vector<double> hr(h.rbegin(), h.rend());
-  return fft_convolve(x, hr);
+  if (x.size() * h.size() <= kDirectProductLimit) {
+    return fft_convolve(x, hr);
+  }
+  return OlsConvolver(std::move(hr)).convolve_full(x);
+}
+
+std::vector<double> correlate_full(std::span<const double> x,
+                                   const OlsConvolver& reversed_template, Workspace* ws) {
+  require(!x.empty(), "correlate_full: empty input");
+  if (x.size() * reversed_template.kernel_size() <= kDirectProductLimit) {
+    return fft_convolve(x, reversed_template.kernel());
+  }
+  return reversed_template.convolve_full(x, ws);
 }
 
 }  // namespace hyperear::dsp

@@ -10,13 +10,27 @@
 
 namespace hyperear::dsp {
 
+class OlsConvolver;
+class Workspace;
+
 /// Full cross-correlation of x against a shorter template h:
 /// out[k] = sum_j x[k + j] * h[j] for k = 0 .. x.size() - h.size().
 /// This is "valid"-mode correlation; out.size() == x.size() - h.size() + 1.
-/// Requires h.size() <= x.size() and non-empty inputs. Uses FFT for large
-/// products, direct evaluation otherwise.
+/// Requires h.size() <= x.size() and non-empty inputs. Large products
+/// stream through block overlap-save convolution with the reversed
+/// template (dsp/ols.hpp); small ones are evaluated directly.
 [[nodiscard]] std::vector<double> correlate_valid(std::span<const double> x,
                                                   std::span<const double> h);
+
+/// `correlate_valid` against a precomputed template spectrum: the convolver
+/// must have been built with the time-REVERSED template (correlation is
+/// convolution with the reversal) — exactly the reversed-spectrum cache
+/// core::PipelineContext keeps for the matched filter. Small products take
+/// the same direct path as the planless overload, so for any given input
+/// both spellings produce identical bits.
+[[nodiscard]] std::vector<double> correlate_valid(std::span<const double> x,
+                                                  const OlsConvolver& reversed_template,
+                                                  Workspace* ws = nullptr);
 
 /// Sliding normalized cross-correlation: correlate_valid divided by the
 /// local L2 norm of x over the template window times ||h||. Values in
@@ -35,10 +49,25 @@ namespace hyperear::dsp {
                                                         std::size_t h_size,
                                                         double h_norm);
 
+/// Allocation-free spelling of `normalize_correlation` for loops: the
+/// prefix-sum scratch and the output live in caller-owned buffers (resized
+/// as needed). Same result, same preconditions.
+void normalize_correlation_into(std::span<const double> corr, std::span<const double> x,
+                                std::size_t h_size, double h_norm,
+                                std::vector<double>& prefix_scratch,
+                                std::vector<double>& out);
+
 /// Full "linear" cross-correlation with lags from -(h.size()-1) to
 /// x.size()-1 (like numpy.correlate(x, h, "full") reversed appropriately).
-/// Used by tests that check autocorrelation symmetry.
+/// Used by tests that check autocorrelation symmetry. Large products
+/// stream through overlap-save like `correlate_valid`.
 [[nodiscard]] std::vector<double> correlate_full(std::span<const double> x,
                                                  std::span<const double> h);
+
+/// `correlate_full` against a precomputed reversed-template spectrum (see
+/// the `correlate_valid` overload for the reversal contract).
+[[nodiscard]] std::vector<double> correlate_full(std::span<const double> x,
+                                                 const OlsConvolver& reversed_template,
+                                                 Workspace* ws = nullptr);
 
 }  // namespace hyperear::dsp

@@ -104,32 +104,84 @@ void fft_inplace(std::vector<Complex>& x) { fft_core(x, false); }
 
 void ifft_inplace(std::vector<Complex>& x) { fft_core(x, true); }
 
-std::vector<Complex> fft_real(std::span<const double> x, std::size_t min_size) {
+std::vector<Complex>& Workspace::complex_scratch(std::size_t slot, std::size_t size) {
+  require(slot < kSlots, "Workspace: complex slot out of range");
+  complex_[slot].resize(size);
+  return complex_[slot];
+}
+
+std::vector<double>& Workspace::real_scratch(std::size_t slot, std::size_t size) {
+  require(slot < kSlots, "Workspace: real slot out of range");
+  real_[slot].resize(size);
+  return real_[slot];
+}
+
+void fft_real_into(std::span<const double> x, std::size_t min_size,
+                   std::vector<Complex>& out, const FftPlan* plan) {
   require(!x.empty(), "fft_real: empty input");
   const std::size_t target = next_pow2(std::max(x.size(), min_size));
-  std::vector<Complex> buf(target, Complex(0.0, 0.0));
-  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = Complex(x[i], 0.0);
-  fft_inplace(buf);
+  out.resize(target);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = Complex(x[i], 0.0);
+  for (std::size_t i = x.size(); i < target; ++i) out[i] = Complex(0.0, 0.0);
+  if (plan != nullptr && plan->size() == target) {
+    plan->forward(out);
+  } else {
+    fft_inplace(out);
+  }
+}
+
+std::vector<Complex> fft_real(std::span<const double> x, std::size_t min_size) {
+  std::vector<Complex> buf;
+  fft_real_into(x, min_size, buf);
   return buf;
 }
 
-std::vector<double> ifft_to_real(std::vector<Complex> spectrum) {
-  ifft_inplace(spectrum);
-  std::vector<double> out(spectrum.size());
+void ifft_to_real_into(std::vector<Complex>& spectrum, std::vector<double>& out,
+                       const FftPlan* plan) {
+  if (plan != nullptr && plan->size() == spectrum.size()) {
+    plan->inverse(spectrum);
+  } else {
+    ifft_inplace(spectrum);
+  }
+  out.resize(spectrum.size());
   for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = spectrum[i].real();
+}
+
+std::vector<double> ifft_to_real(std::vector<Complex> spectrum) {
+  std::vector<double> out;
+  ifft_to_real_into(spectrum, out);
   return out;
 }
 
-std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b) {
+namespace {
+
+std::vector<double> fft_convolve_with(std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::vector<Complex>& fa,
+                                      std::vector<Complex>& fb) {
   require(!a.empty() && !b.empty(), "fft_convolve: empty input");
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  std::vector<Complex> fa = fft_real(a, n);
-  std::vector<Complex> fb = fft_real(b, n);
+  fft_real_into(a, n, fa);
+  fft_real_into(b, n, fb);
   for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  std::vector<double> full = ifft_to_real(std::move(fa));
+  std::vector<double> full;
+  ifft_to_real_into(fa, full);
   full.resize(out_len);
   return full;
+}
+
+}  // namespace
+
+std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b) {
+  std::vector<Complex> fa, fb;
+  return fft_convolve_with(a, b, fa, fb);
+}
+
+std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b,
+                                 Workspace& ws) {
+  const std::size_t n = next_pow2(a.size() + b.size() - 1);
+  return fft_convolve_with(a, b, ws.complex_scratch(0, n), ws.complex_scratch(1, n));
 }
 
 }  // namespace hyperear::dsp

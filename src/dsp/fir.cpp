@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/ols.hpp"
 
 namespace hyperear::dsp {
 
@@ -62,23 +63,46 @@ std::vector<double> design_bandpass(double low_hz, double high_hz, double sample
   return h;
 }
 
-std::vector<double> filter_same(std::span<const double> signal, std::span<const double> taps) {
-  require(!signal.empty(), "filter_same: empty signal");
-  require(!taps.empty() && taps.size() % 2 == 1, "filter_same: taps must be odd-sized");
+namespace {
+
+/// Direct-evaluation "same" filtering for small signal x taps products.
+std::vector<double> filter_same_direct(std::span<const double> signal,
+                                       std::span<const double> taps) {
   const std::size_t half = taps.size() / 2;
-  std::vector<double> full;
-  if (signal.size() * taps.size() > 1u << 16) {
-    full = fft_convolve(signal, taps);
-  } else {
-    full.assign(signal.size() + taps.size() - 1, 0.0);
-    for (std::size_t i = 0; i < signal.size(); ++i) {
-      for (std::size_t j = 0; j < taps.size(); ++j) full[i + j] += signal[i] * taps[j];
-    }
+  std::vector<double> full(signal.size() + taps.size() - 1, 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) full[i + j] += signal[i] * taps[j];
   }
-  // "same" alignment: drop the group delay on both sides.
   std::vector<double> out(signal.size());
   for (std::size_t i = 0; i < signal.size(); ++i) out[i] = full[i + half];
   return out;
+}
+
+void check_filter_args(std::span<const double> signal, std::size_t taps) {
+  require(!signal.empty(), "filter_same: empty signal");
+  require(taps != 0 && taps % 2 == 1, "filter_same: taps must be odd-sized");
+}
+
+}  // namespace
+
+std::vector<double> filter_same(std::span<const double> signal, std::span<const double> taps) {
+  check_filter_args(signal, taps.size());
+  if (signal.size() * taps.size() <= kDirectProductLimit) {
+    return filter_same_direct(signal, taps);
+  }
+  // Overlap-save at the default block size for this kernel — the same
+  // geometry a cached convolver for these taps would use, so the planless
+  // and plan-cached overloads agree bit for bit.
+  return OlsConvolver(std::vector<double>(taps.begin(), taps.end())).filter_same(signal);
+}
+
+std::vector<double> filter_same(std::span<const double> signal, const OlsConvolver& kernel,
+                                Workspace* ws) {
+  check_filter_args(signal, kernel.kernel_size());
+  if (signal.size() * kernel.kernel_size() <= kDirectProductLimit) {
+    return filter_same_direct(signal, kernel.kernel());
+  }
+  return kernel.filter_same(signal, ws);
 }
 
 double fir_magnitude_at(std::span<const double> taps, double freq_hz, double sample_rate) {

@@ -32,11 +32,25 @@ namespace hyperear::dsp {
                                                   double sample_rate, std::size_t taps,
                                                   WindowType window = WindowType::kHamming);
 
+class OlsConvolver;
+class Workspace;
+
 /// Convolve the signal with FIR taps, "same" mode: the output has the input
 /// length and is aligned so the filter's group delay ((taps-1)/2 samples for
-/// a symmetric design) is removed. Uses FFT convolution for large inputs.
+/// a symmetric design) is removed. Large signal x taps products stream
+/// through block overlap-save convolution (dsp/ols.hpp) at the default
+/// block size for the kernel; small ones are evaluated directly.
 [[nodiscard]] std::vector<double> filter_same(std::span<const double> signal,
                                               std::span<const double> taps);
+
+/// `filter_same` through a prebuilt overlap-save convolver (whose kernel is
+/// the taps) and an optional reusable workspace — the zero-setup-cost
+/// spelling for batch callers (core::PipelineContext caches the convolver).
+/// Takes the direct path below the same size threshold as the planless
+/// overload, so for any given input both spellings produce identical bits.
+[[nodiscard]] std::vector<double> filter_same(std::span<const double> signal,
+                                              const OlsConvolver& kernel,
+                                              Workspace* ws = nullptr);
 
 /// Frequency response magnitude of an FIR at the given frequency.
 [[nodiscard]] double fir_magnitude_at(std::span<const double> taps, double freq_hz,

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/math_util.hpp"
 #include "common/stats.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/peak.hpp"
@@ -35,37 +34,23 @@ MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
   for (double v : reference_) energy += v * v;
   require(energy > 0.0, "MatchedFilterDetector: zero-energy reference");
   reference_norm_ = std::sqrt(energy);
-  // Precompute the chunk-sized correlation plan: full chunks correlate
-  // against this cached spectrum, so the reference is never re-transformed
-  // per chunk (or per detect call). Small signal/reference products take
-  // the direct path in correlate_valid, where an FFT would not pay off.
-  fft_size_ = next_pow2(config_.chunk + reference_.size() - 1);
-  if (config_.chunk * reference_.size() > (1u << 16)) {
-    plan_.emplace(fft_size_);
-    const std::vector<double> reversed(reference_.rbegin(), reference_.rend());
-    reference_spectrum_ = fft_real(reversed, fft_size_);
+  // Precompute the reversed-reference overlap-save convolver: every chunk
+  // of every detect call streams against its cached kernel spectrum, so the
+  // reference is never re-transformed per chunk (or per detect call), and
+  // odd-sized tail chunks reuse the same plan instead of a bespoke
+  // transform. Small signal/reference products take the direct path in
+  // correlate_valid, where an FFT would not pay off.
+  if (config_.chunk * reference_.size() > kDirectProductLimit) {
+    ols_.emplace(std::vector<double>(reference_.rbegin(), reference_.rend()));
   }
 }
 
-std::vector<double> MatchedFilterDetector::correlate_chunk(
-    std::span<const double> seg) const {
-  const std::size_t ref_len = reference_.size();
-  if (!plan_ || seg.size() * ref_len <= (1u << 16) ||
-      next_pow2(seg.size() + ref_len - 1) != fft_size_) {
-    // Direct evaluation or an odd-sized tail chunk: correlate_valid picks
-    // the same path (and transform size) the planless pipeline always used,
-    // keeping results bit-identical with or without the cached spectrum.
-    return correlate_valid(seg, reference_);
-  }
-  std::vector<Complex> buf(fft_size_, Complex(0.0, 0.0));
-  for (std::size_t i = 0; i < seg.size(); ++i) buf[i] = Complex(seg[i], 0.0);
-  plan_->forward(buf);
-  for (std::size_t i = 0; i < fft_size_; ++i) buf[i] *= reference_spectrum_[i];
-  plan_->inverse(buf);
-  const std::size_t out_len = seg.size() - ref_len + 1;
-  std::vector<double> out(out_len);
-  for (std::size_t k = 0; k < out_len; ++k) out[k] = buf[k + ref_len - 1].real();
-  return out;
+std::vector<double> MatchedFilterDetector::correlate_chunk(std::span<const double> seg,
+                                                           Workspace& ws) const {
+  if (!ols_) return correlate_valid(seg, reference_);
+  // The overload takes the same direct path as the planless spelling for
+  // small tails, keeping results bit-identical with or without the cache.
+  return correlate_valid(seg, *ols_, &ws);
 }
 
 std::vector<Detection> MatchedFilterDetector::detect(
@@ -89,6 +74,14 @@ std::vector<Detection> MatchedFilterDetector::detect(
   double prev_last_masked = 0.0;
   bool have_prev = false;
 
+  // Per-call scratch, hoisted out of the chunk loop: the FFT workspace, the
+  // prefix-sum buffer, and the normalized/masked statistics are reused
+  // across chunks instead of reallocated per chunk.
+  Workspace ws;
+  std::vector<double> prefix_scratch;
+  std::vector<double> norm;
+  std::vector<double> masked;
+
   const std::size_t chunk = config_.chunk;
   const std::size_t hop = chunk - (ref_len - 1);
   const auto exclusion = static_cast<std::size_t>(1.2e-3 * config_.sample_rate);
@@ -96,12 +89,11 @@ std::vector<Detection> MatchedFilterDetector::detect(
     const std::size_t end = std::min(start + chunk, recording.size());
     if (end - start < ref_len) break;
     const std::span<const double> seg = recording.subspan(start, end - start);
-    const std::vector<double> raw = correlate_chunk(seg);
-    const std::vector<double> norm =
-        normalize_correlation(raw, seg, ref_len, reference_norm_);
+    const std::vector<double> raw = correlate_chunk(seg, ws);
+    normalize_correlation_into(raw, seg, ref_len, reference_norm_, prefix_scratch, norm);
     // Candidate gating on the normalized statistic, ranking on amplitude:
     // suppress sub-threshold shapes, then find local maxima of |raw|.
-    std::vector<double> masked(raw.size());
+    masked.resize(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
       masked[i] = norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
     }

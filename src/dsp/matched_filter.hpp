@@ -1,11 +1,10 @@
 #pragma once
 
-#include <complex>
 #include <optional>
 #include <span>
 #include <vector>
 
-#include "dsp/fft.hpp"
+#include "dsp/ols.hpp"
 #include "dsp/peak.hpp"
 
 /// @file matched_filter.hpp
@@ -54,13 +53,14 @@ struct DetectorConfig {
 
 /// Matched-filter detector for a fixed reference waveform.
 ///
-/// Construction is the expensive part: the reference's FFT spectrum at the
-/// chunk transform size and the matching `FftPlan` are precomputed once, so
-/// every chunk of every `detect` call correlates against the cached
-/// spectrum instead of re-transforming the template. The detector is
-/// immutable after construction — one instance can serve concurrent
-/// `detect` calls from many threads (core::PipelineContext shares one per
-/// batch engine).
+/// Construction is the expensive part: an overlap-save convolver for the
+/// reversed reference (kernel spectrum + FFT plan at the block size chosen
+/// for the reference length) is built once, so every chunk of every
+/// `detect` call streams against the cached spectrum instead of
+/// re-transforming the template. The detector is immutable after
+/// construction — one instance can serve concurrent `detect` calls from
+/// many threads (core::PipelineContext shares one per batch engine); each
+/// `detect` call keeps its own scratch `Workspace`.
 ///
 /// `detect` output is invariant to how the recording is chunked: candidate
 /// peaks are collected per chunk and the `min_spacing_s` rule is enforced
@@ -81,16 +81,18 @@ class MatchedFilterDetector {
   [[nodiscard]] const std::vector<double>& reference() const { return reference_; }
 
  private:
-  /// Valid-mode correlation of one chunk against the reference, through the
-  /// cached spectrum when the chunk matches the planned transform size.
-  [[nodiscard]] std::vector<double> correlate_chunk(std::span<const double> seg) const;
+  /// Valid-mode correlation of one chunk against the reference, streaming
+  /// through the cached reversed-template convolver when the product is
+  /// large enough for the FFT path to pay off.
+  [[nodiscard]] std::vector<double> correlate_chunk(std::span<const double> seg,
+                                                    Workspace& ws) const;
 
   std::vector<double> reference_;
   DetectorConfig config_;
   double reference_norm_ = 0.0;  ///< L2 norm of the reference
-  std::size_t fft_size_ = 0;     ///< transform size for a full chunk
-  std::optional<FftPlan> plan_;  ///< engaged when full chunks take the FFT path
-  std::vector<Complex> reference_spectrum_;  ///< FFT of the reversed reference
+  /// Overlap-save convolver for the time-reversed reference; engaged when
+  /// full chunks take the FFT path.
+  std::optional<OlsConvolver> ols_;
 };
 
 }  // namespace hyperear::dsp

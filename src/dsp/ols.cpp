@@ -1,0 +1,138 @@
+#include "dsp/ols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace hyperear::dsp {
+
+std::size_t choose_ols_fft_size(std::size_t kernel_len) {
+  require(kernel_len >= 1, "choose_ols_fft_size: empty kernel");
+  // Amortized butterfly work per fresh output sample is N log2(N) / L with
+  // L = N - M + 1; the curve is convex in log N, so scanning a bounded
+  // power-of-two window above the kernel length finds the minimum. The 256
+  // floor keeps tiny kernels from picking blocks where per-block overhead
+  // (pointwise multiply, load/store) would dominate the transform.
+  const std::size_t lo = std::max<std::size_t>(256, next_pow2(kernel_len) * 2);
+  std::size_t best = lo;
+  double best_cost = 0.0;
+  for (std::size_t n = lo; n <= (lo << 6); n <<= 1) {
+    const double fresh = static_cast<double>(n - kernel_len + 1);
+    const double cost = static_cast<double>(n) * std::log2(static_cast<double>(n)) / fresh;
+    if (n == lo || cost < best_cost) {
+      best = n;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+OlsConvolver::OlsConvolver(std::vector<double> kernel, std::size_t fft_size)
+    : kernel_(std::move(kernel)),
+      plan_(fft_size == 0 ? choose_ols_fft_size(kernel_.empty() ? 1 : kernel_.size())
+                          : fft_size) {
+  require(!kernel_.empty(), "OlsConvolver: empty kernel");
+  require(is_pow2(plan_.size()) && plan_.size() >= kernel_.size(),
+          "OlsConvolver: fft_size must be a power of two >= the kernel length");
+  fft_real_into(kernel_, plan_.size(), spectrum_, &plan_);
+}
+
+void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
+                                 std::size_t count, double* out, Workspace& ws) const {
+  require(!x.empty(), "OlsConvolver: empty signal");
+  const std::size_t m = kernel_.size();
+  const std::size_t n = plan_.size();
+  const std::size_t block = block_size();
+  const std::size_t full_len = x.size() + m - 1;
+  require(offset <= full_len && count <= full_len - offset,
+          "OlsConvolver: output window exceeds the full convolution");
+  if (count == 0) return;
+
+  std::vector<Complex>& z = ws.complex_scratch(0, n);
+
+  // Block b produces full-convolution samples [b*block, b*block + block)
+  // from input window [b*block - (m-1), b*block + block) (zero-padded
+  // outside the signal): the circular convolution of that window with the
+  // kernel is alias-free in its last `block` samples — the overlap-save
+  // identity. Consecutive blocks share one transform pair via the
+  // real-input fast path: with real blocks a, b and kernel spectrum K,
+  //   IFFT(FFT(a + i*b) . K) = (a*k) + i*(b*k)
+  // by linearity, both parts real — so the real parts carry block b's
+  // result and the imaginary parts block b+1's, halving the FFT count.
+  const auto sample = [&x](std::ptrdiff_t idx) {
+    return idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size())
+               ? x[static_cast<std::size_t>(idx)]
+               : 0.0;
+  };
+  // Pairing is anchored to the FULL convolution, not to the requested
+  // window: block 2k always shares its transform with block 2k+1 (when the
+  // latter exists at all). A window therefore computes exactly the block
+  // arithmetic the full convolution would, so any window of the output is
+  // bit-identical to the corresponding slice of convolve_full — at the cost
+  // of at most one redundant block at each end of the window.
+  const std::size_t total_blocks = (full_len + block - 1) / block;
+  const std::size_t first_block = (offset / block) & ~std::size_t{1};
+  const std::size_t last_block = (offset + count - 1) / block;
+  for (std::size_t b = first_block; b <= last_block; b += 2) {
+    const bool paired = b + 1 < total_blocks;
+    const std::ptrdiff_t base0 =
+        static_cast<std::ptrdiff_t>(b * block) - static_cast<std::ptrdiff_t>(m - 1);
+    if (paired) {
+      const std::ptrdiff_t base1 = base0 + static_cast<std::ptrdiff_t>(block);
+      for (std::size_t j = 0; j < n; ++j) {
+        z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)),
+                       sample(base1 + static_cast<std::ptrdiff_t>(j)));
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)), 0.0);
+      }
+    }
+    plan_.forward(z);
+    for (std::size_t j = 0; j < n; ++j) z[j] *= spectrum_[j];
+    plan_.inverse(z);
+
+    for (std::size_t half = 0; half < (paired ? 2u : 1u); ++half) {
+      const std::size_t start = (b + half) * block;
+      const std::size_t lo = std::max(start, offset);
+      const std::size_t hi = std::min({start + block, offset + count, full_len});
+      for (std::size_t g = lo; g < hi; ++g) {
+        const Complex& v = z[m - 1 + (g - start)];
+        out[g - offset] = half == 0 ? v.real() : v.imag();
+      }
+    }
+  }
+}
+
+std::vector<double> OlsConvolver::convolve_full(std::span<const double> x,
+                                                Workspace* ws) const {
+  Workspace local;
+  std::vector<double> out(x.size() + kernel_.size() - 1);
+  convolve_into(x, 0, out.size(), out.data(), ws != nullptr ? *ws : local);
+  return out;
+}
+
+std::vector<double> OlsConvolver::filter_same(std::span<const double> x,
+                                              Workspace* ws) const {
+  require(kernel_.size() % 2 == 1, "OlsConvolver::filter_same: kernel must be odd-sized");
+  Workspace local;
+  std::vector<double> out(x.size());
+  convolve_into(x, kernel_.size() / 2, out.size(), out.data(),
+                ws != nullptr ? *ws : local);
+  return out;
+}
+
+std::vector<double> OlsConvolver::correlate_valid(std::span<const double> x,
+                                                  Workspace* ws) const {
+  require(kernel_.size() <= x.size(),
+          "OlsConvolver::correlate_valid: template longer than signal");
+  Workspace local;
+  std::vector<double> out(x.size() - kernel_.size() + 1);
+  convolve_into(x, kernel_.size() - 1, out.size(), out.data(),
+                ws != nullptr ? *ws : local);
+  return out;
+}
+
+}  // namespace hyperear::dsp

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+/// @file ols.hpp
+/// Block overlap-save (OLS) convolution: the streaming engine behind FIR
+/// filtering and matched-filter correlation of long recordings.
+///
+/// The monolithic FFT convolution (`fft_convolve`) pads the WHOLE signal to
+/// the next power of two — a 10 s, 44.1 kHz channel becomes a 2^20-point
+/// transform whose working set thrashes every cache level. Overlap-save
+/// instead fixes a small transform size N from the KERNEL length alone,
+/// slides a block of L = N - M + 1 fresh samples per step (M = kernel
+/// length), and keeps the kernel spectrum and the `FftPlan` twiddle tables
+/// cached across blocks, calls and sessions (via core::PipelineContext).
+///
+/// Two structural savings on top of the block streaming:
+///  * the kernel is transformed ONCE at construction, never per call;
+///  * consecutive blocks ride one complex transform pair (see
+///    `convolve_into`): the real-input fast path packs block b into the real
+///    parts and block b+1 into the imaginary parts, halving the FFT count.
+///
+/// Accuracy: overlap-save computes the same linear convolution as the
+/// direct sum, within FFT round-off (~1e-13 for unit-scale inputs; the
+/// property tests in tests/test_ols.cpp bound it at 1e-9). Results are
+/// deterministic — a fixed (kernel, fft_size) pair produces bit-identical
+/// output for a given input everywhere, which is what keeps pipelines with
+/// and without a shared plan cache bit-identical.
+
+namespace hyperear::dsp {
+
+/// Signal-length x kernel-length product below which direct (time-domain)
+/// evaluation beats any FFT method. Shared by `filter_same`,
+/// `correlate_valid` and the matched-filter detector so every spelling of a
+/// convolution picks the same path — and therefore the same bits.
+inline constexpr std::size_t kDirectProductLimit = 1u << 16;
+
+/// Transform size for overlap-save with an M-tap kernel: the power of two
+/// minimizing amortized butterfly work per output sample,
+/// N log2(N) / (N - M + 1). Deterministic, so independently constructed
+/// convolvers for the same kernel agree on the block geometry (and hence on
+/// the output bits).
+[[nodiscard]] std::size_t choose_ols_fft_size(std::size_t kernel_len);
+
+/// Streaming overlap-save convolver for one fixed real kernel.
+///
+/// Construction is the expensive part: it builds the `FftPlan` for the
+/// block size and transforms the kernel once. After that the object is
+/// immutable — share one instance read-only across any number of threads
+/// (core::PipelineContext does); per-call scratch lives in the caller's
+/// `Workspace`.
+///
+/// For correlation, construct with the time-REVERSED template: correlation
+/// is convolution with the reversed kernel, and `correlate_valid` below
+/// assumes the reversal already happened (the reversed-template spectrum is
+/// exactly what core::PipelineContext caches for the matched filter).
+class OlsConvolver {
+ public:
+  /// `kernel` must be non-empty. `fft_size` 0 selects
+  /// `choose_ols_fft_size(kernel.size())`; an explicit value must be a
+  /// power of two of at least the kernel length.
+  explicit OlsConvolver(std::vector<double> kernel, std::size_t fft_size = 0);
+
+  [[nodiscard]] std::size_t kernel_size() const { return kernel_.size(); }
+  [[nodiscard]] std::size_t fft_size() const { return plan_.size(); }
+  /// Fresh output samples produced per block: fft_size - kernel_size + 1.
+  [[nodiscard]] std::size_t block_size() const {
+    return plan_.size() - kernel_.size() + 1;
+  }
+  [[nodiscard]] const std::vector<double>& kernel() const { return kernel_; }
+  [[nodiscard]] const FftPlan& plan() const { return plan_; }
+  /// FFT of the zero-padded kernel at the block transform size.
+  [[nodiscard]] const std::vector<Complex>& kernel_spectrum() const { return spectrum_; }
+
+  /// Write full-convolution samples [offset, offset + count) of
+  /// kernel * x into `out` (which must hold `count` doubles). The full
+  /// convolution has x.size() + kernel_size() - 1 samples; the window must
+  /// lie inside it. Only the blocks intersecting the window are processed.
+  void convolve_into(std::span<const double> x, std::size_t offset, std::size_t count,
+                     double* out, Workspace& ws) const;
+
+  /// Full linear convolution; length x.size() + kernel_size() - 1.
+  [[nodiscard]] std::vector<double> convolve_full(std::span<const double> x,
+                                                  Workspace* ws = nullptr) const;
+
+  /// FIR "same" filtering: output has x.size() samples with the group delay
+  /// of the (odd, symmetric) kernel removed. Requires an odd kernel.
+  [[nodiscard]] std::vector<double> filter_same(std::span<const double> x,
+                                                Workspace* ws = nullptr) const;
+
+  /// Valid-mode correlation of x against the template whose REVERSAL is
+  /// this convolver's kernel; length x.size() - kernel_size() + 1. Requires
+  /// kernel_size() <= x.size().
+  [[nodiscard]] std::vector<double> correlate_valid(std::span<const double> x,
+                                                    Workspace* ws = nullptr) const;
+
+ private:
+  std::vector<double> kernel_;
+  FftPlan plan_;
+  std::vector<Complex> spectrum_;
+};
+
+}  // namespace hyperear::dsp

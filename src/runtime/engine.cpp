@@ -16,6 +16,54 @@ std::size_t default_threads(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// core::PairExecutor over the engine's own ThreadPool. The first closure
+/// is posted as a pool task and the second runs on the calling thread, so a
+/// pair costs at most one extra in-flight task and the machine is never
+/// oversubscribed (channel tasks and session tasks share the same fixed
+/// worker set). While the posted half is pending, the caller help-drains
+/// the queue (ThreadPool::try_run_one) instead of blocking — necessary for
+/// correctness, not just throughput: every worker could simultaneously be a
+/// session waiting on a posted channel task, and with no thread left to run
+/// them the engine would deadlock. Help-draining means a waiter IS a
+/// worker, so the queue always makes progress.
+class PoolPairExecutor final : public core::PairExecutor {
+ public:
+  explicit PoolPairExecutor(ThreadPool& pool) : pool_(&pool) {}
+
+  void run_pair(const std::function<void()>& a,
+                const std::function<void()>& b) const override {
+    auto posted = std::make_shared<std::packaged_task<void()>>(a);
+    std::future<void> done = posted->get_future();
+    try {
+      pool_->post([posted] { (*posted)(); });
+    } catch (...) {
+      // The pool is shutting down and refused the task (it never ran):
+      // degrade to the serial order.
+      a();
+      b();
+      return;
+    }
+    std::exception_ptr b_error;
+    try {
+      b();
+    } catch (...) {
+      b_error = std::current_exception();
+    }
+    // Even when b failed, a() still references live caller state — wait for
+    // it either way, lending this thread to the queue in the meantime.
+    while (done.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool_->try_run_one()) {
+        done.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (b_error) std::rethrow_exception(b_error);
+    done.get();  // propagates a's exception, if any
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
 }  // namespace
 
 const char* to_string(SessionStatus status) {
@@ -32,6 +80,7 @@ BatchEngine::BatchEngine(core::PipelineConfig config, std::size_t threads)
   if (std::optional<core::PipelineError> bad = config_.validate()) {
     throw PreconditionError("BatchEngine: " + describe(*bad));
   }
+  channel_executor_ = std::make_unique<PoolPairExecutor>(pool_);
 }
 
 SessionReport BatchEngine::run_one(const sim::Session& session) {
@@ -40,7 +89,8 @@ SessionReport BatchEngine::run_one(const sim::Session& session) {
   try {
     const std::shared_ptr<const core::PipelineContext> context = context_for(session);
     Expected<core::LocalizationResult, core::PipelineError> outcome =
-        core::try_localize(session, config_, &report.metrics, context.get());
+        core::try_localize(session, config_, &report.metrics, context.get(),
+                           channel_executor_.get());
     if (outcome.has_value()) {
       report.result = *std::move(outcome);
       report.status =

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "core/pipeline_context.hpp"
 #include "runtime/thread_pool.hpp"
@@ -120,6 +121,12 @@ class BatchEngine {
   EngineStats stats_;
   mutable std::mutex context_mutex_;
   std::vector<std::shared_ptr<const core::PipelineContext>> contexts_;
+  /// Overlaps the two microphone channels of each session on the SAME pool
+  /// the sessions run on (help-draining while waiting, so nested fan-out
+  /// cannot deadlock and the engine never oversubscribes the machine).
+  /// Declared before pool_: queued session tasks reference it while the
+  /// pool drains during destruction.
+  std::unique_ptr<const core::PairExecutor> channel_executor_;
   ThreadPool pool_;  // declared last: workers must die before state above
 };
 

@@ -39,6 +39,14 @@ class ThreadPool {
   /// throws. Idempotent; does not block — the destructor joins.
   void stop();
 
+  /// Pop one queued task (if any) and run it on the CALLING thread.
+  /// Returns false immediately when the queue is empty. This is the
+  /// help-drain primitive for callers that posted work and are waiting for
+  /// it: instead of blocking while every worker is busy, the waiter runs
+  /// queued tasks itself, which keeps nested fan-out (sessions posting
+  /// per-channel tasks onto the same pool) deadlock-free.
+  bool try_run_one();
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:

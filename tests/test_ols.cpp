@@ -1,0 +1,263 @@
+#include "dsp/ols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+
+namespace hyperear::dsp {
+namespace {
+
+/// O(n*m) reference convolution — the ground truth every streaming result
+/// is held against.
+std::vector<double> direct_full_conv(std::span<const double> x,
+                                     std::span<const double> k) {
+  std::vector<double> out(x.size() + k.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < k.size(); ++j) out[i + j] += x[i] * k[j];
+  }
+  return out;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// Accuracy contract (documented in DESIGN.md Section 9): for unit-variance
+// inputs at the sizes this library uses, overlap-save agrees with direct
+// evaluation to ~1e-13; 1e-9 leaves four orders of magnitude of headroom
+// while still catching any real indexing or aliasing bug, which shows up at
+// O(1) error, not O(1e-12).
+constexpr double kTol = 1e-9;
+
+TEST(ChooseOlsFftSize, PowerOfTwoAtLeastKernelAndDeterministic) {
+  for (std::size_t m : {1u, 2u, 7u, 63u, 255u, 1000u, 2205u, 5000u}) {
+    const std::size_t n = choose_ols_fft_size(m);
+    EXPECT_TRUE(is_pow2(n)) << "m=" << m;
+    EXPECT_GE(n, m) << "m=" << m;
+    // Deterministic: independently built convolvers must agree on geometry
+    // (the bit-identity of the planless and plan-cached overloads rests on
+    // this).
+    EXPECT_EQ(n, choose_ols_fft_size(m)) << "m=" << m;
+  }
+  // The paper's band-pass kernel: 255 taps -> 2048-point blocks (the
+  // n*log2(n)/(n-m+1) minimum). A change here silently changes every
+  // cached-vs-planless comparison, so pin it.
+  EXPECT_EQ(choose_ols_fft_size(255), 2048u);
+}
+
+TEST(OlsConvolver, MatchesDirectAcrossRandomLengths) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    const auto n = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(m), 5000));
+    std::vector<double> x = rng.gaussian_vector(n);
+    std::vector<double> k = rng.gaussian_vector(m);
+    const OlsConvolver ols(k);
+    const std::vector<double> got = ols.convolve_full(x);
+    const std::vector<double> want = direct_full_conv(x, k);
+    EXPECT_LT(max_abs_diff(got, want), kTol) << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(OlsConvolver, NonPowerOfTwoBoundaryLengths) {
+  Rng rng(7);
+  // Signal lengths straddling block boundaries for the smallest block the
+  // convolver will pick (m=255 -> N=2048 -> L=1794), plus prime-ish lengths.
+  const std::size_t m = 255;
+  std::vector<double> k = rng.gaussian_vector(m);
+  const OlsConvolver ols(k);
+  const std::size_t block = ols.block_size();
+  for (std::size_t n : {m, m + 1, block - 1, block, block + 1, 2 * block - 1,
+                        2 * block, 2 * block + 1, 4099ul}) {
+    std::vector<double> x = rng.gaussian_vector(n);
+    EXPECT_LT(max_abs_diff(ols.convolve_full(x), direct_full_conv(x, k)), kTol)
+        << "n=" << n;
+  }
+}
+
+TEST(OlsConvolver, KernelEqualsFftSizeEdge) {
+  // Forcing fft_size == kernel length shrinks the block to one sample — the
+  // degenerate extreme of the overlap-save recurrence (every output sample
+  // is its own block, and every pair of blocks shares one packed transform).
+  Rng rng(11);
+  const std::size_t m = 64;
+  std::vector<double> k = rng.gaussian_vector(m);
+  const OlsConvolver ols(k, /*fft_size=*/64);
+  EXPECT_EQ(ols.block_size(), 1u);
+  std::vector<double> x = rng.gaussian_vector(157);
+  EXPECT_LT(max_abs_diff(ols.convolve_full(x), direct_full_conv(x, k)), kTol);
+}
+
+TEST(OlsConvolver, KernelLongerThanBlock) {
+  // fft_size = 256 with a 200-tap kernel gives 57-sample blocks: the kernel
+  // spans several blocks' worth of history, so the overlap window reaches
+  // far behind the block being produced.
+  Rng rng(13);
+  const std::size_t m = 200;
+  std::vector<double> k = rng.gaussian_vector(m);
+  const OlsConvolver ols(k, /*fft_size=*/256);
+  EXPECT_EQ(ols.block_size(), 57u);
+  EXPECT_LT(ols.block_size(), m);
+  std::vector<double> x = rng.gaussian_vector(1000);
+  EXPECT_LT(max_abs_diff(ols.convolve_full(x), direct_full_conv(x, k)), kTol);
+}
+
+TEST(OlsConvolver, WindowedOutputMatchesSliceOfFull) {
+  Rng rng(17);
+  const std::size_t m = 101;
+  std::vector<double> k = rng.gaussian_vector(m);
+  std::vector<double> x = rng.gaussian_vector(3000);
+  const OlsConvolver ols(k);
+  const std::vector<double> full = ols.convolve_full(x);
+  Workspace ws;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto offset = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(full.size())));
+    const auto count = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(full.size() - offset)));
+    std::vector<double> window(count, 0.0);
+    ols.convolve_into(x, offset, count, window.data(), ws);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Exact: a window is the same block arithmetic as the full result.
+      EXPECT_EQ(window[i], full[offset + i]) << "offset=" << offset << " i=" << i;
+    }
+  }
+}
+
+TEST(OlsConvolver, MatchesMonolithicFftConvolveWithinTolerance) {
+  Rng rng(19);
+  std::vector<double> k = rng.gaussian_vector(255);
+  std::vector<double> x = rng.gaussian_vector(1u << 14);
+  const OlsConvolver ols(k);
+  EXPECT_LT(max_abs_diff(ols.convolve_full(x), fft_convolve(x, k)), kTol);
+}
+
+TEST(OlsOverloads, FilterSameSpellingsAreBitIdentical) {
+  Rng rng(23);
+  std::vector<double> taps = rng.gaussian_vector(255);
+  const OlsConvolver cached(taps);
+  Workspace ws;
+  // Large product (OLS path) and small product (direct path) both must be
+  // exactly equal between the planless and plan-cached spellings — the
+  // contract that lets PipelineContext swap its cache in and out without
+  // perturbing a single bit of the pipeline output.
+  for (std::size_t n : {100u, 5000u}) {
+    std::vector<double> x = rng.gaussian_vector(n);
+    const std::vector<double> planless = filter_same(x, taps);
+    const std::vector<double> planned = filter_same(x, cached, &ws);
+    ASSERT_EQ(planless.size(), planned.size());
+    for (std::size_t i = 0; i < planless.size(); ++i) {
+      EXPECT_EQ(planless[i], planned[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(OlsOverloads, CorrelateValidSpellingsAreBitIdentical) {
+  Rng rng(29);
+  std::vector<double> h = rng.gaussian_vector(255);
+  const OlsConvolver reversed(std::vector<double>(h.rbegin(), h.rend()));
+  Workspace ws;
+  for (std::size_t n : {300u, 4000u}) {
+    std::vector<double> x = rng.gaussian_vector(n);
+    const std::vector<double> planless = correlate_valid(x, h);
+    const std::vector<double> planned = correlate_valid(x, reversed, &ws);
+    ASSERT_EQ(planless.size(), planned.size());
+    for (std::size_t i = 0; i < planless.size(); ++i) {
+      EXPECT_EQ(planless[i], planned[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(OlsOverloads, CorrelateFullSpellingsAreBitIdentical) {
+  Rng rng(31);
+  std::vector<double> h = rng.gaussian_vector(255);
+  const OlsConvolver reversed(std::vector<double>(h.rbegin(), h.rend()));
+  for (std::size_t n : {200u, 2000u}) {
+    std::vector<double> x = rng.gaussian_vector(n);
+    const std::vector<double> planless = correlate_full(x, h);
+    const std::vector<double> planned = correlate_full(x, reversed);
+    ASSERT_EQ(planless.size(), planned.size());
+    for (std::size_t i = 0; i < planless.size(); ++i) {
+      EXPECT_EQ(planless[i], planned[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(OlsWorkspace, ReuseAcrossMixedSizesDoesNotPerturbResults) {
+  Rng rng(37);
+  std::vector<double> k = rng.gaussian_vector(127);
+  const OlsConvolver ols(k);
+  Workspace shared;
+  // Interleave sizes so every call inherits a dirty, possibly larger
+  // buffer from the previous one.
+  for (std::size_t n : {3000u, 130u, 4096u, 127u, 2500u}) {
+    std::vector<double> x = rng.gaussian_vector(n);
+    const std::vector<double> reused = ols.convolve_full(x, &shared);
+    const std::vector<double> fresh = ols.convolve_full(x);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (std::size_t i = 0; i < reused.size(); ++i) {
+      EXPECT_EQ(reused[i], fresh[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftInto, MatchesAllocatingSpellings) {
+  Rng rng(41);
+  std::vector<double> x = rng.gaussian_vector(300);
+  const std::vector<Complex> want = fft_real(x, 1024);
+  const FftPlan plan(1024);
+  Workspace ws;
+  std::vector<Complex>& spectrum = ws.complex_scratch(0, 4096);  // dirty, oversized
+  fft_real_into(x, 1024, spectrum, &plan);
+  ASSERT_EQ(spectrum.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(spectrum[i], want[i]) << "i=" << i;
+  }
+
+  const std::vector<double> round_trip = ifft_to_real(want);
+  std::vector<Complex> clobber(want);
+  std::vector<double>& out = ws.real_scratch(0, 1);
+  ifft_to_real_into(clobber, out, &plan);
+  ASSERT_EQ(out.size(), round_trip.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], round_trip[i]) << "i=" << i;
+  }
+}
+
+TEST(OlsErrors, ContractViolationsThrow) {
+  EXPECT_THROW(OlsConvolver(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(OlsConvolver(std::vector<double>(8, 1.0), 48), PreconditionError);
+  EXPECT_THROW(OlsConvolver(std::vector<double>(100, 1.0), 64), PreconditionError);
+  EXPECT_THROW((void)choose_ols_fft_size(0), PreconditionError);
+
+  const OlsConvolver ols(std::vector<double>(8, 1.0), 64);
+  const std::vector<double> x(32, 1.0);
+  Workspace ws;
+  std::vector<double> out(64, 0.0);
+  // full length is 39; a window reaching past it must be rejected.
+  EXPECT_THROW(ols.convolve_into(x, 0, 40, out.data(), ws), PreconditionError);
+  EXPECT_THROW(ols.convolve_into(x, 39, 1, out.data(), ws), PreconditionError);
+  // Even-length kernels have no centered "same" alignment.
+  EXPECT_THROW((void)ols.filter_same(x), PreconditionError);
+  // Template longer than signal.
+  const std::vector<double> tiny(4, 1.0);
+  EXPECT_THROW((void)ols.correlate_valid(tiny), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperear::dsp
