@@ -22,6 +22,9 @@
 #include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/pipeline.hpp"
+#include "core/pipeline_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "sim/scenario.hpp"
 
@@ -127,6 +130,56 @@ int main() {
     all_identical = all_identical && same;
     std::printf("%8zu %10.2f %12.2f %8.2fx %6zu %13s\n", threads, seconds, rate,
                 rate / baseline_rate, ok, same ? "yes" : "MISMATCH");
+  }
+
+  // Observability overhead (the bench_obs_overhead rows): the same serial
+  // shared-context session loop with the metrics registry + tracer off vs
+  // on. Serial so nothing but the instrumentation differs between the two
+  // timings; the acceptance budget is <2% and the results must stay
+  // bit-identical (obs observes, never steers).
+  {
+    const core::PipelineConfig config;
+    const core::PipelineContext ctx(config, sessions[0].prior.chirp,
+                                    sessions[0].audio.sample_rate);
+    std::vector<core::LocalizationResult> plain(n_sessions);
+    const Clock::time_point t0 = Clock::now();
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      auto outcome = core::try_localize(sessions[i], config, nullptr, &ctx);
+      if (outcome.has_value()) plain[i] = *std::move(outcome);
+    }
+    const double off_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    std::vector<core::LocalizationResult> traced(n_sessions);
+    const Clock::time_point t1 = Clock::now();
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      const obs::ObsContext obs{&registry, &tracer, i + 1};
+      auto outcome = core::try_localize(sessions[i], config, nullptr, &ctx, nullptr, &obs);
+      if (outcome.has_value()) traced[i] = *std::move(outcome);
+    }
+    const double on_s = std::chrono::duration<double>(Clock::now() - t1).count();
+
+    bool obs_identical = true;
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      obs_identical = obs_identical && identical(plain[i], traced[i]);
+    }
+    all_identical = all_identical && obs_identical;
+    const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    std::printf("\nobs overhead (serial, shared ctx): off %.3f s, on %.3f s -> "
+                "%+.2f%% (budget <2%%), results %s\n",
+                off_s, on_s, overhead_pct,
+                obs_identical ? "bit-identical" : "MISMATCH");
+    bench::BenchRow off_row;
+    off_row.op = "obs_overhead";
+    off_row.variant = "registry-off";
+    off_row.n = n_sessions;
+    off_row.ns_per_op = off_s * 1e9 / static_cast<double>(n_sessions);
+    rows.push_back(off_row);
+    bench::BenchRow on_row = off_row;
+    on_row.variant = "registry-on";
+    on_row.ns_per_op = on_s * 1e9 / static_cast<double>(n_sessions);
+    rows.push_back(on_row);
   }
 
   bench::write_bench_json("BENCH_engine.json", rows);

@@ -49,9 +49,44 @@ struct BenchRow {
   std::size_t bytes_allocated = 0;  ///< heap bytes requested per op
 };
 
+/// Schema check: every row must carry a non-empty op and variant, a
+/// positive problem size, and a finite positive timing; an empty row list
+/// means the bench silently stopped measuring. Violations return false so
+/// write_bench_json can abort the process — the bench-smoke ctest run then
+/// fails the moment a bench stops emitting valid rows, instead of the
+/// regression surfacing when someone next diffs the JSON.
+inline bool validate_bench_rows(const std::vector<BenchRow>& rows,
+                                std::string* why = nullptr) {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (rows.empty()) return fail("no rows emitted");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    const std::string at = "row " + std::to_string(i) + ": ";
+    if (r.op.empty()) return fail(at + "empty op");
+    if (r.variant.empty()) return fail(at + "empty variant");
+    if (r.n == 0) return fail(at + "n == 0");
+    if (!(r.ns_per_op > 0.0) || r.ns_per_op != r.ns_per_op ||
+        r.ns_per_op > 1e18) {
+      return fail(at + "ns_per_op not a finite positive number");
+    }
+  }
+  return true;
+}
+
 /// Write rows as a JSON array of flat objects. Overwrites `path`.
+/// Terminates the process (exit 1) when the rows fail the schema check, so
+/// ctest's bench-smoke label catches a bench that bit-rotted its output.
 inline void write_bench_json(const std::string& path,
                              const std::vector<BenchRow>& rows) {
+  std::string why;
+  if (!validate_bench_rows(rows, &why)) {
+    std::fprintf(stderr, "bench_json: %s: invalid rows (%s)\n", path.c_str(),
+                 why.c_str());
+    std::exit(1);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());

@@ -9,15 +9,18 @@
 #include "core/pipeline_context.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/matched_filter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hyperear::core {
 
 namespace {
 
 std::vector<ChirpEvent> detect_events(const std::vector<double>& signal,
-                                      const dsp::MatchedFilterDetector& detector) {
+                                      const dsp::MatchedFilterDetector& detector,
+                                      const obs::ObsContext* obs) {
   std::vector<ChirpEvent> events;
-  for (const dsp::Detection& d : detector.detect(signal)) {
+  for (const dsp::Detection& d : detector.detect(signal, obs)) {
     events.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
   }
   return events;
@@ -51,7 +54,8 @@ double estimate_period(const std::vector<ChirpEvent>& events, double nominal_per
 AspResult preprocess_audio(const sim::StereoRecording& recording,
                            const dsp::ChirpParams& chirp_params, double nominal_period,
                            double calibration_duration, const AspOptions& options,
-                           const PipelineContext* context, const PairExecutor* executor) {
+                           const PipelineContext* context, const PairExecutor* executor,
+                           const obs::ObsContext* obs) {
   require(!recording.mic1.empty() && recording.mic1.size() == recording.mic2.size(),
           "preprocess_audio: bad recording");
   const double fs = recording.sample_rate;
@@ -77,9 +81,9 @@ AspResult preprocess_audio(const sim::StereoRecording& recording,
       dsp::Workspace ws;
       const std::vector<double> filtered =
           dsp::filter_same(mic, *context->bandpass_convolver(), &ws);
-      events = detect_events(filtered, context->detector());
+      events = detect_events(filtered, context->detector(), obs);
     } else {
-      events = detect_events(mic, context->detector());
+      events = detect_events(mic, context->detector(), obs);
     }
   };
   const SerialPairExecutor serial;
@@ -105,6 +109,17 @@ AspResult preprocess_audio(const sim::StereoRecording& recording,
       result.estimated_period = sum / count;
       result.sfo_ppm = (result.estimated_period / nominal_period - 1.0) * 1e6;
       result.sfo_estimated = true;
+    }
+  }
+  if (obs != nullptr && obs->metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs->metrics;
+    m.counter(result.sfo_estimated ? "asp.sfo_estimated_total"
+                                   : "asp.sfo_fallback_total")
+        .inc();
+    static constexpr double kPpmBounds[] = {-100.0, -50.0, -20.0, -10.0, 0.0,
+                                            10.0,   20.0,  50.0,  100.0};
+    if (result.sfo_estimated) {
+      m.histogram("asp.sfo_ppm", kPpmBounds).observe(result.sfo_ppm);
     }
   }
   return result;

@@ -19,6 +19,10 @@
 ///     head of the session provides arrivals whose spacing is exactly the
 ///     beacon period as seen by the phone clock.
 
+namespace hyperear::obs {
+struct ObsContext;
+}
+
 namespace hyperear::core {
 
 /// One detected chirp arrival at a microphone.
@@ -72,13 +76,18 @@ class PairExecutor;
 /// and write disjoint outputs, so they are safe to run concurrently. Pass
 /// nullptr for the serial order; either way the results are identical
 /// because the channels never exchange data.
+///
+/// `obs` (obs/trace.hpp) optionally receives stage telemetry (detector
+/// counters, SFO-estimate outcomes) on its registry. Null records nothing;
+/// the AspResult is byte-identical either way.
 [[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
                                          const dsp::ChirpParams& chirp,
                                          double nominal_period,
                                          double calibration_duration,
                                          const AspOptions& options = {},
                                          const PipelineContext* context = nullptr,
-                                         const PairExecutor* executor = nullptr);
+                                         const PairExecutor* executor = nullptr,
+                                         const obs::ObsContext* obs = nullptr);
 
 /// Estimate the beacon period as seen by the phone clock from arrivals of a
 /// static interval: robust line fit of arrival time against chirp index

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hyperear::core {
 
@@ -18,6 +20,35 @@ std::optional<PipelineError> config_violation(bool bad, const std::string& what)
   if (!bad) return std::nullopt;
   return PipelineError{ErrorCategory::config, PipelineStage::config,
                        "PipelineConfig: " + what};
+}
+
+/// Stage-latency buckets (ms) shared by the asp/msp/solve histograms.
+constexpr double kStageMsBounds[] = {1.0,  2.0,   5.0,   10.0,  20.0,
+                                     50.0, 100.0, 200.0, 500.0, 1000.0};
+
+/// Pipeline-level registry updates for one finished attempt. All derived
+/// from values the pipeline computed anyway — observing costs no extra
+/// clock reads and cannot perturb the result.
+void record_pipeline_metrics(obs::MetricsRegistry& m, const StageMetrics& stage,
+                             const LocalizationResult* result,
+                             const PipelineError* error) {
+  m.counter("pipeline.sessions_total").inc();
+  m.histogram("pipeline.asp_ms", kStageMsBounds).observe(stage.asp_ms);
+  if (error != nullptr) {
+    m.counter(std::string("pipeline.stage_failures.") + to_string(error->stage)).inc();
+    return;
+  }
+  m.histogram("pipeline.msp_ms", kStageMsBounds).observe(stage.msp_ms);
+  m.histogram("pipeline.solve_ms", kStageMsBounds).observe(stage.solve_ms);
+  m.counter(result->valid ? "pipeline.sessions_valid"
+                          : "pipeline.sessions_no_solution")
+      .inc();
+  if (result->valid) {
+    static constexpr double kRangeBounds[] = {1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0, 15.0};
+    m.histogram("pipeline.range_m", kRangeBounds).observe(result->range);
+    m.counter(result->used_3d() ? "pipeline.flow_3d_total" : "pipeline.flow_2d_total")
+        .inc();
+  }
 }
 
 }  // namespace
@@ -67,29 +98,43 @@ PleOptions PipelineConfig::ple_options() const {
   return ple;
 }
 
-Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& session,
-                                                         const PipelineConfig& config,
-                                                         StageMetrics* metrics,
-                                                         const PipelineContext* context,
-                                                         const PairExecutor* executor) {
+Expected<LocalizationResult, PipelineError> try_localize(
+    const sim::Session& session, const PipelineConfig& config, StageMetrics* metrics,
+    const PipelineContext* context, const PairExecutor* executor,
+    const obs::ObsContext* obs) {
   StageMetrics local;
   if (metrics != nullptr) *metrics = local;
+
+  obs::MetricsRegistry* registry =
+      obs != nullptr ? obs->metrics : nullptr;
+  obs::Tracer* tracer = obs != nullptr ? obs->tracer : nullptr;
+  const std::uint64_t sid = obs != nullptr ? obs->session_id : 0;
+  obs::TraceSpan session_span(tracer, "session", sid);
+
   if (std::optional<PipelineError> bad = config.validate()) {
+    if (registry != nullptr) {
+      record_pipeline_metrics(*registry, local, nullptr, &*bad);
+    }
     return make_unexpected(*std::move(bad));
   }
 
   const auto fail = [&](const std::exception& e, PipelineStage stage) {
     if (metrics != nullptr) *metrics = local;
-    return make_unexpected(error_from_exception(e, stage));
+    PipelineError error = error_from_exception(e, stage);
+    if (registry != nullptr) {
+      record_pipeline_metrics(*registry, local, nullptr, &error);
+    }
+    return make_unexpected(std::move(error));
   };
 
   AspResult asp;
   try {
+    obs::TraceSpan span(tracer, "asp", sid, &session_span);
     const Clock::time_point t0 = Clock::now();
     asp = preprocess_audio(session.audio, session.prior.chirp,
                            session.prior.nominal_period,
                            session.prior.calibration_duration, config.asp, context,
-                           executor);
+                           executor, obs);
     local.asp_ms = ms_since(t0);
     local.chirps_mic1 = asp.mic1.size();
     local.chirps_mic2 = asp.mic2.size();
@@ -100,6 +145,7 @@ Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& ses
 
   imu::MotionSignals motion;
   try {
+    obs::TraceSpan span(tracer, "msp", sid, &session_span);
     const Clock::time_point t0 = Clock::now();
     motion = imu::preprocess(session.imu, config.msp);
     local.msp_ms = ms_since(t0);
@@ -114,6 +160,7 @@ Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& ses
 
   if (session.prior.two_statures) {
     try {
+      obs::TraceSpan span(tracer, "ple", sid, &session_span);
       const Clock::time_point t0 = Clock::now();
       result.ple = localize_3d(asp, motion, session.prior, mic_separation,
                                config.ple_options());
@@ -129,6 +176,7 @@ Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& ses
     local.slides_accepted = result.ple->slides_used;
   } else {
     try {
+      obs::TraceSpan span(tracer, "ttl", sid, &session_span);
       const Clock::time_point t0 = Clock::now();
       result.ttl = localize_2d(asp, motion, session.prior, mic_separation, config.ttl);
       local.solve_ms = ms_since(t0);
@@ -144,6 +192,9 @@ Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& ses
   }
 
   if (metrics != nullptr) *metrics = local;
+  if (registry != nullptr) {
+    record_pipeline_metrics(*registry, local, &result, nullptr);
+  }
   return result;
 }
 

@@ -92,6 +92,14 @@ struct LocalizationResult {
 class PipelineContext;
 class PairExecutor;
 
+}  // namespace hyperear::core
+
+namespace hyperear::obs {
+struct ObsContext;
+}
+
+namespace hyperear::core {
+
 /// Run the full pipeline on a session without throwing. Uses the 3D
 /// (two-stature) flow when the session prior says two statures were
 /// recorded, the 2D flow otherwise. A session that processes cleanly but
@@ -111,10 +119,18 @@ class PairExecutor;
 /// `executor` (core/parallel.hpp) optionally overlaps the two microphone
 /// channels inside the ASP stage; null means serial. Results are identical
 /// either way — the channels share only immutable plans.
+///
+/// `obs` (obs/trace.hpp) optionally attaches the observability layer: a
+/// root "session" span with one child span per stage (asp/msp/ttl/ple) on
+/// its tracer, plus stage-latency histograms, outcome counters, and
+/// detector telemetry on its registry, all keyed by `obs->session_id`.
+/// Null (the default) is the null sink — no clock reads beyond the
+/// StageMetrics ones, nothing recorded — and the LocalizationResult is
+/// byte-identical with and without it (tests/test_obs.cpp locks this in).
 [[nodiscard]] Expected<LocalizationResult, PipelineError> try_localize(
     const sim::Session& session, const PipelineConfig& config = {},
     StageMetrics* metrics = nullptr, const PipelineContext* context = nullptr,
-    const PairExecutor* executor = nullptr);
+    const PairExecutor* executor = nullptr, const obs::ObsContext* obs = nullptr);
 
 /// Throwing shim over `try_localize` for single-session callers: unwraps
 /// the success value or rethrows the taxonomy-matched Error subclass.

@@ -4,6 +4,17 @@
 
 namespace hyperear::core {
 
+// The derived counts must track the enums: whoever appends an enumerator
+// after `internal`/`aggregate` has to move the sentinel the counts are
+// computed from (and teach the to_string switches below the new name —
+// -Wswitch turns a missed case into a warning).
+static_assert(kErrorCategoryCount == 5,
+              "ErrorCategory changed: update kErrorCategoryCount's anchor "
+              "(last enumerator), to_string, and the stats-view tests");
+static_assert(kPipelineStageCount == 6,
+              "PipelineStage changed: update kPipelineStageCount's anchor "
+              "(last enumerator) and to_string");
+
 const char* to_string(ErrorCategory category) {
   switch (category) {
     case ErrorCategory::precondition: return "precondition";

@@ -22,6 +22,14 @@ enum class ErrorCategory {
   internal,      ///< anything else (bad_alloc, logic errors, unknown throws)
 };
 
+/// Number of ErrorCategory values. Derived from the enum (`internal` is
+/// the last enumerator by construction) so aggregation arrays — e.g.
+/// `runtime::EngineStats::errors_by_category` — track the taxonomy
+/// automatically instead of hardcoding a 5. status.cpp static_asserts that
+/// every value below this count has a `to_string` name.
+inline constexpr std::size_t kErrorCategoryCount =
+    static_cast<std::size_t>(ErrorCategory::internal) + 1;
+
 /// Where in the ASP -> MSP -> TTL/PLE flow the failure surfaced.
 enum class PipelineStage {
   config,     ///< option validation, before any signal processing
@@ -31,6 +39,12 @@ enum class PipelineStage {
   ple,        ///< 3D projected location estimation
   aggregate,  ///< cross-slide/session aggregation and scoring
 };
+
+/// Number of PipelineStage values (`aggregate` is last by construction);
+/// the observability layer iterates stages by index when exporting
+/// per-stage failure counters.
+inline constexpr std::size_t kPipelineStageCount =
+    static_cast<std::size_t>(PipelineStage::aggregate) + 1;
 
 /// One pipeline failure, as a value.
 struct PipelineError {

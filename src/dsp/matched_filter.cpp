@@ -7,6 +7,8 @@
 #include "common/stats.hpp"
 #include "dsp/correlation.hpp"
 #include "dsp/peak.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hyperear::dsp {
 
@@ -54,8 +56,9 @@ std::vector<double> MatchedFilterDetector::correlate_chunk(std::span<const doubl
 }
 
 std::vector<Detection> MatchedFilterDetector::detect(
-    std::span<const double> recording) const {
+    std::span<const double> recording, const obs::ObsContext* obs) const {
   if (recording.size() < reference_.size()) return {};
+  std::size_t chunks_streamed = 0;
   const std::size_t ref_len = reference_.size();
   const auto min_spacing =
       static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
@@ -89,6 +92,7 @@ std::vector<Detection> MatchedFilterDetector::detect(
     const std::size_t end = std::min(start + chunk, recording.size());
     if (end - start < ref_len) break;
     const std::span<const double> seg = recording.subspan(start, end - start);
+    ++chunks_streamed;
     const std::vector<double> raw = correlate_chunk(seg, ws);
     normalize_correlation_into(raw, seg, ref_len, reference_norm_, prefix_scratch, norm);
     // Candidate gating on the normalized statistic, ranking on amplitude:
@@ -204,7 +208,17 @@ std::vector<Detection> MatchedFilterDetector::detect(
     for (const Detection& d : merged) {
       if (d.amplitude >= gate) strong.push_back(d);
     }
-    return strong;
+    merged = std::move(strong);
+  }
+
+  if (obs != nullptr && obs->metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs->metrics;
+    m.counter("detector.chunks_total").inc(static_cast<double>(chunks_streamed));
+    m.counter("detector.candidates_total").inc(static_cast<double>(candidates.size()));
+    m.counter("detector.detections_total").inc(static_cast<double>(merged.size()));
+    static constexpr double kScoreBounds[] = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+    const obs::Histogram scores = m.histogram("detector.detection_score", kScoreBounds);
+    for (const Detection& d : merged) scores.observe(d.score);
   }
   return merged;
 }

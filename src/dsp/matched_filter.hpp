@@ -20,6 +20,10 @@
 /// always weaker, so amplitude ranking and a relative amplitude gate keep
 /// the direct path.
 
+namespace hyperear::obs {
+struct ObsContext;
+}
+
 namespace hyperear::dsp {
 
 /// One detected chirp arrival.
@@ -75,7 +79,16 @@ class MatchedFilterDetector {
 
   /// Detect all chirp arrivals in the recording. Processes the input in
   /// overlapping chunks so memory stays bounded for long sessions.
-  [[nodiscard]] std::vector<Detection> detect(std::span<const double> recording) const;
+  ///
+  /// `obs` (obs/trace.hpp) optionally receives detector telemetry —
+  /// chunks streamed, raw candidates, surviving detections, and the
+  /// normalized-score distribution — on its metrics registry. Null (the
+  /// default) records nothing; the detections are byte-identical either
+  /// way. Many threads may detect() with the same ObsContext concurrently
+  /// (the registry shards its write path).
+  [[nodiscard]] std::vector<Detection> detect(
+      std::span<const double> recording,
+      const obs::ObsContext* obs = nullptr) const;
 
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<double>& reference() const { return reference_; }

@@ -1,0 +1,230 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hyperear::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  // Round-robin assignment: the first kMetricShards threads each get a
+  // private shard; later threads share. Stable for a thread's lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shortest exact-ish rendering: integers print bare (counters are almost
+/// always integral), everything else gets round-trip precision.
+std::string format_number(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string sanitize_prometheus(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+double merge_shards(const std::array<detail::F64Cell, kMetricShards>& shards) {
+  double total = 0.0;
+  for (const detail::F64Cell& cell : shards) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace
+
+double Counter::value() const {
+  return entry_ == nullptr ? 0.0 : merge_shards(entry_->shards);
+}
+
+double Gauge::value() const {
+  return entry_ == nullptr ? 0.0 : entry_->value.load(std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const {
+  if (entry_ == nullptr) return;
+  const std::vector<double>& bounds = entry_->upper_bounds;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  const std::size_t row = detail::shard_index() * (bounds.size() + 1);
+  entry_->cells[row + bucket].value.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(entry_->sum_shards[detail::shard_index()].value, value);
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return Counter(it->second);
+  }
+  detail::CounterEntry& entry = counters_.emplace_back(std::string(name));
+  counter_index_.emplace(entry.name, &entry);
+  return Counter(&entry);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge(it->second);
+  }
+  detail::GaugeEntry& entry = gauges_.emplace_back(std::string(name));
+  gauge_index_.emplace(entry.name, &entry);
+  return Gauge(&entry);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::span<const double> upper_bounds) {
+  require(!upper_bounds.empty(), "MetricsRegistry::histogram: no buckets");
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    require(upper_bounds[i - 1] < upper_bounds[i],
+            "MetricsRegistry::histogram: bounds must be strictly increasing");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = histogram_index_.find(name); it != histogram_index_.end()) {
+    require(std::equal(upper_bounds.begin(), upper_bounds.end(),
+                       it->second->upper_bounds.begin(),
+                       it->second->upper_bounds.end()),
+            "MetricsRegistry::histogram: '" + std::string(name) +
+                "' re-registered with different bounds");
+    return Histogram(it->second);
+  }
+  detail::HistogramEntry& entry = histograms_.emplace_back(
+      std::string(name), std::vector<double>(upper_bounds.begin(), upper_bounds.end()));
+  histogram_index_.emplace(entry.name, &entry);
+  return Histogram(&entry);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const detail::CounterEntry& e : counters_) {
+    snap.counters.emplace_back(e.name, merge_shards(e.shards));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const detail::GaugeEntry& e : gauges_) {
+    snap.gauges.emplace_back(e.name, e.value.load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const detail::HistogramEntry& e : histograms_) {
+    HistogramSnapshot h;
+    h.name = e.name;
+    h.upper_bounds = e.upper_bounds;
+    const std::size_t buckets = e.upper_bounds.size() + 1;
+    h.counts.assign(buckets, 0);
+    for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+      for (std::size_t b = 0; b < buckets; ++b) {
+        h.counts[b] +=
+            e.cells[shard * buckets + b].value.load(std::memory_order_relaxed);
+      }
+    }
+    for (std::uint64_t c : h.counts) h.count += c;
+    h.sum = merge_shards(e.sum_shards);
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_first = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_first);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_first);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const { return obs::to_json(snapshot()); }
+
+std::string MetricsRegistry::to_prometheus() const {
+  return obs::to_prometheus(snapshot());
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + snapshot.counters[i].first +
+           "\": " + format_number(snapshot.counters[i].second);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + snapshot.gauges[i].first +
+           "\": " + format_number(snapshot.gauges[i].second);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"le\": [";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += format_number(h.upper_bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += format_number(static_cast<double>(h.counts[b]));
+    }
+    out += "], \"count\": " + format_number(static_cast<double>(h.count)) +
+           ", \"sum\": " + format_number(h.sum) + "}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = sanitize_prometheus(name);
+    out += "# TYPE " + p + " counter\n" + p + " " + format_number(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = sanitize_prometheus(name);
+    out += "# TYPE " + p + " gauge\n" + p + " " + format_number(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string p = sanitize_prometheus(h.name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      cumulative += h.counts[b];
+      out += p + "_bucket{le=\"" + format_number(h.upper_bounds[b]) + "\"} " +
+             format_number(static_cast<double>(cumulative)) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " +
+           format_number(static_cast<double>(h.count)) + "\n";
+    out += p + "_sum " + format_number(h.sum) + "\n";
+    out += p + "_count " + format_number(static_cast<double>(h.count)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hyperear::obs

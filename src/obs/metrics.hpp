@@ -1,0 +1,206 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// @file metrics.hpp
+/// The metrics half of the observability layer (DESIGN.md Section 10): a
+/// `MetricsRegistry` of named counters, gauges, and fixed-bucket
+/// histograms that production components (the batch engine, the thread
+/// pool, the pipeline stages) update from many threads at once and an
+/// operator scrapes via `to_json()` / `to_prometheus()`.
+///
+/// Write-path design: counters and histograms are sharded per thread —
+/// each writing thread owns one of `kMetricShards` cache-line-aligned
+/// cells, picked once per thread round-robin, so the hot path is a relaxed
+/// atomic add with no lock and (below `kMetricShards` threads) no cache
+/// line ping-pong. `snapshot()` merges shards in fixed shard order, so for
+/// integral increments the merged totals are exact and deterministic no
+/// matter how the writers interleaved. The registry mutex is only taken
+/// when a handle is created (name registration) and on snapshot, never per
+/// update.
+///
+/// Null-sink contract: a default-constructed handle (`Counter{}`,
+/// `Gauge{}`, `Histogram{}`) is valid and every operation on it is a
+/// no-op. Components hold handles unconditionally and skip nothing at the
+/// call site; when no registry is installed the handles are null and the
+/// cost is one branch. Instrumented results must be byte-identical to
+/// uninstrumented ones — metrics observe, never steer.
+
+namespace hyperear::obs {
+
+/// Number of write shards per counter/histogram. More simultaneous writer
+/// threads than this still work (shards are shared round-robin); they just
+/// start paying cache-line contention.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/// Stable per-thread shard index in [0, kMetricShards).
+[[nodiscard]] std::size_t shard_index();
+
+/// CAS-loop add for pre-C++20-hardware portability of atomic double sums.
+inline void atomic_add(std::atomic<double>& cell, double delta) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+struct alignas(64) F64Cell {
+  std::atomic<double> value{0.0};
+};
+struct alignas(64) U64Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterEntry {
+  explicit CounterEntry(std::string n) : name(std::move(n)) {}
+  std::string name;
+  std::array<F64Cell, kMetricShards> shards;
+};
+
+struct GaugeEntry {
+  explicit GaugeEntry(std::string n) : name(std::move(n)) {}
+  std::string name;
+  std::atomic<double> value{0.0};  // set() is last-write-wins; not sharded
+};
+
+struct HistogramEntry {
+  HistogramEntry(std::string n, std::vector<double> bounds)
+      : name(std::move(n)),
+        upper_bounds(std::move(bounds)),
+        cells(kMetricShards * (upper_bounds.size() + 1)) {}
+  std::string name;
+  std::vector<double> upper_bounds;       ///< strictly increasing; +Inf implied
+  std::vector<U64Cell> cells;             ///< [shard][bucket], row-major
+  std::array<F64Cell, kMetricShards> sum_shards;
+};
+
+}  // namespace detail
+
+/// Monotonically increasing value (Prometheus "counter"). Handle is a raw
+/// pointer into its registry: copy freely, but never outlive the registry.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(double delta = 1.0) const {
+    if (entry_ == nullptr) return;
+    detail::atomic_add(entry_->shards[detail::shard_index()].value, delta);
+  }
+  /// Merged value across shards (fixed shard order — deterministic).
+  [[nodiscard]] double value() const;
+  [[nodiscard]] explicit operator bool() const { return entry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterEntry* entry) : entry_(entry) {}
+  detail::CounterEntry* entry_ = nullptr;
+};
+
+/// Point-in-time value (Prometheus "gauge"): `set` is last-write-wins,
+/// `add` is atomic (so +1/-1 pairs track a level, e.g. queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const {
+    if (entry_ != nullptr) entry_->value.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) const {
+    if (entry_ != nullptr) detail::atomic_add(entry_->value, delta);
+  }
+  [[nodiscard]] double value() const;
+  [[nodiscard]] explicit operator bool() const { return entry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeEntry* entry) : entry_(entry) {}
+  detail::GaugeEntry* entry_ = nullptr;
+};
+
+/// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+/// bound is >= the value (Prometheus `le` semantics); samples above the
+/// last bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const;
+  [[nodiscard]] explicit operator bool() const { return entry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramEntry* entry) : entry_(entry) {}
+  detail::HistogramEntry* entry_ = nullptr;
+};
+
+/// One histogram, merged. `counts` has one entry per upper bound plus the
+/// trailing +Inf bucket; they are per-bucket (not cumulative).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  ///< total observations
+  double sum = 0.0;         ///< sum of observed values
+};
+
+/// Point-in-time merged view of a registry, name-sorted, ready to export.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// The registry proper. Thread-safe throughout; handle creation and
+/// snapshots lock, updates through handles never do. Metrics are never
+/// removed, so handles stay valid for the registry's lifetime and entry
+/// storage (std::deque) never relocates.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the same name always yields a handle to the same
+  /// metric, so independent components can share a series by agreeing on
+  /// its name.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  /// `upper_bounds` must be non-empty and strictly increasing; throws
+  /// PreconditionError otherwise, or when `name` exists with different
+  /// bounds.
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    std::span<const double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Deterministic JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with name-sorted keys.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (metric names sanitized to
+  /// [a-zA-Z0-9_:], cumulative `le` buckets, `_sum`/`_count` series).
+  [[nodiscard]] std::string to_prometheus() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<detail::CounterEntry> counters_;
+  std::deque<detail::GaugeEntry> gauges_;
+  std::deque<detail::HistogramEntry> histograms_;
+  std::map<std::string, detail::CounterEntry*, std::less<>> counter_index_;
+  std::map<std::string, detail::GaugeEntry*, std::less<>> gauge_index_;
+  std::map<std::string, detail::HistogramEntry*, std::less<>> histogram_index_;
+};
+
+/// Render a snapshot without a live registry (exporter golden tests build
+/// snapshots by hand).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace hyperear::obs

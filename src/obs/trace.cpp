@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hyperear::obs {
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"id\": %llu, \"parent\": %llu, \"session\": %llu, "
+                  "\"name\": \"%s\", \"start_ms\": %.3f, \"duration_ms\": %.3f}",
+                  i == 0 ? "" : ",", static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.session), s.name.c_str(),
+                  s.start_ms, s.duration_ms);
+    out += buf;
+  }
+  out += spans.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, std::string_view name, std::uint64_t session,
+                     const TraceSpan* parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  rec_.id = tracer_->begin();
+  rec_.parent = parent != nullptr ? parent->id() : 0;
+  rec_.session = session;
+  rec_.name = name;
+  start_ = std::chrono::steady_clock::now();
+  rec_.start_ms = tracer_->ms_since_epoch(start_);
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : tracer_(other.tracer_), rec_(std::move(other.rec_)), start_(other.start_) {
+  other.tracer_ = nullptr;
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceSpan::finish() {
+  if (tracer_ == nullptr) return;
+  rec_.duration_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+  tracer_->record(std::move(rec_));
+  tracer_ = nullptr;
+}
+
+}  // namespace hyperear::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// @file trace.hpp
+/// The tracing half of the observability layer: per-stage spans of the
+/// localization pipeline (ASP -> SDF/MSP -> TTL/PLE) with parent/child
+/// structure and per-session ids, so an operator can see WHERE a slow
+/// session spent its time, not just that it was slow. A `Tracer` collects
+/// finished `TraceSpan`s; `to_json()` dumps them for offline analysis
+/// (each record carries span id, parent id, session id, name, start and
+/// duration in ms since the tracer's epoch — trivially convertible to
+/// Chrome trace-event or OTLP shapes downstream).
+///
+/// Spans are stage-grained (milliseconds of work each), so the collection
+/// path is a plain mutex push — contention is negligible at that
+/// granularity, unlike the per-event counters in metrics.hpp, which shard.
+///
+/// Null-sink contract: a `TraceSpan` built with a null tracer is inert —
+/// no clock reads, no allocation, nothing recorded — so instrumented code
+/// paths cost one branch when tracing is off.
+
+namespace hyperear::obs {
+
+class MetricsRegistry;
+
+/// One finished span.
+struct SpanRecord {
+  std::uint64_t id = 0;       ///< unique within the tracer, 1-based
+  std::uint64_t parent = 0;   ///< 0 = root
+  std::uint64_t session = 0;  ///< caller-chosen grouping id
+  std::string name;
+  double start_ms = 0.0;     ///< offset from the tracer's construction
+  double duration_ms = 0.0;
+};
+
+/// Collects spans from any number of threads. Ids are allocated atomically
+/// at span start, so a child started inside a live parent can reference it.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Finished spans, ordered by span id (== start order).
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// JSON array of span objects, id-ordered.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  friend class TraceSpan;
+  [[nodiscard]] std::uint64_t begin() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(SpanRecord&& rec);
+  [[nodiscard]] double ms_since_epoch(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::milli>(t - epoch_).count();
+  }
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span: records itself on destruction (or explicit `finish()`).
+/// Move-only; moving transfers the pending record.
+class TraceSpan {
+ public:
+  /// Inert span (null tracer is allowed and makes every operation a no-op).
+  TraceSpan() = default;
+  TraceSpan(Tracer* tracer, std::string_view name, std::uint64_t session,
+            const TraceSpan* parent = nullptr);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  ~TraceSpan() { finish(); }
+
+  /// Record the span now (idempotent; the destructor is a no-op after).
+  void finish();
+
+  [[nodiscard]] std::uint64_t id() const { return rec_.id; }
+  [[nodiscard]] explicit operator bool() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Everything a pipeline stage needs to report telemetry, bundled so the
+/// deep call chain (`try_localize` -> ASP -> matched filter) threads ONE
+/// optional pointer. Null members are legal independently; a null
+/// ObsContext pointer means "no observability at all" (the default).
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  std::uint64_t session_id = 0;
+};
+
+}  // namespace hyperear::obs

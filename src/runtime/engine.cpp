@@ -1,8 +1,11 @@
 #include "runtime/engine.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <string>
 
 #include "common/error.hpp"
+#include "runtime/pool_pair_executor.hpp"
 
 namespace hyperear::runtime {
 
@@ -16,53 +19,11 @@ std::size_t default_threads(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-/// core::PairExecutor over the engine's own ThreadPool. The first closure
-/// is posted as a pool task and the second runs on the calling thread, so a
-/// pair costs at most one extra in-flight task and the machine is never
-/// oversubscribed (channel tasks and session tasks share the same fixed
-/// worker set). While the posted half is pending, the caller help-drains
-/// the queue (ThreadPool::try_run_one) instead of blocking — necessary for
-/// correctness, not just throughput: every worker could simultaneously be a
-/// session waiting on a posted channel task, and with no thread left to run
-/// them the engine would deadlock. Help-draining means a waiter IS a
-/// worker, so the queue always makes progress.
-class PoolPairExecutor final : public core::PairExecutor {
- public:
-  explicit PoolPairExecutor(ThreadPool& pool) : pool_(&pool) {}
-
-  void run_pair(const std::function<void()>& a,
-                const std::function<void()>& b) const override {
-    auto posted = std::make_shared<std::packaged_task<void()>>(a);
-    std::future<void> done = posted->get_future();
-    try {
-      pool_->post([posted] { (*posted)(); });
-    } catch (...) {
-      // The pool is shutting down and refused the task (it never ran):
-      // degrade to the serial order.
-      a();
-      b();
-      return;
-    }
-    std::exception_ptr b_error;
-    try {
-      b();
-    } catch (...) {
-      b_error = std::current_exception();
-    }
-    // Even when b failed, a() still references live caller state — wait for
-    // it either way, lending this thread to the queue in the meantime.
-    while (done.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-      if (!pool_->try_run_one()) {
-        done.wait_for(std::chrono::milliseconds(1));
-      }
-    }
-    if (b_error) std::rethrow_exception(b_error);
-    done.get();  // propagates a's exception, if any
-  }
-
- private:
-  ThreadPool* pool_;
-};
+/// Counter values are integral by construction (inc-by-1 or by a count),
+/// so the double->size_t view is exact; round defensively anyway.
+std::size_t as_count(double value) {
+  return static_cast<std::size_t>(std::llround(value));
+}
 
 }  // namespace
 
@@ -75,22 +36,47 @@ const char* to_string(SessionStatus status) {
   return "error";
 }
 
-BatchEngine::BatchEngine(core::PipelineConfig config, std::size_t threads)
-    : config_(std::move(config)), pool_(default_threads(threads)) {
+BatchEngine::BatchEngine(core::PipelineConfig config, std::size_t threads,
+                         EngineObs obs)
+    : config_(std::move(config)),
+      registry_(obs.registry != nullptr ? std::move(obs.registry)
+                                        : std::make_shared<obs::MetricsRegistry>()),
+      tracer_(std::move(obs.tracer)),
+      pool_(default_threads(threads)) {
   if (std::optional<core::PipelineError> bad = config_.validate()) {
     throw PreconditionError("BatchEngine: " + describe(*bad));
   }
+  obs::MetricsRegistry& m = *registry_;
+  counters_.submitted = m.counter("engine.sessions_submitted_total");
+  counters_.rejected = m.counter("engine.submit_rejected_total");
+  counters_.completed = m.counter("engine.sessions_completed_total");
+  counters_.ok = m.counter("engine.sessions_ok_total");
+  counters_.no_solution = m.counter("engine.sessions_no_solution_total");
+  counters_.errors = m.counter("engine.sessions_error_total");
+  for (std::size_t i = 0; i < core::kErrorCategoryCount; ++i) {
+    counters_.by_category[i] =
+        m.counter(std::string("engine.errors_by_category.") +
+                  core::to_string(static_cast<core::ErrorCategory>(i)));
+  }
+  counters_.asp_ms = m.counter("engine.stage_ms.asp");
+  counters_.msp_ms = m.counter("engine.stage_ms.msp");
+  counters_.solve_ms = m.counter("engine.stage_ms.solve");
+  counters_.total_ms = m.counter("engine.session_ms_total");
+  counters_.chirps = m.counter("engine.chirps_detected_total");
+  pool_.install_metrics(m, "engine.pool");
   channel_executor_ = std::make_unique<PoolPairExecutor>(pool_);
 }
 
-SessionReport BatchEngine::run_one(const sim::Session& session) {
+SessionReport BatchEngine::run_one(const sim::Session& session,
+                                   std::uint64_t session_id) {
   SessionReport report;
   const Clock::time_point t0 = Clock::now();
   try {
     const std::shared_ptr<const core::PipelineContext> context = context_for(session);
+    const obs::ObsContext obs{registry_.get(), tracer_.get(), session_id};
     Expected<core::LocalizationResult, core::PipelineError> outcome =
         core::try_localize(session, config_, &report.metrics, context.get(),
-                           channel_executor_.get());
+                           channel_executor_.get(), &obs);
     if (outcome.has_value()) {
       report.result = *std::move(outcome);
       report.status =
@@ -112,21 +98,26 @@ SessionReport BatchEngine::run_one(const sim::Session& session) {
 }
 
 void BatchEngine::record(const SessionReport& report) {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.completed;
+  // Registry-backed aggregation: sharded relaxed-atomic adds, no engine
+  // mutex on the completion path (the old EngineStats struct serialized
+  // every worker here).
+  counters_.completed.inc();
   switch (report.status) {
-    case SessionStatus::ok: ++stats_.ok; break;
-    case SessionStatus::no_solution: ++stats_.no_solution; break;
-    case SessionStatus::error:
-      ++stats_.errors;
-      ++stats_.errors_by_category[static_cast<std::size_t>(report.error.category)];
+    case SessionStatus::ok: counters_.ok.inc(); break;
+    case SessionStatus::no_solution: counters_.no_solution.inc(); break;
+    case SessionStatus::error: {
+      counters_.errors.inc();
+      const auto index = static_cast<std::size_t>(report.error.category);
+      if (index < counters_.by_category.size()) counters_.by_category[index].inc();
       break;
+    }
   }
-  stats_.asp_ms += report.metrics.asp_ms;
-  stats_.msp_ms += report.metrics.msp_ms;
-  stats_.solve_ms += report.metrics.solve_ms;
-  stats_.total_ms += report.wall_ms;
-  stats_.chirps_detected += report.metrics.chirps_mic1 + report.metrics.chirps_mic2;
+  counters_.asp_ms.inc(report.metrics.asp_ms);
+  counters_.msp_ms.inc(report.metrics.msp_ms);
+  counters_.solve_ms.inc(report.metrics.solve_ms);
+  counters_.total_ms.inc(report.wall_ms);
+  counters_.chirps.inc(
+      static_cast<double>(report.metrics.chirps_mic1 + report.metrics.chirps_mic2));
 }
 
 std::shared_ptr<const core::PipelineContext> BatchEngine::context_for(
@@ -157,20 +148,22 @@ std::shared_ptr<const core::PipelineContext> BatchEngine::context_for(
 
 std::future<SessionReport> BatchEngine::enqueue(
     std::shared_ptr<const sim::Session> session) {
+  const std::uint64_t session_id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto task = std::make_shared<std::packaged_task<SessionReport()>>(
-      [this, session = std::move(session)] { return run_one(*session); });
+      [this, session = std::move(session), session_id] {
+        return run_one(*session, session_id);
+      });
   std::future<SessionReport> future = task->get_future();
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.submitted;
-  }
+  // Count before posting so `submitted >= completed` always holds for
+  // observers; a refused post is recorded on the rejected counter and
+  // subtracted in the stats() view (registry counters are monotonic — no
+  // takebacks).
+  counters_.submitted.inc();
   try {
     pool_.post([task] { (*task)(); });
   } catch (...) {
-    // The pool refused (shutdown): the session will never run, so it was
-    // never submitted as far as the stats are concerned.
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    --stats_.submitted;
+    counters_.rejected.inc();
     throw;
   }
   return future;
@@ -205,8 +198,21 @@ std::vector<SessionReport> BatchEngine::localize_all(
 void BatchEngine::shutdown() { pool_.stop(); }
 
 EngineStats BatchEngine::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  EngineStats s;
+  s.submitted = as_count(counters_.submitted.value() - counters_.rejected.value());
+  s.completed = as_count(counters_.completed.value());
+  s.ok = as_count(counters_.ok.value());
+  s.no_solution = as_count(counters_.no_solution.value());
+  s.errors = as_count(counters_.errors.value());
+  for (std::size_t i = 0; i < core::kErrorCategoryCount; ++i) {
+    s.errors_by_category[i] = as_count(counters_.by_category[i].value());
+  }
+  s.asp_ms = counters_.asp_ms.value();
+  s.msp_ms = counters_.msp_ms.value();
+  s.solve_ms = counters_.solve_ms.value();
+  s.total_ms = counters_.total_ms.value();
+  s.chirps_detected = as_count(counters_.chirps.value());
+  return s;
 }
 
 }  // namespace hyperear::runtime

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -11,6 +13,8 @@
 #include "core/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "core/pipeline_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
@@ -44,16 +48,21 @@ struct SessionReport {
   double wall_ms = 0.0;             ///< end-to-end time on the worker
 };
 
-/// Aggregate counters across every session the engine has completed.
-/// Snapshot via BatchEngine::stats().
+/// Aggregate counters across every session the engine has completed — a
+/// point-in-time VIEW over the engine's metrics registry (the `engine.*`
+/// series), kept bit-compatible with the pre-registry struct so existing
+/// callers keep working. Snapshot via BatchEngine::stats(); scrape the
+/// full registry (including pipeline/detector/pool series this view
+/// doesn't carry) via BatchEngine::metrics().
 struct EngineStats {
   std::size_t submitted = 0;
   std::size_t completed = 0;
   std::size_t ok = 0;
   std::size_t no_solution = 0;
   std::size_t errors = 0;
-  /// Errors by ErrorCategory (indexed by static_cast<size_t>(category)).
-  std::array<std::size_t, 5> errors_by_category{};
+  /// Errors by ErrorCategory (indexed by static_cast<size_t>(category);
+  /// the extent tracks the enum, core::kErrorCategoryCount).
+  std::array<std::size_t, core::kErrorCategoryCount> errors_by_category{};
   // Cumulative per-stage wall time across sessions (observability, not
   // wall-clock: stages on different workers overlap).
   double asp_ms = 0.0;
@@ -61,6 +70,16 @@ struct EngineStats {
   double solve_ms = 0.0;
   double total_ms = 0.0;
   std::size_t chirps_detected = 0;
+};
+
+/// Observability wiring for a BatchEngine. Both members optional:
+/// `registry` null means the engine builds a private registry (its stats()
+/// view and exports still work — the engine is never blind); `tracer` null
+/// means per-stage spans are not recorded (the usual production setting —
+/// spans cost a mutexed allocation per stage, counters don't).
+struct EngineObs {
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// Concurrent batch localizer. Construction validates the config (throws
@@ -74,10 +93,16 @@ struct EngineStats {
 /// built once per (chirp, sample-rate) combination instead of once per
 /// session. Results are bit-identical to context-free `core::try_localize`
 /// calls; only the redundant plan construction goes away.
+///
+/// Telemetry: every session updates the `engine.*`, `pipeline.*`,
+/// `detector.*`, and `engine.pool.*` series on the registry (supplied or
+/// private — see EngineObs). `stats()` is the legacy fixed-field view;
+/// `metrics().to_json()` / `.to_prometheus()` are the export path.
 class BatchEngine {
  public:
   /// `threads == 0` means hardware_concurrency (min 1).
-  explicit BatchEngine(core::PipelineConfig config = {}, std::size_t threads = 0);
+  explicit BatchEngine(core::PipelineConfig config = {}, std::size_t threads = 0,
+                       EngineObs obs = {});
 
   /// Enqueue one session; the future resolves when a worker finishes it.
   /// Both overloads give the queued work its own copy of the session (the
@@ -100,11 +125,33 @@ class BatchEngine {
   void shutdown();
 
   [[nodiscard]] EngineStats stats() const;
+  /// The registry every series lands on (supplied or engine-private).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *registry_; }
+  /// Null unless a tracer was supplied at construction.
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_.get(); }
   [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
   [[nodiscard]] const core::PipelineConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] SessionReport run_one(const sim::Session& session);
+  /// Handles into the registry for the `engine.*` series backing stats().
+  struct Counters {
+    obs::Counter submitted;        ///< engine.sessions_submitted_total
+    obs::Counter rejected;         ///< engine.submit_rejected_total
+    obs::Counter completed;        ///< engine.sessions_completed_total
+    obs::Counter ok;               ///< engine.sessions_ok_total
+    obs::Counter no_solution;      ///< engine.sessions_no_solution_total
+    obs::Counter errors;           ///< engine.sessions_error_total
+    /// engine.errors_by_category.<to_string(category)>
+    std::array<obs::Counter, core::kErrorCategoryCount> by_category;
+    obs::Counter asp_ms;           ///< engine.stage_ms.asp
+    obs::Counter msp_ms;           ///< engine.stage_ms.msp
+    obs::Counter solve_ms;         ///< engine.stage_ms.solve
+    obs::Counter total_ms;         ///< engine.session_ms_total
+    obs::Counter chirps;           ///< engine.chirps_detected_total
+  };
+
+  [[nodiscard]] SessionReport run_one(const sim::Session& session,
+                                      std::uint64_t session_id);
   void record(const SessionReport& report);
   /// Shared DSP plans for this session's chirp + sample rate: cached when
   /// possible, built fresh when the session is pathological (the per-stage
@@ -117,8 +164,13 @@ class BatchEngine {
       std::shared_ptr<const sim::Session> session);
 
   const core::PipelineConfig config_;
-  mutable std::mutex stats_mutex_;
-  EngineStats stats_;
+  /// Declared before pool_ and channel_executor_: queued tasks and the
+  /// pool's own metric handles reference the registry while the pool
+  /// drains during destruction.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  Counters counters_;
+  std::atomic<std::uint64_t> next_session_id_{0};
   mutable std::mutex context_mutex_;
   std::vector<std::shared_ptr<const core::PipelineContext>> contexts_;
   /// Overlaps the two microphone channels of each session on the SAME pool

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "core/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
+/// @file pool_pair_executor.hpp
+/// core::PairExecutor over a runtime::ThreadPool. The first closure is
+/// posted as a pool task and the second runs on the calling thread, so a
+/// pair costs at most one extra in-flight task and the machine is never
+/// oversubscribed (channel tasks and session tasks share the same fixed
+/// worker set). While the posted half is pending, the caller help-drains
+/// the queue (ThreadPool::try_run_one) instead of blocking — necessary for
+/// correctness, not just throughput: every worker could simultaneously be a
+/// session waiting on a posted channel task, and with no thread left to run
+/// them the engine would deadlock. Help-draining means a waiter IS a
+/// worker, so the queue always makes progress.
+///
+/// Public (rather than an engine implementation detail) so the stress
+/// suite (tests/test_stress_pool.cpp, label "stress") can drive nested
+/// fan-out and drain-on-stop races against it under tsan directly.
+
+namespace hyperear::runtime {
+
+class PoolPairExecutor final : public core::PairExecutor {
+ public:
+  /// The pool must outlive the executor.
+  explicit PoolPairExecutor(ThreadPool& pool) : pool_(&pool) {}
+
+  void run_pair(const std::function<void()>& a,
+                const std::function<void()>& b) const override {
+    auto posted = std::make_shared<std::packaged_task<void()>>(a);
+    std::future<void> done = posted->get_future();
+    try {
+      pool_->post([posted] { (*posted)(); });
+    } catch (...) {
+      // The pool is shutting down and refused the task (it never ran):
+      // degrade to the serial order.
+      a();
+      b();
+      return;
+    }
+    std::exception_ptr b_error;
+    try {
+      b();
+    } catch (...) {
+      b_error = std::current_exception();
+    }
+    // Even when b failed, a() still references live caller state — wait for
+    // it either way, lending this thread to the queue in the meantime.
+    while (done.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool_->try_run_one()) {
+        done.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (b_error) std::rethrow_exception(b_error);
+    done.get();  // propagates a's exception, if any
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace hyperear::runtime

@@ -1,8 +1,17 @@
 #include "runtime/thread_pool.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace hyperear::runtime {
+
+namespace {
+
+/// Queue-wait buckets (ms): sub-ms dispatch up to multi-second backlog.
+constexpr double kWaitMsBounds[] = {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   require(threads >= 1, "ThreadPool: needs at least one worker");
@@ -17,6 +26,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::install_metrics(obs::MetricsRegistry& registry,
+                                 std::string_view prefix) {
+  const std::string p(prefix);
+  queue_depth_ = registry.gauge(p + ".queue_depth");
+  task_wait_ms_ = registry.histogram(p + ".task_wait_ms", kWaitMsBounds);
+  tasks_run_ = registry.counter(p + ".tasks_run_total");
+  metrics_installed_.store(true, std::memory_order_release);
+}
+
 void ThreadPool::stop() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -26,37 +44,52 @@ void ThreadPool::stop() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  QueuedTask queued{std::move(task), {}};
+  const bool instrumented = metrics_installed_.load(std::memory_order_acquire);
+  if (instrumented) queued.posted = std::chrono::steady_clock::now();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     require(!stopping_, "ThreadPool::post: pool is shutting down");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
+  if (instrumented) queue_depth_.add(1.0);
   wake_.notify_one();
 }
 
+void ThreadPool::note_dequeued(const QueuedTask& task) {
+  if (!metrics_installed_.load(std::memory_order_acquire)) return;
+  queue_depth_.add(-1.0);
+  task_wait_ms_.observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - task.posted)
+                            .count());
+  tasks_run_.inc();
+}
+
 bool ThreadPool::try_run_one() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    note_dequeued(task);
   }
-  task();
+  task.fn();
   return true;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      note_dequeued(task);
     }
-    task();
+    task.fn();
   }
 }
 

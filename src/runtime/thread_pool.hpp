@@ -1,12 +1,17 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 /// @file thread_pool.hpp
 /// A fixed-size worker pool with a single FIFO task queue — the execution
@@ -29,6 +34,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Install pool telemetry on `registry` under `<prefix>.`: queue_depth
+  /// (gauge: tasks posted but not yet started), task_wait_ms (histogram:
+  /// post-to-start queueing latency), and tasks_run_total (counter). Call
+  /// before the first post — installation is not synchronized against
+  /// concurrent posting. The registry must outlive the pool. Without this
+  /// call the handles stay null and posting skips the clock read entirely.
+  void install_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix = "pool");
+
   /// Enqueue a task for execution on some worker, FIFO order. Throws
   /// PreconditionError once the pool is stopping; the task is NOT enqueued
   /// in that case.
@@ -50,12 +64,28 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Post timestamp for the wait-time histogram; only stamped (and only
+    /// read) when metrics are installed.
+    std::chrono::steady_clock::time_point posted{};
+  };
+
   void worker_loop();
+  /// Dequeue bookkeeping shared by worker_loop and try_run_one; called
+  /// with `mutex_` held, right after popping `task` off the queue.
+  void note_dequeued(const QueuedTask& task);
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
+  /// Release-published by install_metrics after the handles are written;
+  /// acquire-read on the hot paths so the handle writes are visible.
+  std::atomic<bool> metrics_installed_{false};
+  obs::Gauge queue_depth_;
+  obs::Histogram task_wait_ms_;
+  obs::Counter tasks_run_;
   std::vector<std::thread> workers_;
 };
 

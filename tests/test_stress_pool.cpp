@@ -1,0 +1,207 @@
+/// Concurrency stress tests for ThreadPool::try_run_one and
+/// PoolPairExecutor (ctest label "stress"; run them under the `tsan`
+/// preset). The scenarios the engine depends on for liveness: nested
+/// fan-out on an undersized pool (sessions posting channel pairs onto the
+/// same workers), help-draining waiters, and producers racing stop().
+
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/pool_pair_executor.hpp"
+
+namespace hyperear::runtime {
+namespace {
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+TEST(ThreadPoolStress, TryRunOneOnEmptyQueueReturnsFalse) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ThreadPoolStress, TryRunOneRunsQueuedTasksOnTheCallingThread) {
+  ThreadPool pool(1);
+  // Park the only worker on a gate so subsequent posts stay queued; wait
+  // for it to actually hold the gate before posting (otherwise this thread
+  // could pick the gate task up via try_run_one and deadlock itself).
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  pool.post([&started, release_future] {
+    started.set_value();
+    release_future.wait();
+  });
+  started.get_future().wait();
+
+  constexpr std::size_t kTasks = 8;
+  std::atomic<std::size_t> ran{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> all_on_caller{true};
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.post([&ran, &all_on_caller, caller] {
+      if (std::this_thread::get_id() != caller) all_on_caller = false;
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::size_t drained = 0;
+  while (pool.try_run_one()) ++drained;
+  EXPECT_EQ(drained, kTasks);
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_TRUE(all_on_caller.load());  // the worker never saw these tasks
+  release.set_value();
+}
+
+/// Nested fan-out: outer tasks on the pool each split into a channel pair
+/// on the SAME pool. With help-draining this completes at every pool size
+/// — including size 1, where the lone worker must run both halves of every
+/// pair itself while "waiting".
+void nested_fan_out_completes(std::size_t pool_size) {
+  ThreadPool pool(pool_size);
+  const PoolPairExecutor executor(pool);
+  constexpr std::size_t kOuter = 12;
+  std::atomic<std::size_t> halves{0};
+
+  std::vector<std::future<void>> done;
+  done.reserve(kOuter);
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    auto task = std::make_shared<std::packaged_task<void()>>([&executor, &halves] {
+      executor.run_pair([&halves] { halves.fetch_add(1); },
+                        [&halves] { halves.fetch_add(1); });
+    });
+    done.push_back(task->get_future());
+    pool.post([task] { (*task)(); });
+  }
+  for (std::future<void>& f : done) f.get();
+  EXPECT_EQ(halves.load(), 2 * kOuter);
+}
+
+TEST(ThreadPoolStress, NestedFanOutCompletesOnPoolOfOne) {
+  nested_fan_out_completes(1);
+}
+TEST(ThreadPoolStress, NestedFanOutCompletesOnPoolOfTwo) {
+  nested_fan_out_completes(2);
+}
+TEST(ThreadPoolStress, NestedFanOutCompletesOnFullPool) {
+  nested_fan_out_completes(hardware_threads());
+}
+
+TEST(ThreadPoolStress, RunPairPropagatesTheFirstClosuresException) {
+  ThreadPool pool(2);
+  const PoolPairExecutor executor(pool);
+  std::atomic<bool> b_ran{false};
+  EXPECT_THROW(
+      executor.run_pair([] { throw std::runtime_error("a failed"); },
+                        [&b_ran] { b_ran = true; }),
+      std::runtime_error);
+  EXPECT_TRUE(b_ran.load());  // b still ran; a's error surfaced after
+}
+
+TEST(ThreadPoolStress, RunPairPropagatesTheSecondClosuresException) {
+  ThreadPool pool(2);
+  const PoolPairExecutor executor(pool);
+  std::atomic<bool> a_ran{false};
+  EXPECT_THROW(executor.run_pair([&a_ran] { a_ran = true; },
+                                 [] { throw std::runtime_error("b failed"); }),
+               std::runtime_error);
+  // run_pair must not rethrow b's error before a finished (a references
+  // caller state), so by the time the throw surfaced a had run.
+  EXPECT_TRUE(a_ran.load());
+}
+
+TEST(ThreadPoolStress, RunPairDegradesToSerialAfterStop) {
+  ThreadPool pool(1);
+  pool.stop();
+  EXPECT_THROW(pool.post([] {}), PreconditionError);
+
+  const PoolPairExecutor executor(pool);
+  std::vector<int> order;
+  executor.run_pair([&order] { order.push_back(1); },
+                    [&order] { order.push_back(2); });
+  ASSERT_EQ(order.size(), 2u);  // both ran on this thread, in serial order
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ThreadPoolStress, DrainOnStopRunsEveryAcceptedTaskExactlyOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 400;
+  // One flag per potential task: exactly-once means every flag is 0 or 1
+  // and the sum matches the accepted count.
+  std::vector<std::atomic<int>> runs(kProducers * kPerProducer);
+  std::atomic<std::size_t> accepted{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = 0; i < kPerProducer; ++i) {
+          std::atomic<int>& flag = runs[p * kPerProducer + i];
+          try {
+            pool.post([&flag] { flag.fetch_add(1, std::memory_order_relaxed); });
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const PreconditionError&) {
+            // stop() won the race; the task was never enqueued.
+          }
+          // A waiter that help-drains while producers race stop().
+          pool.try_run_one();
+        }
+      });
+    }
+    // Stop mid-stream: some posts land before, some are refused.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.stop();
+    for (std::thread& t : producers) t.join();
+  }  // ~ThreadPool drains the queue: every accepted task has now run.
+
+  std::size_t total_runs = 0;
+  for (const std::atomic<int>& flag : runs) {
+    const int n = flag.load();
+    ASSERT_LE(n, 1) << "a task ran twice";
+    total_runs += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(total_runs, accepted.load());
+}
+
+TEST(ThreadPoolStress, MetricsCountEveryTaskAndQueueDepthReturnsToZero) {
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kTasks = 64;
+  {
+    ThreadPool pool(2);
+    pool.install_metrics(registry, "pool");
+    std::atomic<std::size_t> ran{0};
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (pool.try_run_one()) {
+    }
+  }  // destructor drains the rest
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "pool.tasks_run_total");
+  EXPECT_EQ(snap.counters[0].second, static_cast<double>(kTasks));
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "pool.queue_depth");
+  EXPECT_EQ(snap.gauges[0].second, 0.0);  // +1 per post, -1 per dequeue
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "pool.task_wait_ms");
+  EXPECT_EQ(snap.histograms[0].count, kTasks);
+}
+
+}  // namespace
+}  // namespace hyperear::runtime

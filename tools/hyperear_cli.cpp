@@ -12,6 +12,11 @@
 ///   hyperear_cli demo [--seed N]
 ///       one self-contained simulate+localize round trip
 ///
+/// `localize` and `demo` accept `--metrics-out FILE`: the run executes
+/// with a live metrics registry + tracer and dumps the telemetry to FILE —
+/// Prometheus text format when FILE ends in ".prom", otherwise a JSON
+/// object {"metrics": {...}, "trace": [...]} with per-stage spans.
+///
 /// The localize subcommand reconstructs the "prior" a phone app would have
 /// natively (its own position is the map origin; believed yaw 0; the
 /// default beacon chirp), so recorded sessions from elsewhere only need the
@@ -20,11 +25,14 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "io/csv.hpp"
 #include "io/wav.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -79,6 +87,45 @@ sim::ScenarioConfig config_from(const Args& args) {
   c.speaker_height = c.two_statures ? 0.5 : 1.3;
   c.jitter = args.has("hand") ? sim::hand_jitter() : sim::ruler_jitter();
   return c;
+}
+
+/// One run's observability bundle, created iff --metrics-out was given.
+struct CliObs {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObsContext context{&registry, &tracer, 1};
+  std::string path;
+
+  /// Write the telemetry to `path`; returns false on I/O failure.
+  bool write() const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write metrics file %s\n", path.c_str());
+      return false;
+    }
+    const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
+    if (prom) {
+      const std::string text = registry.to_prometheus();
+      std::fwrite(text.data(), 1, text.size(), f);
+    } else {
+      const std::string metrics = registry.to_json();
+      const std::string trace = tracer.to_json();
+      std::fprintf(f, "{\n\"metrics\": %s,\n\"trace\": %s}\n", metrics.c_str(),
+                   trace.c_str());
+    }
+    std::fclose(f);
+    std::printf("wrote telemetry to %s\n", path.c_str());
+    return true;
+  }
+};
+
+/// Null unless --metrics-out was given.
+std::unique_ptr<CliObs> make_obs(const Args& args) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return nullptr;
+  auto obs = std::make_unique<CliObs>();
+  obs->path = path;
+  return obs;
 }
 
 /// Print a localization outcome; returns the process exit code (0 = fix).
@@ -151,16 +198,23 @@ int cmd_localize(const Args& args) {
   s.prior.two_statures = args.has("3d");
   s.config.phone =
       args.get("phone", "s4") == "note3" ? sim::galaxy_note3() : sim::galaxy_s4();
-  const auto outcome = core::try_localize(s);
-  return print_fix(outcome);
+  const std::unique_ptr<CliObs> obs = make_obs(args);
+  const auto outcome = core::try_localize(s, {}, nullptr, nullptr, nullptr,
+                                          obs != nullptr ? &obs->context : nullptr);
+  const int code = print_fix(outcome);
+  if (obs != nullptr && !obs->write()) return 1;
+  return code;
 }
 
 int cmd_demo(const Args& args) {
   Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 7.0)));
   sim::ScenarioConfig c = config_from(args);
   const sim::Session s = sim::make_localization_session(c, rng);
-  const auto outcome = core::try_localize(s);
+  const std::unique_ptr<CliObs> obs = make_obs(args);
+  const auto outcome = core::try_localize(s, {}, nullptr, nullptr, nullptr,
+                                          obs != nullptr ? &obs->context : nullptr);
   const int code = print_fix(outcome);
+  if (obs != nullptr) obs->write();
   if (code == 0) {
     std::printf("     truth (%.3f, %.3f) -> error %.1f cm\n",
                 s.truth.speaker_position.x, s.truth.speaker_position.y,
