@@ -40,7 +40,7 @@ std::vector<double> run(int n_trials, int slides,
                         bool chatting = false) {
   std::vector<double> errors;
   for (int t = 0; t < n_trials; ++t) {
-    Rng rng(2100 + t * 53);
+    Rng rng(static_cast<std::uint64_t>(2100 + t * 53));
     const sim::Session s =
         sim::make_localization_session(scenario(slides, chatting), rng);
     core::PipelineConfig opts;

@@ -49,7 +49,7 @@ int main() {
         c.calibration_duration = 3.0;
         c.hold_duration = 0.7;
         c.jitter = hand ? sim::hand_jitter() : sim::ruler_jitter();
-        Rng rng(2700 + t * 67 + static_cast<std::uint64_t>(range * 11) +
+        Rng rng(static_cast<std::uint64_t>(2700 + t * 67) + static_cast<std::uint64_t>(range * 11) +
                 (hand ? 500 : 0));
         const sim::Session s = sim::make_localization_session(c, rng);
         const auto fix = core::try_localize(s);

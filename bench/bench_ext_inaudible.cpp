@@ -34,7 +34,7 @@ int main() {
         c.calibration_duration = 3.0;
         c.hold_duration = 0.7;
         c.jitter = sim::ruler_jitter();
-        Rng rng(2300 + t * 59 + static_cast<std::uint64_t>(range * 7) +
+        Rng rng(static_cast<std::uint64_t>(2300 + t * 59) + static_cast<std::uint64_t>(range * 7) +
                 (inaudible ? 4000 : 0));
         const sim::Session s = sim::make_localization_session(c, rng);
         const auto fix = core::try_localize(s);

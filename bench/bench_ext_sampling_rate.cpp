@@ -38,7 +38,7 @@ int main() {
       c.calibration_duration = 3.0;
       c.hold_duration = 0.7;
       c.jitter = sim::ruler_jitter();
-      Rng rng(2500 + t * 61 + static_cast<std::uint64_t>(fs));
+      Rng rng(static_cast<std::uint64_t>(2500 + t * 61) + static_cast<std::uint64_t>(fs));
       const sim::Session s = sim::make_localization_session(c, rng);
       const auto fix = core::try_localize(s);
       if (!fix.has_value() || !fix->valid) continue;

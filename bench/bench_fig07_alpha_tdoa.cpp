@@ -58,7 +58,7 @@ int main() {
               bench::trials(10));
   std::vector<double> errors_deg;
   for (int t = 0; t < bench::trials(10); ++t) {
-    Rng r2(7100 + t);
+    Rng r2(static_cast<std::uint64_t>(7100 + t));
     const sim::Session sw =
         sim::make_rotation_sweep_session(config, deg2rad(40.0), deg2rad(-40.0), 7.0, r2);
     const core::AspResult a2 = core::preprocess_audio(sw.audio, sw.prior.chirp, 0.2, 1.0);

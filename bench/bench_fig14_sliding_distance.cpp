@@ -38,7 +38,7 @@ int main() {
       c.calibration_duration = 3.0;
       c.hold_duration = 0.7;
       c.jitter = sim::ruler_jitter();
-      Rng rng(1400 + t * 31 + static_cast<std::uint64_t>(1000 * bin.lo));
+      Rng rng(static_cast<std::uint64_t>(1400 + t * 31) + static_cast<std::uint64_t>(1000 * bin.lo));
       c.slide_distance = rng.uniform(bin.lo, bin.hi);
       // Short slides need a gentler stroke so the endpoints stay clean.
       c.slide_duration = 0.9;

@@ -34,7 +34,7 @@ int main() {
         c.calibration_duration = 3.0;
         c.hold_duration = 0.7;
         c.jitter = sim::ruler_jitter();
-        Rng rng(1500 + t * 37 + static_cast<std::uint64_t>(range * 101) +
+        Rng rng(static_cast<std::uint64_t>(1500 + t * 37) + static_cast<std::uint64_t>(range * 101) +
                 (phone.name == "Galaxy S4" ? 0 : 5000));
         c.slide_distance = rng.uniform(0.50, 0.60);
         const sim::Session s = sim::make_localization_session(c, rng);

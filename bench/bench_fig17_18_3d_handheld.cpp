@@ -36,7 +36,7 @@ int main() {
         c.calibration_duration = 3.0;
         c.hold_duration = 0.7;
         c.jitter = sim::hand_jitter();
-        Rng rng(1700 + t * 41 + static_cast<std::uint64_t>(range * 103) +
+        Rng rng(static_cast<std::uint64_t>(1700 + t * 41) + static_cast<std::uint64_t>(range * 103) +
                 (phone.name == "Galaxy S4" ? 0 : 7000));
         c.slide_distance = rng.uniform(0.50, 0.60);
         const sim::Session s = sim::make_localization_session(c, rng);

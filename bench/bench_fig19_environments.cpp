@@ -39,7 +39,7 @@ int main() {
       c.calibration_duration = 3.0;
       c.hold_duration = 0.7;
       c.jitter = sim::hand_jitter();
-      Rng rng(1900 + t * 43 + salt * 1009);
+      Rng rng(static_cast<std::uint64_t>(1900 + t * 43) + salt * 1009);
       c.slide_distance = rng.uniform(0.50, 0.60);
       const sim::Session s = sim::make_localization_session(c, rng);
       core::PipelineConfig opts;

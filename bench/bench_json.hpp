@@ -110,7 +110,15 @@ inline void write_bench_json(const std::string& path,
 
 /// Define the counting global operator new/delete for this binary. Must
 /// appear exactly once per executable, at namespace scope.
+///
+/// The replacement operators intentionally pair malloc with free — the
+/// sanctioned way to interpose the global allocator — but GCC's
+/// -Wmismatched-new-delete only sees "free() on a pointer from operator
+/// new" inside this TU and flags it, so the pragma scopes that one false
+/// positive to the macro expansion.
 #define HYPEREAR_DEFINE_ALLOC_COUNTER()                                     \
+  _Pragma("GCC diagnostic push")                                            \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")             \
   namespace hyperear::bench {                                               \
   std::atomic<std::size_t> g_allocated_bytes{0};                            \
   }                                                                         \
@@ -124,4 +132,5 @@ inline void write_bench_json(const std::string& path,
   void operator delete(void* p) noexcept { std::free(p); }                  \
   void operator delete[](void* p) noexcept { std::free(p); }                \
   void operator delete(void* p, std::size_t) noexcept { std::free(p); }     \
-  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }   \
+  _Pragma("GCC diagnostic pop")

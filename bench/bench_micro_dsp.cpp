@@ -67,7 +67,7 @@ void BM_MatchedFilterDetect(benchmark::State& state) {
   for (int k = 0; k < 5; ++k) {
     const double t0 = 0.05 + 0.2 * k;
     for (std::size_t i = 0; i < x.size(); ++i) {
-      const double t = i / 44100.0 - t0;
+      const double t = static_cast<double>(i) / 44100.0 - t0;
       if (t >= 0.0 && t <= 0.05) x[i] += chirp.value(t);
     }
   }
@@ -155,7 +155,7 @@ bench::BenchRow measure(const std::string& op, const std::string& variant,
   const std::size_t bytes0 = bench::allocated_bytes();
   const int counted = reps + 1;  // the warm-up rep allocates like any other
   row.ns_per_op = time_ns_per_op(reps, fn);
-  row.bytes_allocated = (bench::allocated_bytes() - bytes0) / counted;
+  row.bytes_allocated = (bench::allocated_bytes() - bytes0) / static_cast<std::size_t>(counted);
   std::printf("%-22s %-16s n=%-8zu %12.0f ns/op %12zu bytes/op\n", op.c_str(),
               variant.c_str(), n, row.ns_per_op, row.bytes_allocated);
   return row;

@@ -29,7 +29,7 @@ int main() {
               config.speaker_distance);
   const sim::Session session = sim::make_localization_session(config, rng);
   std::printf("  audio: %.1f s stereo at %.0f Hz, IMU: %zu samples at %.0f Hz\n",
-              session.audio.mic1.size() / session.audio.sample_rate,
+              static_cast<double>(session.audio.mic1.size()) / session.audio.sample_rate,
               session.audio.sample_rate, session.imu.size(),
               session.imu.sample_rate);
 

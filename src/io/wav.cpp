@@ -24,7 +24,7 @@ void put_u16(std::string& out, std::uint16_t v) {
 std::uint32_t get_u32(const std::string& data, std::size_t at) {
   require(at + 4 <= data.size(), "wav: truncated file");
   std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(data[at + i]);
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(data[at + static_cast<std::size_t>(i)]);
   return v;
 }
 

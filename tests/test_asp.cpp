@@ -24,7 +24,7 @@ TEST(Asp, DetectsAllChirpsInSession) {
   const sim::Session s = sim::make_localization_session(fast_config(), rng);
   const AspResult asp = preprocess_audio(s.audio, s.prior.chirp, 0.2,
                                          s.prior.calibration_duration);
-  const double duration = s.audio.mic1.size() / s.audio.sample_rate;
+  const double duration = static_cast<double>(s.audio.mic1.size()) / s.audio.sample_rate;
   const auto expected = static_cast<std::size_t>(duration / 0.2);
   EXPECT_NEAR(static_cast<double>(asp.mic1.size()), static_cast<double>(expected), 2.0);
   EXPECT_NEAR(static_cast<double>(asp.mic2.size()), static_cast<double>(expected), 2.0);
@@ -68,7 +68,7 @@ TEST(Asp, BandpassRemovesVoiceNoiseEffect) {
   const sim::Session s = sim::make_localization_session(c, rng);
   const AspResult with_bp = preprocess_audio(s.audio, s.prior.chirp, 0.2,
                                              s.prior.calibration_duration);
-  const double duration = s.audio.mic1.size() / s.audio.sample_rate;
+  const double duration = static_cast<double>(s.audio.mic1.size()) / s.audio.sample_rate;
   const auto expected = static_cast<std::size_t>(duration / 0.2);
   EXPECT_NEAR(static_cast<double>(with_bp.mic1.size()), static_cast<double>(expected), 2.0);
 }

@@ -72,7 +72,7 @@ TEST(CorrelateNormalized, BoundedEvenInSilence) {
   // Regression test: quiet stretches must not amplify FFT round-off into
   // spurious super-unity peaks.
   std::vector<double> h(128);
-  for (std::size_t i = 0; i < h.size(); ++i) h[i] = std::sin(0.3 * i);
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = std::sin(0.3 * static_cast<double>(i));
   std::vector<double> x(4096, 0.0);
   for (std::size_t i = 0; i < h.size(); ++i) x[100 + i] = h[i];
   const std::vector<double> c = correlate_normalized(x, h);

@@ -26,8 +26,8 @@ TEST(Fft, SingleToneLandsInOneBin) {
   std::vector<Complex> x(n);
   const int k = 5;
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = Complex(std::cos(2.0 * kPi * k * i / double(n)),
-                   std::sin(2.0 * kPi * k * i / double(n)));
+    x[i] = Complex(std::cos(2.0 * kPi * k * static_cast<double>(i) / static_cast<double>(n)),
+                   std::sin(2.0 * kPi * k * static_cast<double>(i) / static_cast<double>(n)));
   }
   fft_inplace(x);
   for (std::size_t i = 0; i < n; ++i) {
@@ -135,7 +135,7 @@ TEST(FftConvolve, MatchesDirectConvolution) {
     double direct = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
       const long long j = static_cast<long long>(k) - static_cast<long long>(i);
-      if (j >= 0 && j < static_cast<long long>(b.size())) direct += a[i] * b[j];
+      if (j >= 0 && j < static_cast<long long>(b.size())) direct += a[i] * b[static_cast<std::size_t>(j)];
     }
     EXPECT_NEAR(fast[k], direct, 1e-9);
   }

@@ -63,7 +63,7 @@ TEST(FilterSame, SinusoidInPassbandSurvives) {
   const double fs = 44100.0;
   const std::vector<double> h = design_bandpass(2000.0, 6400.0, fs, 255);
   std::vector<double> x(4096);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * 4000.0 * i / fs);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * 4000.0 * static_cast<double>(i) / fs);
   const std::vector<double> y = filter_same(x, h);
   // Compare RMS in the steady-state middle.
   double ex = 0.0, ey = 0.0;
@@ -78,7 +78,7 @@ TEST(FilterSame, OutOfBandToneSuppressed) {
   const double fs = 44100.0;
   const std::vector<double> h = design_bandpass(2000.0, 6400.0, fs, 255);
   std::vector<double> x(4096);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * 500.0 * i / fs);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * 500.0 * static_cast<double>(i) / fs);
   const std::vector<double> y = filter_same(x, h);
   double ex = 0.0, ey = 0.0;
   for (std::size_t i = 1000; i < 3000; ++i) {
@@ -93,7 +93,7 @@ TEST(FilterSame, FftAndDirectPathsAgree) {
   // large input with the same prefix content.
   const std::vector<double> h = design_lowpass(5000.0, 44100.0, 21);
   std::vector<double> small(64);
-  for (std::size_t i = 0; i < small.size(); ++i) small[i] = std::sin(0.3 * i);
+  for (std::size_t i = 0; i < small.size(); ++i) small[i] = std::sin(0.3 * static_cast<double>(i));
   std::vector<double> large(4096, 0.0);
   for (std::size_t i = 0; i < small.size(); ++i) large[i] = small[i];
   const std::vector<double> ys = filter_same(small, h);

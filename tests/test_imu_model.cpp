@@ -105,7 +105,7 @@ TEST(ImuModel, SignalPassesThrough) {
   ImuModel model(spec, rng);
   std::vector<geom::Vec3> f(300);
   for (std::size_t i = 0; i < f.size(); ++i) {
-    f[i] = {std::sin(0.05 * i), 0.0, kGravity};
+    f[i] = {std::sin(0.05 * static_cast<double>(i)), 0.0, kGravity};
   }
   const ImuData data = model.corrupt(f, constant_series({0, 0, 0}, 300));
   for (std::size_t i = 0; i < f.size(); ++i) {

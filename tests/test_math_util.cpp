@@ -35,7 +35,7 @@ TEST(Clamp, Basics) {
   EXPECT_EQ(clamp(5.0, 0.0, 10.0), 5.0);
   EXPECT_EQ(clamp(-5.0, 0.0, 10.0), 0.0);
   EXPECT_EQ(clamp(15.0, 0.0, 10.0), 10.0);
-  EXPECT_THROW(clamp(0.0, 10.0, 0.0), PreconditionError);
+  EXPECT_THROW((void)clamp(0.0, 10.0, 0.0), PreconditionError);
 }
 
 TEST(Lerp, EndpointsAndMiddle) {

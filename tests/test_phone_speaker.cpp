@@ -98,7 +98,7 @@ TEST(Adc, SelfNoiseAddsPower) {
   add_self_noise_inplace(s, adc, rng);
   double e = 0.0;
   for (double v : s) e += v * v;
-  EXPECT_NEAR(std::sqrt(e / s.size()), 0.01, 0.001);
+  EXPECT_NEAR(std::sqrt(e / static_cast<double>(s.size())), 0.01, 0.001);
 }
 
 TEST(Adc, SkewedClockInstants) {

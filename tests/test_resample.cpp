@@ -12,7 +12,7 @@ namespace {
 
 std::vector<double> bandlimited_tone(double cycles_per_sample, std::size_t n) {
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(2.0 * kPi * cycles_per_sample * i);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(2.0 * kPi * cycles_per_sample * static_cast<double>(i));
   return x;
 }
 

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "core/pipeline.hpp"
 #include "sim/scenario.hpp"
@@ -29,8 +30,10 @@ TEST(Robustness, AudioDropoutsDuringCalibration) {
   sim::Session s = sim::make_localization_session(base_config(), rng);
   const auto lo = static_cast<std::size_t>(1.0 * s.audio.sample_rate);
   const auto hi = static_cast<std::size_t>(2.0 * s.audio.sample_rate);
-  std::fill(s.audio.mic1.begin() + lo, s.audio.mic1.begin() + hi, 0.0);
-  std::fill(s.audio.mic2.begin() + lo, s.audio.mic2.begin() + hi, 0.0);
+  const auto lo_i = static_cast<std::ptrdiff_t>(lo);
+  const auto hi_i = static_cast<std::ptrdiff_t>(hi);
+  std::fill(s.audio.mic1.begin() + lo_i, s.audio.mic1.begin() + hi_i, 0.0);
+  std::fill(s.audio.mic2.begin() + lo_i, s.audio.mic2.begin() + hi_i, 0.0);
   const LocalizationResult r = localize(s);
   ASSERT_TRUE(r.valid);
   EXPECT_LT(localization_error(r, s), 0.6);
@@ -45,8 +48,10 @@ TEST(Robustness, DropoutsAroundOneSlide) {
   const auto lo = static_cast<std::size_t>(t0 * s.audio.sample_rate);
   const auto hi = std::min(static_cast<std::size_t>(t1 * s.audio.sample_rate),
                            s.audio.mic1.size());
-  std::fill(s.audio.mic1.begin() + lo, s.audio.mic1.begin() + hi, 0.0);
-  std::fill(s.audio.mic2.begin() + lo, s.audio.mic2.begin() + hi, 0.0);
+  const auto lo_i = static_cast<std::ptrdiff_t>(lo);
+  const auto hi_i = static_cast<std::ptrdiff_t>(hi);
+  std::fill(s.audio.mic1.begin() + lo_i, s.audio.mic1.begin() + hi_i, 0.0);
+  std::fill(s.audio.mic2.begin() + lo_i, s.audio.mic2.begin() + hi_i, 0.0);
   const LocalizationResult r = localize(s);
   ASSERT_TRUE(r.valid);
   // The corrupted slide may survive on dwell chirps outside the zeroed

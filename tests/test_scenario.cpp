@@ -25,8 +25,8 @@ TEST(Scenario, SessionShapesConsistent) {
   EXPECT_EQ(s.audio.mic1.size(), s.audio.mic2.size());
   EXPECT_GT(s.audio.mic1.size(), 44100u);  // several seconds of audio
   // IMU and audio cover the same wall-clock span (within a sample).
-  const double audio_dur = s.audio.mic1.size() / s.audio.sample_rate;
-  const double imu_dur = s.imu.size() / s.imu.sample_rate;
+  const double audio_dur = static_cast<double>(s.audio.mic1.size()) / s.audio.sample_rate;
+  const double imu_dur = static_cast<double>(s.imu.size()) / s.imu.sample_rate;
   EXPECT_NEAR(audio_dur, imu_dur, 0.05);
 }
 

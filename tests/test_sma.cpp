@@ -49,7 +49,7 @@ TEST(MovingAverageMagnitude, MatchesFilterOnTone) {
   const double f = 12.0;
   const std::size_t n = 4;
   std::vector<double> x(4000);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * f * i / fs);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(2.0 * kPi * f * static_cast<double>(i) / fs);
   const std::vector<double> y = moving_average(x, n);
   double energy = 0.0;
   for (std::size_t i = 2000; i < 4000; ++i) energy += y[i] * y[i];

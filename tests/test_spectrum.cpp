@@ -13,7 +13,7 @@ namespace {
 
 std::vector<double> tone(double freq, double fs, std::size_t n, double amp = 1.0) {
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = amp * std::sin(2.0 * kPi * freq * i / fs);
+  for (std::size_t i = 0; i < n; ++i) x[i] = amp * std::sin(2.0 * kPi * freq * static_cast<double>(i) / fs);
   return x;
 }
 

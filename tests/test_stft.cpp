@@ -14,7 +14,7 @@ namespace {
 
 std::vector<double> tone(double freq, double fs, std::size_t n) {
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(2.0 * kPi * freq * i / fs);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(2.0 * kPi * freq * static_cast<double>(i) / fs);
   return x;
 }
 
@@ -81,7 +81,7 @@ TEST(PeakFrequencyTrack, FollowsChirpSweep) {
   const double fs = 44100.0;
   const Chirp chirp{ChirpParams{}};
   std::vector<double> x(static_cast<std::size_t>(0.08 * fs), 0.0);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] = chirp.value(i / fs);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = chirp.value(static_cast<double>(i) / fs);
   StftOptions opts;
   opts.frame = 256;
   opts.hop = 64;
