@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+/// @file contracts.hpp
+/// Checked-build contract macros (DESIGN.md §11).
+///
+/// The library has two tiers of defensive checks:
+///
+///  1. Always-on validation — `hyperear::require(cond, msg)` (error.hpp).
+///    Guards public API arguments in every build type and throws
+///    PreconditionError. Callers (and 100+ tests) rely on these firing in
+///    Release, so they never compile out.
+///
+///  2. Contracts — the HE_* macros below. Internal invariants,
+///    postconditions, and finiteness sweeps that would be redundant or too
+///    expensive to check on every production call. Active when
+///    HE_CONTRACTS_ENABLED is 1; they throw hyperear::InvariantError (a
+///    PreconditionError) with the offending expression and source location
+///    in what(). In NDEBUG builds each macro compiles to nothing — the
+///    condition is parsed (so it can't bit-rot) but never evaluated.
+///
+/// Build-mode matrix:
+///
+///   | build type            | NDEBUG | contracts |
+///   |-----------------------|--------|-----------|
+///   | Debug                 | unset  | throw     |
+///   | Asan / Tsan           | unset  | throw     |
+///   | Release/RelWithDebInfo| set    | no-op     |
+///   | any + HYPEREAR_FORCE_CONTRACTS | —  | throw |
+
+#if defined(HYPEREAR_FORCE_CONTRACTS) || !defined(NDEBUG)
+#define HE_CONTRACTS_ENABLED 1
+#else
+#define HE_CONTRACTS_ENABLED 0
+#endif
+
+namespace hyperear::contracts {
+
+[[noreturn]] inline void violation(const char* kind, const char* expr,
+                                   const char* file, long line) {
+  throw InvariantError(std::string(kind) + " violated: " + expr + " [" + file +
+                       ":" + std::to_string(line) + "]");
+}
+
+[[noreturn]] inline void nonfinite(const char* expr, double value, const char* file,
+                                   long line) {
+  throw InvariantError(std::string("finiteness violated: ") + expr + " = " +
+                       std::to_string(value) + " [" + file + ":" +
+                       std::to_string(line) + "]");
+}
+
+/// Scalar finiteness probe. The range overload reports the first offender's
+/// value so a NaN three stages upstream is caught where it enters, not where
+/// the solver finally chokes on it.
+inline bool check_finite(double v, double& offender) {
+  if (std::isfinite(v)) return true;
+  offender = v;
+  return false;
+}
+
+template <typename Range>
+bool check_finite(const Range& r, double& offender) {
+  for (const double v : r) {
+    if (!std::isfinite(v)) {
+      offender = v;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hyperear::contracts
+
+#if HE_CONTRACTS_ENABLED
+
+/// Precondition on entry to a function: caller-supplied state must satisfy
+/// `cond`. Throws InvariantError naming the expression when it doesn't.
+#define HE_EXPECTS(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::hyperear::contracts::violation("precondition HE_EXPECTS(" #cond \
+                                             ")",                            \
+                                             #cond, __FILE__, __LINE__))
+
+/// Postcondition before returning: the result the function is about to hand
+/// back must satisfy `cond`.
+#define HE_ENSURES(cond)                                                       \
+  ((cond) ? static_cast<void>(0)                                              \
+          : ::hyperear::contracts::violation("postcondition HE_ENSURES(" #cond \
+                                             ")",                             \
+                                             #cond, __FILE__, __LINE__))
+
+/// Finiteness sweep over a double or a range of doubles (anything
+/// range-for-iterable yielding double). Reports the first non-finite value.
+#define HE_ASSERT_FINITE(value)                                               \
+  do {                                                                        \
+    double he_offender_ = 0.0;                                                \
+    if (!::hyperear::contracts::check_finite((value), he_offender_)) {        \
+      ::hyperear::contracts::nonfinite("HE_ASSERT_FINITE(" #value ")",        \
+                                       he_offender_, __FILE__, __LINE__);     \
+    }                                                                         \
+  } while (false)
+
+#else  // !HE_CONTRACTS_ENABLED — parse the condition, never evaluate it.
+
+#define HE_EXPECTS(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define HE_ENSURES(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define HE_ASSERT_FINITE(value)                                     \
+  static_cast<void>(sizeof(::hyperear::contracts::check_finite(     \
+      (value), std::declval<double&>())))
+
+#endif  // HE_CONTRACTS_ENABLED

@@ -20,6 +20,17 @@ class PreconditionError : public Error {
   explicit PreconditionError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a contract macro (HE_EXPECTS / HE_ENSURES / HE_ASSERT_FINITE,
+/// common/contracts.hpp) fires in a checked build. Derives from
+/// PreconditionError so call sites that were promoted from always-on
+/// `require()` checks to checked-build contracts keep satisfying existing
+/// `catch (const PreconditionError&)` handlers and tests; classify_exception
+/// (core/status.cpp) maps it to ErrorCategory::precondition the same way.
+class InvariantError : public PreconditionError {
+ public:
+  explicit InvariantError(const std::string& what) : PreconditionError(what) {}
+};
+
 /// Raised when a numerical routine fails to converge or degenerates.
 class NumericalError : public Error {
  public:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/stats.hpp"
 
 namespace hyperear::core {
@@ -30,6 +31,8 @@ bool median_base_point(const std::vector<SlideMeasurement>& slides, double lo, d
 PleResult localize_3d(const AspResult& asp, const imu::MotionSignals& motion,
                       const sim::Session::Prior& prior, double mic_separation,
                       const PleOptions& options) {
+  HE_EXPECTS(mic_separation > 0.0);
+  HE_EXPECTS(options.min_stature_change >= 0.0);
   PleResult result;
   result.slides = measure_slides(asp, motion, prior, mic_separation, options.ttl);
 

@@ -44,7 +44,13 @@ std::string describe(const PipelineError& error) {
 }
 
 ErrorCategory classify_exception(const std::exception& e) {
-  // Order matters: most-derived first.
+  // Order matters: most-derived first. InvariantError (a failed HE_* contract
+  // in a checked build) derives from PreconditionError and shares its
+  // category — the branch is explicit so the taxonomy names every Error
+  // subclass even though the base-class test below would also catch it.
+  if (dynamic_cast<const InvariantError*>(&e) != nullptr) {
+    return ErrorCategory::precondition;
+  }
   if (dynamic_cast<const PreconditionError*>(&e) != nullptr) {
     return ErrorCategory::precondition;
   }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/error.hpp"
+
 /// @file status.hpp
 /// The pipeline's error taxonomy: every failure a localization attempt can
 /// produce, as a value. `core::try_localize` and the runtime engine report
@@ -12,6 +14,11 @@
 /// a category and `rethrow` reconstructs the matching exception type.
 
 namespace hyperear::core {
+
+/// The contract-violation exception (common/contracts.hpp) re-exported under
+/// the taxonomy's namespace: pipeline code catches/classifies it as
+/// core::InvariantError alongside the ErrorCategory machinery below.
+using hyperear::InvariantError;
 
 /// What went wrong, by failure class (mirrors the Error hierarchy).
 enum class ErrorCategory {

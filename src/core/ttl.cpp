@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -79,9 +80,16 @@ std::vector<SlideMeasurement> measure_slides(const AspResult& asp,
                                              const sim::Session::Prior& prior,
                                              double mic_separation,
                                              const TtlOptions& options) {
+  HE_EXPECTS(mic_separation > 0.0);
   require(mic_separation > 0.0, "measure_slides: mic separation must be positive");
   const double dt = motion.dt();
   const double t_hat = asp.estimated_period;
+  // The SFO-corrected period divides every chirp-pair TDoA below; zero or
+  // non-finite values mean the caller skipped preprocess_audio's period
+  // estimation (which throws on failure) and fed a raw struct.
+  HE_EXPECTS(t_hat > 0.0);
+  HE_ASSERT_FINITE(t_hat);
+  HE_EXPECTS(dt > 0.0);
   const double yaw = prior.believed_yaw;
   const geom::Vec2 xhat_body{std::cos(yaw), std::sin(yaw)};   // body +x on the map
   const geom::Vec2 yhat_body{-std::sin(yaw), std::cos(yaw)};  // body +y on the map

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/ols.hpp"
@@ -33,12 +34,20 @@ std::vector<double> correlate_valid(std::span<const double> x, std::span<const d
   require(!x.empty() && !h.empty(), "correlate_valid: empty input");
   require(h.size() <= x.size(), "correlate_valid: template longer than signal");
   if (x.size() * h.size() <= kDirectProductLimit) {
-    return correlate_valid_direct(x, h, false);
+    std::vector<double> out = correlate_valid_direct(x, h, false);
+    HE_ENSURES(out.size() == x.size() - h.size() + 1);
+    return out;
   }
   // Overlap-save with the reversed template at the default block size — the
   // same geometry a cached reversed-spectrum convolver uses, so both
   // overloads agree bit for bit.
-  return OlsConvolver(std::vector<double>(h.rbegin(), h.rend())).correlate_valid(x);
+  std::vector<double> out =
+      OlsConvolver(std::vector<double>(h.rbegin(), h.rend())).correlate_valid(x);
+  // Valid-mode lag bound: lag k ranges over [0, |x|-|h|]; the OLS window
+  // carve-out must hand back exactly that many lags or downstream
+  // peak->sample-index arithmetic is silently shifted.
+  HE_ENSURES(out.size() == x.size() - h.size() + 1);
+  return out;
 }
 
 std::vector<double> correlate_valid(std::span<const double> x,
@@ -83,6 +92,7 @@ void normalize_correlation_into(std::span<const double> corr, std::span<const do
   // otherwise divide by (numerically) zero and amplify FFT round-off into
   // spurious peaks, so the window energy is floored at a small fraction of
   // the average window energy.
+  HE_EXPECTS(h_norm > 0.0 && std::isfinite(h_norm));
   prefix_scratch.resize(x.size() + 1);
   prefix_scratch[0] = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -98,6 +108,7 @@ void normalize_correlation_into(std::span<const double> corr, std::span<const do
     const double denom = std::sqrt(std::max(win_energy, floor_energy)) * h_norm;
     out[k] = corr[k] / denom;
   }
+  HE_ENSURES(out.size() == corr.size());
 }
 
 std::vector<double> correlate_full(std::span<const double> x, std::span<const double> h) {

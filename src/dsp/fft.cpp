@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/units.hpp"
@@ -61,6 +62,7 @@ std::vector<Complex> make_twiddles(std::size_t n, bool inverse) {
 }  // namespace
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
+  HE_EXPECTS(n >= 1 && is_pow2(n));
   require(is_pow2(n), "FftPlan: size must be a power of two");
   bitrev_.resize(n);
   for (std::size_t i = 0; i < n; ++i) bitrev_[i] = i;
@@ -72,6 +74,10 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   }
   forward_twiddles_ = make_twiddles(n, false);
   inverse_twiddles_ = make_twiddles(n, true);
+  // n-1 twiddles per direction (sum of len/2 over stages); a size mismatch
+  // here means the stage indexing in run() would read out of bounds.
+  HE_ENSURES(n < 2 || forward_twiddles_.size() == n - 1);
+  HE_ENSURES(n < 2 || inverse_twiddles_.size() == n - 1);
 }
 
 void FftPlan::run(std::vector<Complex>& x, bool inverse) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 
@@ -33,10 +34,17 @@ OlsConvolver::OlsConvolver(std::vector<double> kernel, std::size_t fft_size)
     : kernel_(std::move(kernel)),
       plan_(fft_size == 0 ? choose_ols_fft_size(kernel_.empty() ? 1 : kernel_.size())
                           : fft_size) {
+  HE_EXPECTS(!kernel_.empty());
+  HE_ASSERT_FINITE(kernel_);
   require(!kernel_.empty(), "OlsConvolver: empty kernel");
   require(is_pow2(plan_.size()) && plan_.size() >= kernel_.size(),
           "OlsConvolver: fft_size must be a power of two >= the kernel length");
   fft_real_into(kernel_, plan_.size(), spectrum_, &plan_);
+  // The overlap-save identity needs at least one alias-free sample per
+  // block; plan >= kernel guarantees it, restated here in the algorithm's
+  // own terms so a future block-sizing change can't silently break it.
+  HE_ENSURES(block_size() >= 1);
+  HE_ENSURES(spectrum_.size() == plan_.size());
 }
 
 void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
@@ -75,6 +83,11 @@ void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
   const std::size_t total_blocks = (full_len + block - 1) / block;
   const std::size_t first_block = (offset / block) & ~std::size_t{1};
   const std::size_t last_block = (offset + count - 1) / block;
+  // Block invariants behind the window-vs-full bit-identity guarantee:
+  // pairing is anchored to even block indices of the FULL convolution, and
+  // the requested window must sit inside it.
+  HE_EXPECTS(first_block % 2 == 0);
+  HE_EXPECTS(last_block < total_blocks);
   for (std::size_t b = first_block; b <= last_block; b += 2) {
     const bool paired = b + 1 < total_blocks;
     const std::ptrdiff_t base0 =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -25,6 +26,10 @@ Peak refine_peak(std::span<const double> y, std::size_t i) {
   offset = std::clamp(offset, -0.5, 0.5);
   p.refined_index = static_cast<double>(i) + offset;
   p.value = y0 - 0.25 * (ym - yp) * offset;
+  // Parabolic refinement may move the peak at most half a sample — the lag
+  // bound every TDoA consumer converts back to sample indices with.
+  HE_ENSURES(p.refined_index >= static_cast<double>(i) - 0.5 &&
+             p.refined_index <= static_cast<double>(i) + 0.5);
   return p;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "geom/least_squares.hpp"
 
@@ -18,6 +19,14 @@ double clamp_range_diff(double dd, double aperture) {
 }  // namespace
 
 Vec2 far_field_initial_guess(const AugmentedTdoa& in, double max_range) {
+  // Degenerate geometry is a caller bug: TTL's pairing loop filters
+  // zero-aperture slides before building an AugmentedTdoa. Contracts fail
+  // fast in checked builds; the always-on require keeps Release callers
+  // honest with a PreconditionError.
+  HE_EXPECTS(in.slide_distance > 0.0);
+  HE_EXPECTS(in.mic_separation > 0.0);
+  HE_ASSERT_FINITE(in.range_diff_mic1);
+  HE_ASSERT_FINITE(in.range_diff_mic2);
   require(in.slide_distance > 0.0, "far_field_initial_guess: slide distance must be positive");
   require(in.mic_separation > 0.0, "far_field_initial_guess: mic separation must be positive");
   const double dprime = in.slide_distance;
@@ -36,6 +45,10 @@ Vec2 far_field_initial_guess(const AugmentedTdoa& in, double max_range) {
 }
 
 TriangulationResult solve_augmented(const AugmentedTdoa& in) {
+  HE_EXPECTS(in.slide_distance > 0.0);
+  HE_EXPECTS(in.mic_separation > 0.0);
+  HE_ASSERT_FINITE(in.range_diff_mic1);
+  HE_ASSERT_FINITE(in.range_diff_mic2);
   require(in.slide_distance > 0.0, "solve_augmented: slide distance must be positive");
   require(in.mic_separation > 0.0, "solve_augmented: mic separation must be positive");
   const double dprime = in.slide_distance;
@@ -63,6 +76,10 @@ TriangulationResult intersect(const Hyperbola& h1, const Hyperbola& h2,
   out.residual = std::sqrt(lm.cost);  // RMS-ish scale of the two residuals
   out.converged = lm.converged || lm.cost < 1e-12;
   out.iterations = lm.iterations;
+  // The solver must hand back a realizable point: LM can wander, but a
+  // non-finite position means the residual function itself produced NaNs.
+  HE_ASSERT_FINITE(out.position.x);
+  HE_ASSERT_FINITE(out.position.y);
   return out;
 }
 

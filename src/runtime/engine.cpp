@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "runtime/pool_pair_executor.hpp"
 
@@ -148,6 +149,12 @@ std::shared_ptr<const core::PipelineContext> BatchEngine::context_for(
 
 std::future<SessionReport> BatchEngine::enqueue(
     std::shared_ptr<const sim::Session> session) {
+  // Engine state machine: submit after shutdown() is a caller bug. Checked
+  // builds fail the contract here, before the submitted counter moves; the
+  // release path reaches pool_.post below, which revalidates under the pool
+  // lock and throws PreconditionError without a counter drift (the
+  // rollback in the catch block).
+  HE_EXPECTS(!pool_.stopped());
   const std::uint64_t session_id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto task = std::make_shared<std::packaged_task<SessionReport()>>(

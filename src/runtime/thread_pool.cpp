@@ -43,6 +43,11 @@ void ThreadPool::stop() {
   wake_.notify_all();
 }
 
+bool ThreadPool::stopped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
 void ThreadPool::post(std::function<void()> task) {
   QueuedTask queued{std::move(task), {}};
   const bool instrumented = metrics_installed_.load(std::memory_order_acquire);

@@ -61,6 +61,11 @@ class ThreadPool {
   /// per-channel tasks onto the same pool) deadlock-free.
   bool try_run_one();
 
+  /// True once stop() has been called. Advisory for contract checks: a
+  /// false answer can be stale by the time the caller acts on it, so post()
+  /// still revalidates under the lock.
+  [[nodiscard]] bool stopped() const;
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
@@ -76,7 +81,7 @@ class ThreadPool {
   /// with `mutex_` held, right after popping `task` off the queue.
   void note_dequeued(const QueuedTask& task);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<QueuedTask> queue_;
   bool stopping_ = false;
