@@ -1,20 +1,14 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
-
+#include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hyperear::core {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
 
 std::optional<PipelineError> config_violation(bool bad, const std::string& what) {
   if (!bad) return std::nullopt;
@@ -87,6 +81,17 @@ std::optional<PipelineError> PipelineConfig::validate() const {
   if (auto e = config_violation(min_stature_change < 0.0,
                                 "min_stature_change must be non-negative"))
     return e;
+  // Checked-build depth the range checks above can't express: a NaN slips
+  // through every `<=` comparison (all false), so a config built from
+  // corrupted arithmetic would pass validation and poison the whole
+  // session. Finiteness is contract-checked on the fields the stages
+  // divide by or integrate over.
+  HE_ASSERT_FINITE(asp.detector_threshold);
+  HE_ASSERT_FINITE(asp.min_event_spacing_s);
+  HE_ASSERT_FINITE(ttl.chirp_duration_s);
+  HE_ASSERT_FINITE(ttl.lookback_s);
+  HE_ASSERT_FINITE(ttl.max_range);
+  HE_ASSERT_FINITE(min_stature_change);
   return std::nullopt;
 }
 
@@ -130,12 +135,12 @@ Expected<LocalizationResult, PipelineError> try_localize(
   AspResult asp;
   try {
     obs::TraceSpan span(tracer, "asp", sid, &session_span);
-    const Clock::time_point t0 = Clock::now();
+    const obs::MonotonicTime t0 = obs::monotonic_now();
     asp = preprocess_audio(session.audio, session.prior.chirp,
                            session.prior.nominal_period,
                            session.prior.calibration_duration, config.asp, context,
                            executor, obs);
-    local.asp_ms = ms_since(t0);
+    local.asp_ms = obs::ms_since(t0);
     local.chirps_mic1 = asp.mic1.size();
     local.chirps_mic2 = asp.mic2.size();
     local.sfo_estimated = asp.sfo_estimated;
@@ -146,9 +151,9 @@ Expected<LocalizationResult, PipelineError> try_localize(
   imu::MotionSignals motion;
   try {
     obs::TraceSpan span(tracer, "msp", sid, &session_span);
-    const Clock::time_point t0 = Clock::now();
+    const obs::MonotonicTime t0 = obs::monotonic_now();
     motion = imu::preprocess(session.imu, config.msp);
-    local.msp_ms = ms_since(t0);
+    local.msp_ms = obs::ms_since(t0);
   } catch (const std::exception& e) {
     return fail(e, PipelineStage::msp);
   }
@@ -161,10 +166,10 @@ Expected<LocalizationResult, PipelineError> try_localize(
   if (session.prior.two_statures) {
     try {
       obs::TraceSpan span(tracer, "ple", sid, &session_span);
-      const Clock::time_point t0 = Clock::now();
+      const obs::MonotonicTime t0 = obs::monotonic_now();
       result.ple = localize_3d(asp, motion, session.prior, mic_separation,
                                config.ple_options());
-      local.solve_ms = ms_since(t0);
+      local.solve_ms = obs::ms_since(t0);
     } catch (const std::exception& e) {
       return fail(e, PipelineStage::ple);
     }
@@ -177,9 +182,9 @@ Expected<LocalizationResult, PipelineError> try_localize(
   } else {
     try {
       obs::TraceSpan span(tracer, "ttl", sid, &session_span);
-      const Clock::time_point t0 = Clock::now();
+      const obs::MonotonicTime t0 = obs::monotonic_now();
       result.ttl = localize_2d(asp, motion, session.prior, mic_separation, config.ttl);
-      local.solve_ms = ms_since(t0);
+      local.solve_ms = obs::ms_since(t0);
     } catch (const std::exception& e) {
       return fail(e, PipelineStage::ttl);
     }

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+/// @file clock.hpp
+/// The observability layer's monotonic clock, and the ONLY sanctioned time
+/// source below src/runtime. The determinism linter
+/// (tools/lint/hyperear_lint.py) bans direct std::chrono clock reads in
+/// src/core and src/dsp: pipeline results must be a pure function of the
+/// session data, so wall-clock access is confined to telemetry — stage
+/// timers route through these helpers, which keeps every clock read
+/// greppable and auditable from one file.
+
+namespace hyperear::obs {
+
+/// Opaque monotonic timestamp for latency measurement.
+using MonotonicTime = std::chrono::steady_clock::time_point;
+
+[[nodiscard]] inline MonotonicTime monotonic_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+/// Milliseconds elapsed since `start`, as the double the StageMetrics /
+/// histogram plumbing records.
+[[nodiscard]] inline double ms_since(MonotonicTime start) noexcept {
+  return std::chrono::duration<double, std::milli>(monotonic_now() - start).count();
+}
+
+}  // namespace hyperear::obs

@@ -258,7 +258,9 @@ TEST(Trace, MoveTransfersThePendingRecord) {
   {
     TraceSpan a(&tracer, "moved", 1);
     TraceSpan b = std::move(a);
-    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    // NOLINTNEXTLINE(bugprone-use-after-move) -- the moved-from probe IS the
+    // test: a must read as inactive after the transfer.
+    EXPECT_FALSE(static_cast<bool>(a));
     EXPECT_TRUE(static_cast<bool>(b));
   }
   ASSERT_EQ(tracer.snapshot().size(), 1u);  // recorded once, not twice

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# ctest entry `lint.format_check`: clang-format --dry-run -Werror over the
+# tree, using the checked-in .clang-format. Exit 77 (ctest SKIP_RETURN_CODE)
+# where clang-format is not installed — the whitespace floor still holds via
+# hyperear_lint's whitespace rule, which always runs.
+set -u
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format_check: clang-format not installed; skipping (.clang-format is checked in)"
+  exit 77
+fi
+mapfile -t files < <(find "${ROOT}/src" "${ROOT}/tests" "${ROOT}/bench" \
+    "${ROOT}/tools" "${ROOT}/examples" \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+exec clang-format --dry-run -Werror --style=file "${files[@]}"

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""HyperEar determinism & hygiene linter (DESIGN.md §11).
+
+Project-invariant checks that neither the compiler nor clang-tidy enforce,
+applied regex/AST-lite style over the checked-in sources:
+
+  determinism   no rand()/std::random_device and no wall-clock reads
+                (system_clock, high_resolution_clock) anywhere under src/;
+                steady_clock is allowed only in src/obs and src/runtime
+                (telemetry), so pipeline results stay a pure function of
+                the session data. All randomness goes through the seeded
+                common/rng.hpp.
+  ownership     no naked new/delete in library code (src/): containers and
+                smart pointers own everything; bench binaries may replace
+                the global allocator.
+  logging       no printf/puts/cout-style output in library code (src/):
+                snprintf formatting into a caller buffer is fine, writing
+                to stdout from a library is not.
+  headers       every header uses #pragma once; no <iostream> in headers
+                (it drags an ELF-wide static initializer into every TU).
+  suppressions  every NOLINT escape hatch carries a written reason:
+                `// NOLINT(<check>) -- <why>`.
+  whitespace    no trailing whitespace, no tabs in C++ sources, no CRLF,
+                final newline present — the formatting floor that holds
+                even where clang-format isn't installed.
+
+Exit status: 0 clean, 1 findings, 2 usage error. --json PATH additionally
+writes machine-readable findings (the run_lint.sh driver merges these into
+LINT_report.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+CXX_EXTENSIONS = {".cpp", ".hpp", ".cc", ".h"}
+
+# Directories scanned relative to the repo root. Build trees are never
+# scanned.
+SCAN_DIRS = ["src", "bench", "tools", "tests", "examples"]
+
+# Library code: the determinism/ownership/logging rules apply here.
+LIBRARY_PREFIX = "src/"
+# Telemetry layers where the monotonic clock is sanctioned.
+STEADY_CLOCK_ALLOWED = ("src/obs/", "src/runtime/")
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+RULES_HELP = "determinism ownership logging headers suppressions whitespace"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string/char literals so the
+    regexes below match code, not prose. Block comments spanning lines are
+    handled by the caller's state machine."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[dict] = []
+
+    def add(self, rule: str, path: Path, line_no: int, message: str) -> None:
+        self.findings.append(
+            {
+                "tool": "hyperear_lint",
+                "rule": rule,
+                "file": str(path.relative_to(self.root)),
+                "line": line_no,
+                "message": message,
+            }
+        )
+
+    # --- per-file checks -------------------------------------------------
+
+    def lint_file(self, path: Path) -> None:
+        rel = str(path.relative_to(self.root)).replace("\\", "/")
+        raw = path.read_bytes()
+        if b"\r\n" in raw:
+            self.add("whitespace", path, 1, "CRLF line endings")
+        text = raw.decode("utf-8", errors="replace")
+        lines = text.split("\n")
+        if text and not text.endswith("\n"):
+            self.add("whitespace", path, len(lines), "missing final newline")
+
+        is_header = path.suffix in {".hpp", ".h"}
+        is_library = rel.startswith(LIBRARY_PREFIX)
+        steady_ok = rel.startswith(STEADY_CLOCK_ALLOWED)
+
+        if is_header and "#pragma once" not in text:
+            self.add("headers", path, 1, "header missing #pragma once")
+
+        in_block_comment = False
+        for idx, line in enumerate(lines, start=1):
+            self.check_whitespace(path, idx, line)
+            code = line
+            if in_block_comment:
+                end = code.find("*/")
+                if end < 0:
+                    continue
+                code = code[end + 2 :]
+                in_block_comment = False
+            # NOLINT audit runs on the raw line: the directive lives in a
+            # comment by definition.
+            self.check_suppression(path, idx, line)
+            code = strip_comments_and_strings(code)
+            start = code.find("/*")
+            if start >= 0:
+                end = code.find("*/", start + 2)
+                if end < 0:
+                    in_block_comment = True
+                    code = code[:start]
+                else:
+                    code = code[:start] + code[end + 2 :]
+
+            if is_header:
+                self.check_header_line(path, idx, code)
+            if is_library:
+                self.check_determinism(path, idx, code, steady_ok)
+                self.check_ownership(path, idx, code)
+                self.check_logging(path, idx, code)
+
+    def check_whitespace(self, path: Path, idx: int, line: str) -> None:
+        stripped = line.rstrip("\r")
+        if stripped != stripped.rstrip():
+            self.add("whitespace", path, idx, "trailing whitespace")
+        if "\t" in stripped:
+            self.add("whitespace", path, idx, "tab character in C++ source")
+
+    DETERMINISM_BANNED = [
+        (re.compile(r"(?<![\w:])rand\s*\("), "rand(): use the seeded common/rng.hpp"),
+        (re.compile(r"\bsrand\s*\("), "srand(): use the seeded common/rng.hpp"),
+        (
+            re.compile(r"\brandom_device\b"),
+            "std::random_device: nondeterministic seed source; use common/rng.hpp",
+        ),
+        (
+            re.compile(r"\bsystem_clock\b"),
+            "system_clock: wall-clock read in library code",
+        ),
+        (
+            re.compile(r"\bhigh_resolution_clock\b"),
+            "high_resolution_clock: unspecified clock; telemetry uses obs/clock.hpp",
+        ),
+    ]
+
+    def check_determinism(
+        self, path: Path, idx: int, code: str, steady_ok: bool
+    ) -> None:
+        for pattern, why in self.DETERMINISM_BANNED:
+            if pattern.search(code):
+                self.add("determinism", path, idx, why)
+        if not steady_ok and re.search(r"\bsteady_clock\b", code):
+            self.add(
+                "determinism",
+                path,
+                idx,
+                "steady_clock outside src/obs+src/runtime: route timing "
+                "through obs/clock.hpp",
+            )
+
+    NAKED_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_(:<]")
+    NAKED_DELETE = re.compile(r"(?<![\w_])delete(\s*\[\s*\])?\s+[A-Za-z_(:*]")
+
+    def check_ownership(self, path: Path, idx: int, code: str) -> None:
+        if self.NAKED_NEW.search(code):
+            self.add(
+                "ownership", path, idx, "naked new: use containers/make_unique"
+            )
+        if self.NAKED_DELETE.search(code) and "= delete" not in code:
+            self.add("ownership", path, idx, "naked delete: use owning types")
+
+    LOGGING_BANNED = re.compile(
+        r"(?<![\w:])(?:std\s*::\s*)?(printf|puts|putchar|vprintf)\s*\("
+    )
+    STDOUT_FPRINTF = re.compile(r"\bfprintf\s*\(\s*std(?:out|err)\b")
+
+    def check_logging(self, path: Path, idx: int, code: str) -> None:
+        if self.LOGGING_BANNED.search(code) or self.STDOUT_FPRINTF.search(code):
+            self.add(
+                "logging",
+                path,
+                idx,
+                "stdout/stderr write in library code: return data, or format "
+                "with snprintf into a caller buffer",
+            )
+
+    IOSTREAM_INCLUDE = re.compile(r"#\s*include\s*<iostream>")
+
+    def check_header_line(self, path: Path, idx: int, code: str) -> None:
+        if self.IOSTREAM_INCLUDE.search(code):
+            self.add(
+                "headers", path, idx, "#include <iostream> in a header"
+            )
+
+    NOLINT_ANY = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?\b")
+    NOLINT_WITH_REASON = re.compile(
+        r"NOLINT(?:NEXTLINE|BEGIN|END)?\(([^)]+)\)\s*--\s*\S"
+    )
+
+    def check_suppression(self, path: Path, idx: int, line: str) -> None:
+        if not self.NOLINT_ANY.search(line) or "NOLINT_ANY" in line:
+            return
+        if not self.NOLINT_WITH_REASON.search(line):
+            self.add(
+                "suppressions",
+                path,
+                idx,
+                "NOLINT without named check + reason: write "
+                "`NOLINT(<check>) -- <why>`",
+            )
+
+    # --- driver ----------------------------------------------------------
+
+    def run(self) -> int:
+        for d in SCAN_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CXX_EXTENSIONS and path.is_file():
+                    self.lint_file(path)
+        # This file states its own rule patterns; it is python, not scanned.
+        return 1 if self.findings else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[2],
+        help="repo root (default: two levels above this script)",
+    )
+    parser.add_argument("--json", type=Path, help="write findings as JSON")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"hyperear_lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    status = linter.run()
+    for f in linter.findings:
+        print(f"{f['file']}:{f['line']}: [{f['rule']}] {f['message']}")
+    print(
+        f"hyperear_lint: {len(linter.findings)} finding(s) "
+        f"({RULES_HELP})"
+    )
+    if args.json:
+        args.json.write_text(json.dumps(linter.findings, indent=2) + "\n")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# One-shot static-analysis driver (DESIGN.md §11): clang-tidy + cppcheck +
+# hyperear_lint + format-check, merged into LINT_report.json at the repo
+# root. Exit 1 on ANY finding so CI and the `lint` ctest label catch
+# regressions; tools that are not installed are reported as "skipped" (the
+# container bakes in the compiler toolchain, not always the clang extras).
+#
+# Usage: tools/lint/run_lint.sh [BUILD_DIR]
+#   BUILD_DIR  a configured build tree with compile_commands.json for
+#              clang-tidy (default: build-lint, then build).
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  for candidate in "${ROOT}/build-lint" "${ROOT}/build"; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      BUILD_DIR="${candidate}"
+      break
+    fi
+  done
+fi
+
+REPORT="${ROOT}/LINT_report.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+failures=0
+
+# Each tool writes: a findings JSON array (possibly empty) and a status
+# string (clean | findings | skipped).
+
+# --- hyperear_lint (always available: python3 + the checked-in script) ----
+hl_status=clean
+if ! python3 "${ROOT}/tools/lint/hyperear_lint.py" --root "${ROOT}" \
+    --json "${TMP_DIR}/hyperear_lint.json" > "${TMP_DIR}/hyperear_lint.txt" 2>&1; then
+  hl_status=findings
+  failures=1
+fi
+cat "${TMP_DIR}/hyperear_lint.txt"
+[[ -f "${TMP_DIR}/hyperear_lint.json" ]] || echo '[]' > "${TMP_DIR}/hyperear_lint.json"
+
+# --- clang-tidy over src/ (needs compile_commands.json) -------------------
+ct_status=skipped
+echo '[]' > "${TMP_DIR}/clang_tidy.json"
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    ct_status=clean
+    mapfile -t tidy_files < <(find "${ROOT}/src" -name '*.cpp' | sort)
+    if ! clang-tidy -p "${BUILD_DIR}" --quiet "${tidy_files[@]}" \
+        > "${TMP_DIR}/clang_tidy.txt" 2> /dev/null; then
+      ct_status=findings
+      failures=1
+    fi
+    cat "${TMP_DIR}/clang_tidy.txt"
+    python3 - "${TMP_DIR}/clang_tidy.txt" "${TMP_DIR}/clang_tidy.json" <<'EOF'
+import json, re, sys
+findings = []
+pattern = re.compile(r"^(?P<file>[^:\s]+):(?P<line>\d+):\d+: (?:warning|error): (?P<msg>.*)$")
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        m = pattern.match(line.strip())
+        if m:
+            findings.append({"tool": "clang-tidy", "rule": "clang-tidy",
+                             "file": m["file"], "line": int(m["line"]),
+                             "message": m["msg"]})
+json.dump(findings, open(sys.argv[2], "w"), indent=2)
+EOF
+  else
+    echo "run_lint: clang-tidy present but no compile_commands.json (configure the lint preset first); skipping"
+  fi
+else
+  echo "run_lint: clang-tidy not installed; skipping (config checked in at .clang-tidy)"
+fi
+
+# --- cppcheck over src/ ---------------------------------------------------
+cc_status=skipped
+echo '[]' > "${TMP_DIR}/cppcheck.json"
+if command -v cppcheck > /dev/null 2>&1; then
+  cc_status=clean
+  if ! cppcheck --enable=warning,performance,portability --inline-suppr \
+      --suppressions-list="${ROOT}/tools/lint/cppcheck-suppressions.txt" \
+      --error-exitcode=1 --std=c++20 --language=c++ -I "${ROOT}/src" \
+      --template='{file}:{line}: [{id}] {message}' --quiet \
+      "${ROOT}/src" > "${TMP_DIR}/cppcheck.txt" 2>&1; then
+    cc_status=findings
+    failures=1
+  fi
+  cat "${TMP_DIR}/cppcheck.txt"
+  python3 - "${TMP_DIR}/cppcheck.txt" "${TMP_DIR}/cppcheck.json" <<'EOF'
+import json, re, sys
+findings = []
+pattern = re.compile(r"^(?P<file>[^:\s]+):(?P<line>\d+): \[(?P<id>[^\]]+)\] (?P<msg>.*)$")
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        m = pattern.match(line.strip())
+        if m:
+            findings.append({"tool": "cppcheck", "rule": m["id"],
+                             "file": m["file"], "line": int(m["line"]),
+                             "message": m["msg"]})
+json.dump(findings, open(sys.argv[2], "w"), indent=2)
+EOF
+else
+  echo "run_lint: cppcheck not installed; skipping"
+fi
+
+# --- format-check ---------------------------------------------------------
+fc_status=skipped
+echo '[]' > "${TMP_DIR}/format.json"
+if command -v clang-format > /dev/null 2>&1; then
+  fc_status=clean
+  mapfile -t fmt_files < <(find "${ROOT}/src" "${ROOT}/tests" "${ROOT}/bench" \
+      "${ROOT}/tools" "${ROOT}/examples" \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+  if ! clang-format --dry-run -Werror --style=file "${fmt_files[@]}" \
+      > "${TMP_DIR}/format.txt" 2>&1; then
+    fc_status=findings
+    failures=1
+  fi
+  cat "${TMP_DIR}/format.txt"
+  python3 - "${TMP_DIR}/format.txt" "${TMP_DIR}/format.json" <<'EOF'
+import json, re, sys
+findings = []
+pattern = re.compile(r"^(?P<file>[^:\s]+):(?P<line>\d+):\d+: (?:warning|error): (?P<msg>.*)$")
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        m = pattern.match(line.strip())
+        if m:
+            findings.append({"tool": "clang-format", "rule": "format",
+                             "file": m["file"], "line": int(m["line"]),
+                             "message": m["msg"]})
+json.dump(findings, open(sys.argv[2], "w"), indent=2)
+EOF
+else
+  echo "run_lint: clang-format not installed; skipping (whitespace floor enforced by hyperear_lint)"
+fi
+
+# --- merge ----------------------------------------------------------------
+python3 - "${REPORT}" "${hl_status}" "${ct_status}" "${cc_status}" "${fc_status}" \
+    "${TMP_DIR}" <<'EOF'
+import json, sys
+report_path, hl, ct, cc, fc, tmp = sys.argv[1:7]
+def load(name):
+    with open(f"{tmp}/{name}.json") as fh:
+        return json.load(fh)
+findings = load("hyperear_lint") + load("clang_tidy") + load("cppcheck") + load("format")
+report = {
+    "tools": {
+        "hyperear_lint": hl,
+        "clang-tidy": ct,
+        "cppcheck": cc,
+        "format-check": fc,
+    },
+    "finding_count": len(findings),
+    "findings": findings,
+}
+with open(report_path, "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+print(f"run_lint: wrote {report_path} ({len(findings)} finding(s); "
+      f"tidy={ct}, cppcheck={cc}, format={fc}, hyperear_lint={hl})")
+EOF
+
+exit "${failures}"
