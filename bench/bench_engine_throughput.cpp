@@ -1,5 +1,5 @@
 /// Batch-engine throughput: sessions/sec of the full ASP -> MSP -> TTL
-/// pipeline at 1, 2, 4 and hardware-concurrency worker threads over one
+/// pipeline at 1, 2, 4, 8 and hardware-concurrency worker threads over one
 /// shared pool of pre-rendered sessions. Sessions are independent pure
 /// functions of their inputs, so the engine must deliver (a) near-linear
 /// scaling on multi-core hardware and (b) bit-identical per-session
@@ -9,6 +9,12 @@
 /// PipelineContext, rebuilding every DSP plan (band-pass taps, chirp
 /// reference, reference FFT spectrum) per session — the cost the engine's
 /// plan cache removes. Engine rows must match it bit-for-bit.
+///
+/// The "engine-steady-state" row re-runs the whole batch on an engine that
+/// already served it once, so every worker holds a warm SessionWorkspace:
+/// its bytes_allocated column is the engine's true per-session allocator
+/// traffic after warm-up (the cold rows above pay the one-time buffer
+/// growth), and its results must also match the baseline bit-for-bit.
 ///
 /// HYPEREAR_TRIALS scales the batch size (default 8 sessions).
 
@@ -23,6 +29,7 @@
 #include "bench_util.hpp"
 #include "core/pipeline.hpp"
 #include "core/pipeline_context.hpp"
+#include "core/session_workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/engine.hpp"
@@ -67,7 +74,7 @@ int main() {
   std::printf("rendering %zu sessions...\n", n_sessions);
   const std::vector<sim::Session> sessions = make_batch(n_sessions);
 
-  std::set<std::size_t> counts = {1, 2, 4, hw};
+  std::set<std::size_t> counts = {1, 2, 4, 8, hw};
   std::vector<runtime::SessionReport> baseline;
   double baseline_rate = 0.0;
   bool all_identical = true;
@@ -132,6 +139,31 @@ int main() {
                 rate / baseline_rate, ok, same ? "yes" : "MISMATCH");
   }
 
+  {
+    // Steady-state allocator traffic: batch 1 warms every worker's leased
+    // SessionWorkspace (and the sharded plan cache); batch 2 on the SAME
+    // engine is what a long-running service pays per session.
+    runtime::BatchEngine engine({}, 1);
+    (void)engine.localize_all(sessions);  // warm-up batch
+    const std::size_t bytes0 = bench::allocated_bytes();
+    const Clock::time_point t0 = Clock::now();
+    const std::vector<runtime::SessionReport> reports = engine.localize_all(sessions);
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    const std::size_t steady_bytes = bench::allocated_bytes() - bytes0;
+    push_row("engine-steady-state", seconds, steady_bytes);
+
+    bool same = true;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      same = same && identical(reports[i].result, baseline[i].result);
+    }
+    all_identical = all_identical && same;
+    std::printf("\nsteady state (warm workspaces, 1 thread): %.2f s, "
+                "%.1f KiB allocated/session, results %s\n",
+                seconds,
+                static_cast<double>(steady_bytes / n_sessions) / 1024.0,
+                same ? "bit-identical" : "MISMATCH");
+  }
+
   // Observability overhead (the bench_obs_overhead rows): the same serial
   // shared-context session loop with the metrics registry + tracer off vs
   // on. Serial so nothing but the instrumentation differs between the two
@@ -141,10 +173,11 @@ int main() {
     const core::PipelineConfig config;
     const core::PipelineContext ctx(config, sessions[0].prior.chirp,
                                     sessions[0].audio.sample_rate);
+    core::SessionWorkspace workspace;
     std::vector<core::LocalizationResult> plain(n_sessions);
     const Clock::time_point t0 = Clock::now();
     for (std::size_t i = 0; i < n_sessions; ++i) {
-      auto outcome = core::try_localize(sessions[i], config, nullptr, &ctx);
+      auto outcome = core::try_localize(sessions[i], config, ctx, workspace);
       if (outcome.has_value()) plain[i] = *std::move(outcome);
     }
     const double off_s = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -155,7 +188,8 @@ int main() {
     const Clock::time_point t1 = Clock::now();
     for (std::size_t i = 0; i < n_sessions; ++i) {
       const obs::ObsContext obs{&registry, &tracer, i + 1};
-      auto outcome = core::try_localize(sessions[i], config, nullptr, &ctx, nullptr, &obs);
+      auto outcome =
+          core::try_localize(sessions[i], config, ctx, workspace, nullptr, &obs);
       if (outcome.has_value()) traced[i] = *std::move(outcome);
     }
     const double on_s = std::chrono::duration<double>(Clock::now() - t1).count();

@@ -73,6 +73,27 @@ inline bool validate_bench_rows(const std::vector<BenchRow>& rows,
       return fail(at + "ns_per_op not a finite positive number");
     }
   }
+  // Scaling contract of the engine bench: the thread-scaling ladder is the
+  // row set before/after comparisons key on, so an engine bench that stops
+  // emitting any rung (say, after an edit to its thread-count set) must
+  // fail loudly here rather than producing a JSON that silently lost its
+  // scaling story.
+  bool any_engine = false;
+  for (const BenchRow& r : rows) any_engine = any_engine || r.op == "engine_localize_all";
+  if (any_engine) {
+    for (const char* rung :
+         {"engine-threads-1", "engine-threads-2", "engine-threads-4",
+          "engine-threads-8"}) {
+      bool found = false;
+      for (const BenchRow& r : rows) {
+        found = found || (r.op == "engine_localize_all" && r.variant == rung);
+      }
+      if (!found) {
+        return fail(std::string("engine_localize_all rows missing scaling variant ") +
+                    rung);
+      }
+    }
+  }
   return true;
 }
 

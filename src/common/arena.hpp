@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+/// @file arena.hpp
+/// Monotonic bump arena for per-session scratch (DESIGN.md §8).
+///
+/// The batch engine's steady state runs thousands of sessions through one
+/// worker; every short-lived temporary those sessions heap-allocate is
+/// allocator traffic repeated per session. `MonotonicArena` turns that
+/// pattern into pointer bumps: allocation advances a cursor through a chain
+/// of geometrically-growing blocks, deallocation is a no-op, and `reset()`
+/// rewinds the cursor while KEEPING the blocks — so after the first session
+/// warmed the arena up, subsequent sessions of similar size allocate zero
+/// bytes from the global heap.
+///
+/// Ownership and threading: an arena is single-owner mutable state, exactly
+/// like `dsp::Workspace` — own one per call stack (core::SessionWorkspace
+/// embeds one per worker) and never share it across threads. `reset()`
+/// invalidates everything previously allocated from the arena; callers must
+/// not let arena-backed containers outlive the reset (the canonical
+/// pipeline resets at session entry, so arena lifetime == session
+/// lifetime).
+///
+/// `ArenaAllocator<T>` adapts the arena to the std allocator interface so
+/// ordinary containers can ride it: `ArenaVector<T>` is the vector spelling.
+/// Container moves/copies across arenas behave like any stateful allocator
+/// (the allocator propagates on copy/move construction).
+
+namespace hyperear {
+
+class MonotonicArena {
+ public:
+  /// `first_block_bytes` sizes the initial block (subsequent blocks double,
+  /// capped at kMaxBlockBytes); the first allocation triggers it lazily so
+  /// an unused arena costs one pointer-sized struct.
+  explicit MonotonicArena(std::size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes == 0 ? 4096 : first_block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two). Oversized
+  /// requests get a dedicated block; normal ones bump the cursor of the
+  /// current block, opening a fresh (doubled) block when it runs out.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    HE_EXPECTS(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    if (block_ < blocks_.size()) {
+      if (void* p = bump(blocks_[block_], bytes, align)) return p;
+      // Fallthrough: scan forward through retained blocks (after a reset
+      // the chain still exists; later blocks are bigger).
+      while (block_ + 1 < blocks_.size()) {
+        ++block_;
+        blocks_[block_].used = 0;
+        if (void* p = bump(blocks_[block_], bytes, align)) return p;
+      }
+    }
+    return allocate_new_block(bytes, align);
+  }
+
+  /// Rewind every block cursor, keeping the memory. Everything previously
+  /// allocated from this arena is invalid after this call.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    block_ = 0;
+  }
+
+  /// Total bytes of backing capacity currently owned (diagnostics; the
+  /// steady-state test asserts this stops growing after warm-up).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last reset (cursor sum; diagnostics).
+  [[nodiscard]] std::size_t used_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.used;
+    return total;
+  }
+
+ private:
+  /// Blocks never grow beyond this; larger single requests get a dedicated
+  /// block of exactly the requested size.
+  static constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 22;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static void* bump(Block& b, std::size_t bytes, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t cursor = base + b.used;
+    const std::uintptr_t aligned = (cursor + align - 1) & ~(align - 1);
+    const std::size_t needed = (aligned - base) + bytes;
+    if (needed > b.size) return nullptr;
+    b.used = needed;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  void* allocate_new_block(std::size_t bytes, std::size_t align) {
+    // A fresh block is aligned to max_align by operator new[]; requests
+    // with stricter alignment pad the front via bump() below.
+    std::size_t want = next_block_bytes_;
+    while (want < bytes + align) want *= 2;
+    Block b;
+    b.size = want;
+    b.data = std::make_unique<std::byte[]>(want);
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+    void* p = bump(blocks_.back(), bytes, align);
+    HE_ENSURES(p != nullptr);
+    return p;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;            ///< index of the block being bumped
+  std::size_t next_block_bytes_;     ///< size of the next block to open
+};
+
+/// std-allocator adapter over a MonotonicArena. Deallocate is a no-op (the
+/// arena reclaims at reset); container destruction is therefore free, and
+/// element destructors still run normally.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena& arena) : arena_(&arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}  // NOLINT(google-explicit-constructor) -- allocator rebind requires converting construction
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc{};
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] MonotonicArena* arena() const { return arena_; }
+
+  template <class U>
+  [[nodiscard]] friend bool operator==(const ArenaAllocator& a,
+                                       const ArenaAllocator<U>& b) {
+    return a.arena_ == b.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+/// Vector whose storage lives in a MonotonicArena:
+/// `ArenaVector<double> v(ArenaAllocator<double>{arena});`
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace hyperear

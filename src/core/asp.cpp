@@ -3,10 +3,12 @@
 #include <cmath>
 #include <optional>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "core/parallel.hpp"
 #include "core/pipeline_context.hpp"
+#include "core/session_workspace.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/matched_filter.hpp"
 #include "obs/metrics.hpp"
@@ -16,22 +18,24 @@ namespace hyperear::core {
 
 namespace {
 
-std::vector<ChirpEvent> detect_events(const std::vector<double>& signal,
-                                      const dsp::MatchedFilterDetector& detector,
-                                      const obs::ObsContext* obs) {
-  std::vector<ChirpEvent> events;
-  for (const dsp::Detection& d : detector.detect(signal, obs)) {
-    events.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
+void convert_events(const std::vector<dsp::Detection>& detections,
+                    std::vector<ChirpEvent>& out) {
+  out.clear();
+  out.reserve(detections.size());
+  for (const dsp::Detection& d : detections) {
+    out.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
   }
-  return events;
 }
 
-}  // namespace
-
-double estimate_period(const std::vector<ChirpEvent>& events, double nominal_period,
-                       double window_end, std::size_t min_events) {
+/// `estimate_period` with caller-owned scratch: the arrival-time and index
+/// series live in the session arena, so the steady-state batch path fits
+/// the SFO line without touching the heap. The public spelling wraps this
+/// with a call-local arena; the fit itself is identical.
+double estimate_period_with_arena(const std::vector<ChirpEvent>& events,
+                                  double nominal_period, double window_end,
+                                  std::size_t min_events, MonotonicArena& arena) {
   require(nominal_period > 0.0, "estimate_period: bad nominal period");
-  std::vector<double> times;
+  ArenaVector<double> times{ArenaAllocator<double>{arena}};
   for (const ChirpEvent& e : events) {
     if (e.time_s <= window_end) times.push_back(e.time_s);
   }
@@ -40,7 +44,8 @@ double estimate_period(const std::vector<ChirpEvent>& events, double nominal_per
   }
   // Recover integer chirp indices by rounding gaps to the nominal period;
   // missed detections produce index gaps, which the fit tolerates.
-  std::vector<double> idx(times.size());
+  ArenaVector<double> idx{ArenaAllocator<double>{arena}};
+  idx.resize(times.size());
   idx[0] = 0.0;
   for (std::size_t i = 1; i < times.size(); ++i) {
     idx[i] = idx[i - 1] + std::round((times[i] - times[i - 1]) / nominal_period);
@@ -51,45 +56,64 @@ double estimate_period(const std::vector<ChirpEvent>& events, double nominal_per
   return fit.slope;
 }
 
-AspResult preprocess_audio(const sim::StereoRecording& recording,
-                           const dsp::ChirpParams& chirp_params, double nominal_period,
-                           double calibration_duration, const AspOptions& options,
-                           const PipelineContext* context, const PairExecutor* executor,
-                           const obs::ObsContext* obs) {
+/// The one ASP implementation. Every public spelling lands here; the
+/// nullable context/workspace parameters exist so the context-free path
+/// builds its session-local state INSIDE the caller's asp-stage try block
+/// (error classification is part of the contract, not an accident of which
+/// wrapper ran).
+AspResult preprocess_audio_impl(const sim::StereoRecording& recording,
+                                const dsp::ChirpParams& chirp_params,
+                                double nominal_period, double calibration_duration,
+                                const AspOptions& options,
+                                const PipelineContext* context,
+                                SessionWorkspace* workspace,
+                                const PairExecutor* executor,
+                                const obs::ObsContext* obs) {
   require(!recording.mic1.empty() && recording.mic1.size() == recording.mic2.size(),
           "preprocess_audio: bad recording");
   const double fs = recording.sample_rate;
   // Reuse the caller's precomputed plans when they were built for exactly
   // this configuration; otherwise derive session-local ones. Both paths run
   // the same code on the same plans, so the results are bit-identical.
-  std::optional<PipelineContext> local;
+  std::optional<PipelineContext> local_context;
   if (context == nullptr || !context->matches(options, chirp_params, fs)) {
-    local.emplace(options, chirp_params, fs);
-    context = &*local;
+    local_context.emplace(options, chirp_params, fs);
+    context = &*local_context;
   }
+  // Same rule for the scratch: a call-local workspace behaves exactly like
+  // a warmed one (buffer contents carry no information between sessions),
+  // it just pays the allocations the steady-state path avoids.
+  std::optional<SessionWorkspace> local_workspace;
+  if (workspace == nullptr) {
+    local_workspace.emplace();
+    workspace = &*local_workspace;
+  }
+  workspace->reset();
 
   AspResult result;
   result.estimated_period = nominal_period;
 
   // Each channel is an independent filter+detect pass over shared immutable
-  // plans with a channel-private workspace, so the two closures can run on
-  // different threads. Results cannot depend on the schedule: the closures
-  // touch disjoint outputs and never read each other's state.
-  const auto process_channel = [&](const std::vector<double>& mic,
+  // plans with a channel-private workspace slot, so the two closures can
+  // run on different threads. Results cannot depend on the schedule: the
+  // closures touch disjoint slots and outputs and never read each other's
+  // state.
+  const auto process_channel = [&](const std::vector<double>& mic, std::size_t slot,
                                    std::vector<ChirpEvent>& events) {
+    ChannelWorkspace& ch = workspace->channel(slot);
     if (options.bandpass) {
-      dsp::Workspace ws;
-      const std::vector<double> filtered =
-          dsp::filter_same(mic, *context->bandpass_convolver(), &ws);
-      events = detect_events(filtered, context->detector(), obs);
+      dsp::filter_same_into(mic, *context->bandpass_convolver(), ch.filtered,
+                            ch.detector.fft);
+      context->detector().detect_into(ch.filtered, ch.detector, ch.detections, obs);
     } else {
-      events = detect_events(mic, context->detector(), obs);
+      context->detector().detect_into(mic, ch.detector, ch.detections, obs);
     }
+    convert_events(ch.detections, events);
   };
   const SerialPairExecutor serial;
   const PairExecutor& exec = executor != nullptr ? *executor : serial;
-  exec.run_pair([&] { process_channel(recording.mic1, result.mic1); },
-                [&] { process_channel(recording.mic2, result.mic2); });
+  exec.run_pair([&] { process_channel(recording.mic1, 0, result.mic1); },
+                [&] { process_channel(recording.mic2, 1, result.mic2); });
 
   if (options.sfo_correction) {
     // Average the per-mic estimates when both are available (the two mics
@@ -98,8 +122,10 @@ AspResult preprocess_audio(const sim::StereoRecording& recording,
     int count = 0;
     for (const auto* events : {&result.mic1, &result.mic2}) {
       try {
-        sum += estimate_period(*events, nominal_period, calibration_duration,
-                               options.min_calibration_events);
+        sum += estimate_period_with_arena(*events, nominal_period,
+                                          calibration_duration,
+                                          options.min_calibration_events,
+                                          workspace->arena());
         ++count;
       } catch (const DetectionError&) {
         // fall through; the other mic may still provide an estimate
@@ -123,6 +149,34 @@ AspResult preprocess_audio(const sim::StereoRecording& recording,
     }
   }
   return result;
+}
+
+}  // namespace
+
+double estimate_period(const std::vector<ChirpEvent>& events, double nominal_period,
+                       double window_end, std::size_t min_events) {
+  MonotonicArena arena;
+  return estimate_period_with_arena(events, nominal_period, window_end, min_events,
+                                    arena);
+}
+
+AspResult preprocess_audio(const sim::StereoRecording& recording,
+                           double nominal_period, double calibration_duration,
+                           const PipelineContext& context, SessionWorkspace& workspace,
+                           const obs::ObsContext* obs) {
+  return preprocess_audio_impl(recording, context.chirp_params(), nominal_period,
+                               calibration_duration, context.asp_options(), &context,
+                               &workspace, nullptr, obs);
+}
+
+AspResult preprocess_audio(const sim::StereoRecording& recording,
+                           const dsp::ChirpParams& chirp_params, double nominal_period,
+                           double calibration_duration, const AspOptions& options,
+                           const PipelineContext* context, const PairExecutor* executor,
+                           const obs::ObsContext* obs) {
+  return preprocess_audio_impl(recording, chirp_params, nominal_period,
+                               calibration_duration, options, context, nullptr,
+                               executor, obs);
 }
 
 }  // namespace hyperear::core

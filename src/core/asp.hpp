@@ -60,26 +60,49 @@ struct AspResult {
 
 class PipelineContext;
 class PairExecutor;
+class SessionWorkspace;
 
-/// Run ASP on a stereo recording. `nominal_period` is the beacon's
-/// advertised chirp period; `calibration_duration` the static head of the
-/// session used for the SFO fit.
+/// Run ASP on a stereo recording — the canonical spelling. `nominal_period`
+/// is the beacon's advertised chirp period; `calibration_duration` the
+/// static head of the session used for the SFO fit.
 ///
-/// `context` may carry the precomputed DSP plans (band-pass taps, chirp
-/// reference, matched-filter spectra) for these options; pass nullptr — or
-/// a context built for different options/chirp/sample-rate — and a
-/// session-local context is built instead, so results never depend on
-/// whether a cache was supplied.
+/// `context` (core/pipeline_context.hpp) is the immutable plan cache the
+/// stage reads: band-pass kernel spectrum, chirp reference, matched-filter
+/// spectra. Its AspOptions and ChirpParams are authoritative — the context
+/// IS the configuration. A context built for a different sample rate than
+/// the recording's triggers a session-local rebuild (same options, right
+/// rate), so results never silently depend on a stale cache.
 ///
-/// `executor` (core/parallel.hpp) lets the caller overlap the two
-/// per-microphone filter+detect passes — they read shared immutable plans
-/// and write disjoint outputs, so they are safe to run concurrently. Pass
-/// nullptr for the serial order; either way the results are identical
-/// because the channels never exchange data.
+/// `workspace` (core/session_workspace.hpp) is the mutable counterpart:
+/// per-channel filter/detector scratch and the per-session arena, reset on
+/// entry and reusable across sessions. A warmed workspace makes the stage
+/// allocation-free in the steady state; results are bit-identical to a
+/// fresh one.
 ///
 /// `obs` (obs/trace.hpp) optionally receives stage telemetry (detector
 /// counters, SFO-estimate outcomes) on its registry. Null records nothing;
 /// the AspResult is byte-identical either way.
+[[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
+                                         double nominal_period,
+                                         double calibration_duration,
+                                         const PipelineContext& context,
+                                         SessionWorkspace& workspace,
+                                         const obs::ObsContext* obs = nullptr);
+
+/// Context-free wrapper over the canonical spelling (one implementation —
+/// this forwards, it does not duplicate): builds a session-local context
+/// when `context` is null or was built for different options/chirp/rate,
+/// and a call-local workspace, so results never depend on whether a cache
+/// was supplied.
+///
+/// `executor` (core/parallel.hpp) lets the caller overlap the two
+/// per-microphone filter+detect passes — they read shared immutable plans
+/// and write disjoint workspace slots, so they are safe to run
+/// concurrently. Pass nullptr for the serial order; either way the results
+/// are identical because the channels never exchange data. (The batch
+/// engine no longer routes sessions through a shared executor — workers
+/// are session-parallel instead — but the spelling remains for callers
+/// that want intra-session overlap.)
 [[nodiscard]] AspResult preprocess_audio(const sim::StereoRecording& recording,
                                          const dsp::ChirpParams& chirp,
                                          double nominal_period,

@@ -2,6 +2,8 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "core/pipeline_context.hpp"
+#include "core/session_workspace.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -103,10 +105,18 @@ PleOptions PipelineConfig::ple_options() const {
   return ple;
 }
 
-Expected<LocalizationResult, PipelineError> try_localize(
-    const sim::Session& session, const PipelineConfig& config, StageMetrics* metrics,
-    const PipelineContext* context, const PairExecutor* executor,
-    const obs::ObsContext* obs) {
+namespace {
+
+/// The one pipeline implementation. Both public spellings land here; the
+/// nullable context/workspace parameters exist so the context-free wrapper
+/// builds its session-local state INSIDE the asp-stage try block below —
+/// a pathological configuration (absurd sample rate, bad taps) fails plan
+/// construction and must be classified as an asp-stage error exactly like
+/// it always was, no matter which spelling ran.
+Expected<LocalizationResult, PipelineError> try_localize_impl(
+    const sim::Session& session, const PipelineConfig& config,
+    const PipelineContext* context, SessionWorkspace* workspace,
+    StageMetrics* metrics, const obs::ObsContext* obs) {
   StageMetrics local;
   if (metrics != nullptr) *metrics = local;
 
@@ -136,10 +146,22 @@ Expected<LocalizationResult, PipelineError> try_localize(
   try {
     obs::TraceSpan span(tracer, "asp", sid, &session_span);
     const obs::MonotonicTime t0 = obs::monotonic_now();
-    asp = preprocess_audio(session.audio, session.prior.chirp,
-                           session.prior.nominal_period,
-                           session.prior.calibration_duration, config.asp, context,
-                           executor, obs);
+    // A caller-supplied context is only authoritative when it was built for
+    // exactly this config + session; otherwise fall through the context-free
+    // ASP spelling, which rebuilds session-locally (bit-identical plans).
+    const bool context_ok =
+        context != nullptr && context->matches(config.asp, session.prior.chirp,
+                                               session.audio.sample_rate);
+    if (context_ok && workspace != nullptr) {
+      asp = preprocess_audio(session.audio, session.prior.nominal_period,
+                             session.prior.calibration_duration, *context,
+                             *workspace, obs);
+    } else {
+      asp = preprocess_audio(session.audio, session.prior.chirp,
+                             session.prior.nominal_period,
+                             session.prior.calibration_duration, config.asp,
+                             context_ok ? context : nullptr, nullptr, obs);
+    }
     local.asp_ms = obs::ms_since(t0);
     local.chirps_mic1 = asp.mic1.size();
     local.chirps_mic2 = asp.mic2.size();
@@ -201,6 +223,22 @@ Expected<LocalizationResult, PipelineError> try_localize(
     record_pipeline_metrics(*registry, local, &result, nullptr);
   }
   return result;
+}
+
+}  // namespace
+
+Expected<LocalizationResult, PipelineError> try_localize(
+    const sim::Session& session, const PipelineConfig& config,
+    const PipelineContext& context, SessionWorkspace& workspace,
+    StageMetrics* metrics, const obs::ObsContext* obs) {
+  return try_localize_impl(session, config, &context, &workspace, metrics, obs);
+}
+
+Expected<LocalizationResult, PipelineError> try_localize(const sim::Session& session,
+                                                         const PipelineConfig& config,
+                                                         StageMetrics* metrics,
+                                                         const obs::ObsContext* obs) {
+  return try_localize_impl(session, config, nullptr, nullptr, metrics, obs);
 }
 
 LocalizationResult localize(const sim::Session& session, const PipelineConfig& config) {

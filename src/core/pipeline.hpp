@@ -50,11 +50,6 @@ struct PipelineConfig {
   [[nodiscard]] PleOptions ple_options() const;
 };
 
-/// Deprecated spelling of PipelineConfig, kept for one release. Note the
-/// old manual `sync()` is gone: the shared TTL options now have a single
-/// source of truth and never need reconciling.
-using PipelineOptions [[deprecated("use PipelineConfig")]] = PipelineConfig;
-
 /// Per-stage observability for one localization attempt. Filled by
 /// `try_localize` when the caller passes a sink; aggregated across
 /// sessions by `runtime::BatchEngine`. Kept OUT of LocalizationResult so
@@ -90,7 +85,7 @@ struct LocalizationResult {
 };
 
 class PipelineContext;
-class PairExecutor;
+class SessionWorkspace;
 
 }  // namespace hyperear::core
 
@@ -100,25 +95,28 @@ struct ObsContext;
 
 namespace hyperear::core {
 
-/// Run the full pipeline on a session without throwing. Uses the 3D
-/// (two-stature) flow when the session prior says two statures were
-/// recorded, the 2D flow otherwise. A session that processes cleanly but
-/// yields no accepted slides is a SUCCESS value with `valid == false`
-/// (matching the paper's "slide again" outcome); the error alternative is
-/// reserved for config violations and stage failures. When `metrics` is
-/// non-null it receives the per-stage observability record (also on
-/// failure, up to the stage that failed).
+/// Run the full pipeline on a session without throwing — the canonical
+/// entry point. Uses the 3D (two-stature) flow when the session prior says
+/// two statures were recorded, the 2D flow otherwise. A session that
+/// processes cleanly but yields no accepted slides is a SUCCESS value with
+/// `valid == false` (matching the paper's "slide again" outcome); the
+/// error alternative is reserved for config violations and stage failures.
 ///
-/// `context` optionally supplies the precomputed DSP plans
-/// (core/pipeline_context.hpp). Leave it null for one-off calls — a
-/// session-local context is built, which is exactly what the pre-context
-/// pipeline did per session. Batch callers (`runtime::BatchEngine`) pass a
-/// shared immutable context so plans are built once per configuration, not
-/// once per session; results are bit-identical either way.
+/// `context` (core/pipeline_context.hpp) carries the immutable DSP plans
+/// for `config.asp` + the session's chirp + sample rate — shared read-only
+/// across any number of concurrent calls. A context that does not match
+/// the session (wrong options, chirp, or rate) is not an error: the ASP
+/// stage rebuilds a session-local one, so results never silently depend on
+/// a stale cache.
 ///
-/// `executor` (core/parallel.hpp) optionally overlaps the two microphone
-/// channels inside the ASP stage; null means serial. Results are identical
-/// either way — the channels share only immutable plans.
+/// `workspace` (core/session_workspace.hpp) is this call's mutable scratch
+/// — strictly single-owner, reusable across sequential sessions, and the
+/// reason the steady-state batch path allocates nearly nothing. Results
+/// are bit-identical whatever workspace history is: buffers carry capacity
+/// between sessions, never information.
+///
+/// When `metrics` is non-null it receives the per-stage observability
+/// record (also on failure, up to the stage that failed).
 ///
 /// `obs` (obs/trace.hpp) optionally attaches the observability layer: a
 /// root "session" span with one child span per stage (asp/msp/ttl/ple) on
@@ -128,12 +126,23 @@ namespace hyperear::core {
 /// StageMetrics ones, nothing recorded — and the LocalizationResult is
 /// byte-identical with and without it (tests/test_obs.cpp locks this in).
 [[nodiscard]] Expected<LocalizationResult, PipelineError> try_localize(
-    const sim::Session& session, const PipelineConfig& config = {},
-    StageMetrics* metrics = nullptr, const PipelineContext* context = nullptr,
-    const PairExecutor* executor = nullptr, const obs::ObsContext* obs = nullptr);
+    const sim::Session& session, const PipelineConfig& config,
+    const PipelineContext& context, SessionWorkspace& workspace,
+    StageMetrics* metrics = nullptr, const obs::ObsContext* obs = nullptr);
 
-/// Throwing shim over `try_localize` for single-session callers: unwraps
-/// the success value or rethrows the taxonomy-matched Error subclass.
+/// Context-free wrapper over the canonical spelling (one implementation —
+/// this forwards, it does not duplicate): the DSP plans and the workspace
+/// are built call-locally, which is exactly what the pre-context pipeline
+/// did per session. Right for one-off calls; batch callers should reuse a
+/// context and a per-worker workspace (or use `runtime::BatchEngine`,
+/// which does both). Results are bit-identical either way.
+[[nodiscard]] Expected<LocalizationResult, PipelineError> try_localize(
+    const sim::Session& session, const PipelineConfig& config = {},
+    StageMetrics* metrics = nullptr, const obs::ObsContext* obs = nullptr);
+
+/// Throwing shim over the context-free `try_localize` for single-session
+/// callers: unwraps the success value or rethrows the taxonomy-matched
+/// Error subclass.
 [[nodiscard]] LocalizationResult localize(const sim::Session& session,
                                           const PipelineConfig& config = {});
 

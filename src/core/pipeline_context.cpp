@@ -1,11 +1,53 @@
 #include "core/pipeline_context.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "core/pipeline.hpp"
 #include "dsp/fir.hpp"
 
 namespace hyperear::core {
+
+namespace {
+
+/// FNV-1a over explicit field values. Doubles hash by bit pattern, so the
+/// key distinguishes exactly what operator== distinguishes (-0.0 vs 0.0 is
+/// the one divergence, and both sides of it are valid cache entries because
+/// `matches` re-checks equality).
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state ^= (v >> (8 * i)) & 0xffULL;
+      state *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
+
+std::uint64_t plan_key_hash(const AspOptions& asp, const dsp::ChirpParams& chirp,
+                            double sample_rate) {
+  Fnv1a h;
+  h.mix(asp.bandpass);
+  h.mix(static_cast<std::uint64_t>(asp.bandpass_taps));
+  h.mix(asp.band_margin_hz);
+  h.mix(asp.detector_threshold);
+  h.mix(asp.min_event_spacing_s);
+  h.mix(asp.sfo_correction);
+  h.mix(static_cast<std::uint64_t>(asp.min_calibration_events));
+  h.mix(chirp.freq_low_hz);
+  h.mix(chirp.freq_high_hz);
+  h.mix(chirp.duration_s);
+  h.mix(chirp.amplitude);
+  h.mix(chirp.edge_fade_fraction);
+  h.mix(sample_rate);
+  return h.state;
+}
 
 namespace {
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -37,6 +38,16 @@ struct PipelineConfig;
 /// Immutable, shareable DSP plans for one (asp options, chirp, sample
 /// rate) combination. Construction validates the inputs the same way the
 /// per-session path does (throws PreconditionError on violations).
+/// Deterministic 64-bit key of the (asp options, chirp, sample rate)
+/// combination a context is built from — the shard/lookup key of
+/// runtime::ContextCache. Pure function of the field values (FNV-1a over
+/// their bit patterns), identical across runs and processes; equal inputs
+/// hash equal, and `PipelineContext::matches` remains the authoritative
+/// equality check behind any hash match.
+[[nodiscard]] std::uint64_t plan_key_hash(const AspOptions& asp,
+                                          const dsp::ChirpParams& chirp,
+                                          double sample_rate);
+
 class PipelineContext {
  public:
   PipelineContext(const AspOptions& asp, const dsp::ChirpParams& chirp,

@@ -14,10 +14,10 @@ namespace {
 
 /// Direct valid-mode correlation. `reversed` flips the template indexing so
 /// the same loop serves callers holding h and callers holding reverse(h).
-std::vector<double> correlate_valid_direct(std::span<const double> x,
-                                           std::span<const double> h, bool reversed) {
+void correlate_valid_direct_into(std::span<const double> x, std::span<const double> h,
+                                 bool reversed, std::vector<double>& out) {
   const std::size_t out_len = x.size() - h.size() + 1;
-  std::vector<double> out(out_len, 0.0);
+  out.resize(out_len);
   for (std::size_t k = 0; k < out_len; ++k) {
     double s = 0.0;
     for (std::size_t j = 0; j < h.size(); ++j) {
@@ -25,6 +25,12 @@ std::vector<double> correlate_valid_direct(std::span<const double> x,
     }
     out[k] = s;
   }
+}
+
+std::vector<double> correlate_valid_direct(std::span<const double> x,
+                                           std::span<const double> h, bool reversed) {
+  std::vector<double> out;
+  correlate_valid_direct_into(x, h, reversed, out);
   return out;
 }
 
@@ -60,6 +66,19 @@ std::vector<double> correlate_valid(std::span<const double> x,
     return correlate_valid_direct(x, reversed_template.kernel(), true);
   }
   return reversed_template.correlate_valid(x, ws);
+}
+
+void correlate_valid_into(std::span<const double> x,
+                          const OlsConvolver& reversed_template,
+                          std::vector<double>& out, Workspace& ws) {
+  require(!x.empty(), "correlate_valid: empty input");
+  require(reversed_template.kernel_size() <= x.size(),
+          "correlate_valid: template longer than signal");
+  if (x.size() * reversed_template.kernel_size() <= kDirectProductLimit) {
+    correlate_valid_direct_into(x, reversed_template.kernel(), true, out);
+    return;
+  }
+  reversed_template.correlate_valid_into(x, out, ws);
 }
 
 std::vector<double> correlate_normalized(std::span<const double> x,

@@ -32,6 +32,16 @@ class Workspace;
                                                   const OlsConvolver& reversed_template,
                                                   Workspace* ws = nullptr);
 
+/// `correlate_valid` against a precomputed reversed-template spectrum, into
+/// a caller-owned buffer (resized to the valid length, every element
+/// overwritten) — the allocation-free spelling for loops whose output
+/// buffer persists across calls (the matched-filter detector's chunk loop).
+/// Takes the direct path below the same size threshold, so all spellings
+/// produce identical bits.
+void correlate_valid_into(std::span<const double> x,
+                          const OlsConvolver& reversed_template,
+                          std::vector<double>& out, Workspace& ws);
+
 /// Sliding normalized cross-correlation: correlate_valid divided by the
 /// local L2 norm of x over the template window times ||h||. Values in
 /// [-1, 1]; robust to amplitude variation across the recording.

@@ -65,16 +65,29 @@ std::vector<double> design_bandpass(double low_hz, double high_hz, double sample
 
 namespace {
 
-/// Direct-evaluation "same" filtering for small signal x taps products.
+/// Direct-evaluation "same" filtering for small signal x taps products,
+/// staging the full convolution through `full_scratch` (a workspace slot or
+/// a local vector) so the into-spelling stays allocation-free.
+void filter_same_direct_into(std::span<const double> signal,
+                             std::span<const double> taps,
+                             std::vector<double>& full_scratch,
+                             std::vector<double>& out) {
+  const std::size_t half = taps.size() / 2;
+  full_scratch.assign(signal.size() + taps.size() - 1, 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      full_scratch[i + j] += signal[i] * taps[j];
+    }
+  }
+  out.resize(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) out[i] = full_scratch[i + half];
+}
+
 std::vector<double> filter_same_direct(std::span<const double> signal,
                                        std::span<const double> taps) {
-  const std::size_t half = taps.size() / 2;
-  std::vector<double> full(signal.size() + taps.size() - 1, 0.0);
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    for (std::size_t j = 0; j < taps.size(); ++j) full[i + j] += signal[i] * taps[j];
-  }
-  std::vector<double> out(signal.size());
-  for (std::size_t i = 0; i < signal.size(); ++i) out[i] = full[i + half];
+  std::vector<double> full;
+  std::vector<double> out;
+  filter_same_direct_into(signal, taps, full, out);
   return out;
 }
 
@@ -103,6 +116,18 @@ std::vector<double> filter_same(std::span<const double> signal, const OlsConvolv
     return filter_same_direct(signal, kernel.kernel());
   }
   return kernel.filter_same(signal, ws);
+}
+
+void filter_same_into(std::span<const double> signal, const OlsConvolver& kernel,
+                      std::vector<double>& out, Workspace& ws) {
+  check_filter_args(signal, kernel.kernel_size());
+  if (signal.size() * kernel.kernel_size() <= kDirectProductLimit) {
+    filter_same_direct_into(signal, kernel.kernel(),
+                            ws.real_scratch(0, signal.size() + kernel.kernel_size() - 1),
+                            out);
+    return;
+  }
+  kernel.filter_same_into(signal, out, ws);
 }
 
 double fir_magnitude_at(std::span<const double> taps, double freq_hz, double sample_rate) {

@@ -52,6 +52,15 @@ class Workspace;
                                               const OlsConvolver& kernel,
                                               Workspace* ws = nullptr);
 
+/// `filter_same` through a prebuilt convolver into a caller-owned buffer
+/// (resized to signal.size(), every element overwritten) — the
+/// allocation-free spelling for batch loops whose output buffer persists
+/// across sessions (core::SessionWorkspace). Takes the direct path below
+/// the same size threshold, staging through `ws`, so all three spellings
+/// produce identical bits.
+void filter_same_into(std::span<const double> signal, const OlsConvolver& kernel,
+                      std::vector<double>& out, Workspace& ws);
+
 /// Frequency response magnitude of an FIR at the given frequency.
 [[nodiscard]] double fir_magnitude_at(std::span<const double> taps, double freq_hz,
                                       double sample_rate);

@@ -12,17 +12,7 @@
 
 namespace hyperear::dsp {
 
-namespace {
-
-/// A chunk-local peak awaiting the global min-spacing pass.
-struct Candidate {
-  Detection detection;
-  double key = 0.0;  ///< masked correlation height (selection strength)
-  std::size_t global_index = 0;  ///< unrefined correlation lag in the recording
-};
-
-}  // namespace
-
+// NOLINTNEXTLINE(hyperear-hotpath) -- one-time plan construction: the detector takes ownership of its reference
 MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
                                              const DetectorConfig& config)
     : reference_(std::move(reference)), config_(config) {
@@ -47,17 +37,38 @@ MatchedFilterDetector::MatchedFilterDetector(std::vector<double> reference,
   }
 }
 
-std::vector<double> MatchedFilterDetector::correlate_chunk(std::span<const double> seg,
-                                                           Workspace& ws) const {
-  if (!ols_) return correlate_valid(seg, reference_);
-  // The overload takes the same direct path as the planless spelling for
-  // small tails, keeping results bit-identical with or without the cache.
-  return correlate_valid(seg, *ols_, &ws);
+void MatchedFilterDetector::correlate_chunk(std::span<const double> seg,
+                                            DetectorWorkspace& ws) const {
+  if (!ols_) {
+    // No cached convolver means every full chunk is below the direct-path
+    // threshold; the planless overload always evaluates directly here. The
+    // move assignment reuses ws.raw's capacity when it fits.
+    ws.raw = correlate_valid(seg, reference_);
+    return;
+  }
+  // The into-spelling takes the same direct path as the planless overload
+  // for small tails, keeping results bit-identical with or without the
+  // cache — and writes into the persistent chunk buffer.
+  correlate_valid_into(seg, *ols_, ws.raw, ws.fft);
 }
 
+// NOLINTBEGIN(hyperear-hotpath) -- convenience wrapper: allocates call-local scratch; steady-state callers use detect_into
 std::vector<Detection> MatchedFilterDetector::detect(
     std::span<const double> recording, const obs::ObsContext* obs) const {
-  if (recording.size() < reference_.size()) return {};
+  DetectorWorkspace ws;
+  std::vector<Detection> out;
+  detect_into(recording, ws, out, obs);
+  return out;
+}
+// NOLINTEND(hyperear-hotpath) -- end of convenience wrapper
+
+void MatchedFilterDetector::detect_into(std::span<const double> recording,
+                                        DetectorWorkspace& ws,
+                                        std::vector<Detection>& out,
+                                        const obs::ObsContext* obs) const {
+  using Candidate = DetectorWorkspace::Candidate;
+  out.clear();
+  if (recording.size() < reference_.size()) return;
   std::size_t chunks_streamed = 0;
   const std::size_t ref_len = reference_.size();
   const auto min_spacing =
@@ -72,18 +83,10 @@ std::vector<Detection> MatchedFilterDetector::detect(
   // first-lag candidate checks the previous chunk's last value, and a
   // last-lag candidate is held pending until the next chunk's first value
   // is known.
-  std::vector<Candidate> candidates;
+  ws.candidates.clear();
   std::optional<Candidate> pending;
   double prev_last_masked = 0.0;
   bool have_prev = false;
-
-  // Per-call scratch, hoisted out of the chunk loop: the FFT workspace, the
-  // prefix-sum buffer, and the normalized/masked statistics are reused
-  // across chunks instead of reallocated per chunk.
-  Workspace ws;
-  std::vector<double> prefix_scratch;
-  std::vector<double> norm;
-  std::vector<double> masked;
 
   const std::size_t chunk = config_.chunk;
   const std::size_t hop = chunk - (ref_len - 1);
@@ -93,19 +96,21 @@ std::vector<Detection> MatchedFilterDetector::detect(
     if (end - start < ref_len) break;
     const std::span<const double> seg = recording.subspan(start, end - start);
     ++chunks_streamed;
-    const std::vector<double> raw = correlate_chunk(seg, ws);
-    normalize_correlation_into(raw, seg, ref_len, reference_norm_, prefix_scratch, norm);
+    correlate_chunk(seg, ws);
+    const std::vector<double>& raw = ws.raw;
+    normalize_correlation_into(raw, seg, ref_len, reference_norm_, ws.prefix, ws.norm);
     // Candidate gating on the normalized statistic, ranking on amplitude:
     // suppress sub-threshold shapes, then find local maxima of |raw|.
-    masked.resize(raw.size());
+    ws.masked.resize(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
-      masked[i] = norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
+      ws.masked[i] = ws.norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
     }
+    const std::vector<double>& masked = ws.masked;
 
     // The previous chunk's boundary candidate can be resolved now that its
     // right neighbor (this chunk's first lag) is known.
     if (pending) {
-      if (pending->key > masked.front()) candidates.push_back(*pending);
+      if (pending->key > masked.front()) ws.candidates.push_back(*pending);
       pending.reset();
     }
 
@@ -129,7 +134,7 @@ std::vector<Detection> MatchedFilterDetector::detect(
       d.time_s =
           (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
       d.amplitude = std::abs(refined.value);
-      d.score = norm[i];
+      d.score = ws.norm[i];
       // Echo competition: strongest |raw| local max in the same window but
       // outside the exclusion zone around the winner (the autocorrelation
       // main lobe plus near sidelobes span ~1 ms; only arrivals beyond that
@@ -152,7 +157,7 @@ std::vector<Detection> MatchedFilterDetector::detect(
       if (defer) {
         pending = c;
       } else {
-        candidates.push_back(c);
+        ws.candidates.push_back(c);
       }
     }
     prev_last_masked = masked.back();
@@ -162,22 +167,22 @@ std::vector<Detection> MatchedFilterDetector::detect(
   // The recording ended right at a chunk boundary (the tail was shorter
   // than the reference): the held-back candidate has no right neighbor and
   // stands.
-  if (pending) candidates.push_back(*pending);
+  if (pending) ws.candidates.push_back(*pending);
 
   // Pass 2: enforce min_spacing once, globally, strongest-first — the same
   // greedy rule find_peaks applies inside a single chunk, so two arrivals
   // straddling a chunk boundary obey exactly the spacing semantics of
   // arrivals within one chunk (regression: an ascending-amplitude chain
   // across boundaries used to collapse to its last element).
-  std::sort(candidates.begin(), candidates.end(),
+  std::sort(ws.candidates.begin(), ws.candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               if (a.key != b.key) return a.key > b.key;
               return a.global_index < b.global_index;
             });
-  std::vector<Candidate> selected;
-  for (const Candidate& c : candidates) {
+  ws.selected.clear();
+  for (const Candidate& c : ws.candidates) {
     bool ok = true;
-    for (const Candidate& a : selected) {
+    for (const Candidate& a : ws.selected) {
       const std::size_t gap = c.global_index > a.global_index
                                   ? c.global_index - a.global_index
                                   : a.global_index - c.global_index;
@@ -186,41 +191,38 @@ std::vector<Detection> MatchedFilterDetector::detect(
         break;
       }
     }
-    if (ok) selected.push_back(c);
+    if (ok) ws.selected.push_back(c);
   }
-  std::sort(selected.begin(), selected.end(),
+  std::sort(ws.selected.begin(), ws.selected.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.global_index < b.global_index;
             });
-  std::vector<Detection> merged;
-  merged.reserve(selected.size());
-  for (const Candidate& c : selected) merged.push_back(c.detection);
+  out.reserve(ws.selected.size());
+  for (const Candidate& c : ws.selected) out.push_back(c.detection);
 
   // Relative amplitude gate: direct arrivals have comparable strength; far
   // echoes and noise flukes fall well below the median and are dropped.
-  if (config_.relative_amplitude_gate > 0.0 && merged.size() >= 3) {
-    std::vector<double> amps;
-    amps.reserve(merged.size());
-    for (const Detection& d : merged) amps.push_back(d.amplitude);
-    const double gate = config_.relative_amplitude_gate * median(amps);
-    std::vector<Detection> strong;
-    strong.reserve(merged.size());
-    for (const Detection& d : merged) {
-      if (d.amplitude >= gate) strong.push_back(d);
+  if (config_.relative_amplitude_gate > 0.0 && out.size() >= 3) {
+    ws.amps.clear();
+    ws.amps.reserve(out.size());
+    for (const Detection& d : out) ws.amps.push_back(d.amplitude);
+    const double gate = config_.relative_amplitude_gate * median(ws.amps);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].amplitude >= gate) out[kept++] = out[i];
     }
-    merged = std::move(strong);
+    out.resize(kept);
   }
 
   if (obs != nullptr && obs->metrics != nullptr) {
     obs::MetricsRegistry& m = *obs->metrics;
     m.counter("detector.chunks_total").inc(static_cast<double>(chunks_streamed));
-    m.counter("detector.candidates_total").inc(static_cast<double>(candidates.size()));
-    m.counter("detector.detections_total").inc(static_cast<double>(merged.size()));
+    m.counter("detector.candidates_total").inc(static_cast<double>(ws.candidates.size()));
+    m.counter("detector.detections_total").inc(static_cast<double>(out.size()));
     static constexpr double kScoreBounds[] = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
     const obs::Histogram scores = m.histogram("detector.detection_score", kScoreBounds);
-    for (const Detection& d : merged) scores.observe(d.score);
+    for (const Detection& d : out) scores.observe(d.score);
   }
-  return merged;
 }
 
 }  // namespace hyperear::dsp

@@ -55,6 +55,35 @@ struct DetectorConfig {
   double relative_amplitude_gate = 0.35;
 };
 
+/// Mutable scratch for matched-filter detection, reusable across `detect`
+/// calls, channels, and sessions: the per-chunk correlation buffers, the
+/// normalized/masked statistics, the prefix-sum scratch, and the candidate
+/// staging vectors. Like `dsp::Workspace` it is single-owner state — own
+/// one per call stack (core::SessionWorkspace embeds one per channel slot)
+/// and never share it across threads. Buffer contents carry no information
+/// between calls; only capacity is retained, so a warmed workspace makes
+/// detection allocation-free in the steady state while the detections stay
+/// bit-identical to a fresh one.
+struct DetectorWorkspace {
+  /// A chunk-local peak awaiting the global min-spacing pass — an
+  /// implementation detail of `detect_into`, surfaced only so its staging
+  /// vectors can live here and keep their capacity across calls.
+  struct Candidate {
+    Detection detection;
+    double key = 0.0;  ///< masked correlation height (selection strength)
+    std::size_t global_index = 0;  ///< unrefined correlation lag in the recording
+  };
+
+  Workspace fft;                      ///< FFT scratch for the OLS chunk loop
+  std::vector<double> raw;            ///< per-chunk raw correlation
+  std::vector<double> norm;           ///< per-chunk normalized correlation
+  std::vector<double> masked;         ///< threshold-gated |raw|
+  std::vector<double> prefix;         ///< prefix-sum scratch (normalization)
+  std::vector<double> amps;           ///< amplitude-gate scratch
+  std::vector<Candidate> candidates;  ///< pass-1 staging
+  std::vector<Candidate> selected;    ///< pass-2 staging
+};
+
 /// Matched-filter detector for a fixed reference waveform.
 ///
 /// Construction is the expensive part: an overlap-save convolver for the
@@ -90,15 +119,24 @@ class MatchedFilterDetector {
       std::span<const double> recording,
       const obs::ObsContext* obs = nullptr) const;
 
+  /// `detect` through caller-owned scratch: detections land in `out`
+  /// (cleared first) and every intermediate buffer lives in `ws`, so a
+  /// warmed workspace makes the whole call allocation-free apart from
+  /// growth of `out` itself. This is the canonical spelling the pipeline's
+  /// SessionWorkspace path uses; `detect` above is a thin wrapper over it
+  /// with a call-local workspace, bit-identical by construction.
+  void detect_into(std::span<const double> recording, DetectorWorkspace& ws,
+                   std::vector<Detection>& out,
+                   const obs::ObsContext* obs = nullptr) const;
+
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<double>& reference() const { return reference_; }
 
  private:
-  /// Valid-mode correlation of one chunk against the reference, streaming
-  /// through the cached reversed-template convolver when the product is
-  /// large enough for the FFT path to pay off.
-  [[nodiscard]] std::vector<double> correlate_chunk(std::span<const double> seg,
-                                                    Workspace& ws) const;
+  /// Valid-mode correlation of one chunk against the reference into
+  /// `ws.raw`, streaming through the cached reversed-template convolver
+  /// when the product is large enough for the FFT path to pay off.
+  void correlate_chunk(std::span<const double> seg, DetectorWorkspace& ws) const;
 
   std::vector<double> reference_;
   DetectorConfig config_;

@@ -30,6 +30,7 @@ std::size_t choose_ols_fft_size(std::size_t kernel_len) {
   return best;
 }
 
+// NOLINTNEXTLINE(hyperear-hotpath) -- one-time plan construction: the convolver takes ownership of its kernel
 OlsConvolver::OlsConvolver(std::vector<double> kernel, std::size_t fft_size)
     : kernel_(std::move(kernel)),
       plan_(fft_size == 0 ? choose_ols_fft_size(kernel_.empty() ? 1 : kernel_.size())
@@ -119,6 +120,7 @@ void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
   }
 }
 
+// NOLINTBEGIN(hyperear-hotpath) -- convenience wrappers: return owning containers; steady-state callers use the _into spellings
 std::vector<double> OlsConvolver::convolve_full(std::span<const double> x,
                                                 Workspace* ws) const {
   Workspace local;
@@ -129,23 +131,36 @@ std::vector<double> OlsConvolver::convolve_full(std::span<const double> x,
 
 std::vector<double> OlsConvolver::filter_same(std::span<const double> x,
                                               Workspace* ws) const {
-  require(kernel_.size() % 2 == 1, "OlsConvolver::filter_same: kernel must be odd-sized");
   Workspace local;
-  std::vector<double> out(x.size());
-  convolve_into(x, kernel_.size() / 2, out.size(), out.data(),
-                ws != nullptr ? *ws : local);
+  std::vector<double> out;
+  filter_same_into(x, out, ws != nullptr ? *ws : local);
   return out;
 }
+// NOLINTEND(hyperear-hotpath) -- end of convenience wrappers
 
+void OlsConvolver::filter_same_into(std::span<const double> x, std::vector<double>& out,
+                                    Workspace& ws) const {
+  require(kernel_.size() % 2 == 1, "OlsConvolver::filter_same: kernel must be odd-sized");
+  out.resize(x.size());
+  convolve_into(x, kernel_.size() / 2, out.size(), out.data(), ws);
+}
+
+// NOLINTBEGIN(hyperear-hotpath) -- convenience wrapper: returns an owning container; steady-state callers use correlate_valid_into
 std::vector<double> OlsConvolver::correlate_valid(std::span<const double> x,
                                                   Workspace* ws) const {
+  Workspace local;
+  std::vector<double> out;
+  correlate_valid_into(x, out, ws != nullptr ? *ws : local);
+  return out;
+}
+// NOLINTEND(hyperear-hotpath) -- end of convenience wrappers
+
+void OlsConvolver::correlate_valid_into(std::span<const double> x,
+                                        std::vector<double>& out, Workspace& ws) const {
   require(kernel_.size() <= x.size(),
           "OlsConvolver::correlate_valid: template longer than signal");
-  Workspace local;
-  std::vector<double> out(x.size() - kernel_.size() + 1);
-  convolve_into(x, kernel_.size() - 1, out.size(), out.data(),
-                ws != nullptr ? *ws : local);
-  return out;
+  out.resize(x.size() - kernel_.size() + 1);
+  convolve_into(x, kernel_.size() - 1, out.size(), out.data(), ws);
 }
 
 }  // namespace hyperear::dsp

@@ -92,11 +92,23 @@ class OlsConvolver {
   [[nodiscard]] std::vector<double> filter_same(std::span<const double> x,
                                                 Workspace* ws = nullptr) const;
 
+  /// `filter_same` into a caller-owned buffer (resized to x.size(), every
+  /// element overwritten) — the allocation-free spelling for batch loops
+  /// whose output buffer persists across sessions. Bit-identical to
+  /// `filter_same`.
+  void filter_same_into(std::span<const double> x, std::vector<double>& out,
+                        Workspace& ws) const;
+
   /// Valid-mode correlation of x against the template whose REVERSAL is
   /// this convolver's kernel; length x.size() - kernel_size() + 1. Requires
   /// kernel_size() <= x.size().
   [[nodiscard]] std::vector<double> correlate_valid(std::span<const double> x,
                                                     Workspace* ws = nullptr) const;
+
+  /// `correlate_valid` into a caller-owned buffer (resized to the valid
+  /// length, every element overwritten). Bit-identical to `correlate_valid`.
+  void correlate_valid_into(std::span<const double> x, std::vector<double>& out,
+                            Workspace& ws) const;
 
  private:
   std::vector<double> kernel_;

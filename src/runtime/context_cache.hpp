@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/pipeline_context.hpp"
+
+/// @file context_cache.hpp
+/// Sharded cache of immutable core::PipelineContext plan sets.
+///
+/// The engine's old cache was one mutex over one vector: every session of
+/// every worker took the same lock just to *look up* plans that virtually
+/// never change. This cache shards by `core::plan_key_hash` of the
+/// (asp options, chirp, sample rate) key, so concurrent lookups of
+/// different configurations never contend, and workers additionally
+/// memoize the last context they used (runtime::WorkspacePool's
+/// WorkerState), which removes even the shard lock from the steady-state
+/// path — the cache is then touched only when a worker first sees a new
+/// configuration.
+///
+/// Contexts are immutable after construction, so handing the same
+/// shared_ptr to many workers is safe by construction; the lock protects
+/// only the shard's entry vector.
+
+namespace hyperear::runtime {
+
+class ContextCache {
+ public:
+  /// Find-or-build the plans for this configuration. The shard lock covers
+  /// construction too — the first session of a combination builds the
+  /// plans while lookalikes wait, instead of racing to build duplicates
+  /// (plan construction is the expensive part; a duplicate would also
+  /// defeat the sharing the cache exists for).
+  ///
+  /// Returns null when the plans cannot be built (pathological session —
+  /// e.g. an absurd sample rate): the caller falls back to context-free
+  /// core::try_localize, which rebuilds and fails INSIDE the ASP stage so
+  /// the error is classified against the stage that owns it.
+  [[nodiscard]] std::shared_ptr<const core::PipelineContext> acquire(
+      const core::PipelineConfig& config, const dsp::ChirpParams& chirp,
+      double sample_rate) {
+    const std::uint64_t hash = core::plan_key_hash(config.asp, chirp, sample_rate);
+    Shard& shard = shards_[hash & (kShards - 1)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& c : shard.entries) {
+      if (c->matches(config.asp, chirp, sample_rate)) return c;
+    }
+    try {
+      auto fresh = std::make_shared<const core::PipelineContext>(config, chirp,
+                                                                 sample_rate);
+      if (shard.entries.size() < kMaxPerShard) shard.entries.push_back(fresh);
+      return fresh;
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+
+  /// Cached plan sets across all shards (diagnostics/tests).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.entries.size();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;  ///< power of two (mask indexing)
+  /// Bounded per shard: virtually every batch uses one configuration, so
+  /// the bound only guards against an adversarial stream of distinct
+  /// configurations growing the cache without end. Overflow entries are
+  /// still returned, just not retained.
+  static constexpr std::size_t kMaxPerShard = 4;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<const core::PipelineContext>> entries;
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace hyperear::runtime

@@ -6,16 +6,16 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
-#include "core/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "core/pipeline_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/context_cache.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/workspace_pool.hpp"
 #include "sim/scenario.hpp"
 
 /// @file engine.hpp
@@ -27,6 +27,15 @@
 /// sessions are pure functions of their inputs, so a report is
 /// bit-identical no matter which worker produced it or how many workers
 /// exist (bench_engine_throughput asserts this).
+///
+/// Scaling model (DESIGN.md §8): sessions are the unit of parallelism.
+/// Each worker leases exclusive per-worker state (workspace + memoized
+/// context pointer) for the duration of a session and runs the canonical
+/// `core::try_localize` against read-only shared plans, so the steady
+/// state crosses no per-session lock and performs (nearly) no heap
+/// allocation; throughput scales with workers because workers share
+/// nothing mutable. The old design — a single context-cache mutex and a
+/// shared intra-session channel executor — is gone from the batch path.
 
 namespace hyperear::runtime {
 
@@ -87,12 +96,15 @@ struct EngineObs {
 /// programming error, unlike a corrupt session, which is data) and spins
 /// up the pool; the config is immutable for the engine's lifetime.
 ///
-/// The engine owns a small cache of immutable `core::PipelineContext`s —
-/// the DSP plans (band-pass taps, chirp reference, matched-filter
-/// spectra, FFT tables) shared read-only by every worker — so plans are
-/// built once per (chirp, sample-rate) combination instead of once per
-/// session. Results are bit-identical to context-free `core::try_localize`
-/// calls; only the redundant plan construction goes away.
+/// The engine owns a sharded cache of immutable `core::PipelineContext`s
+/// (runtime/context_cache.hpp) — the DSP plans (band-pass taps, chirp
+/// reference, matched-filter spectra, FFT tables) shared read-only by
+/// every worker — so plans are built once per (chirp, sample-rate)
+/// combination instead of once per session, and a pool of per-worker
+/// `core::SessionWorkspace`s (runtime/workspace_pool.hpp) so scratch is
+/// allocated once per worker instead of once per session. Results are
+/// bit-identical to context-free `core::try_localize` calls; only the
+/// redundant plan construction and allocator traffic go away.
 ///
 /// Telemetry: every session updates the `engine.*`, `pipeline.*`,
 /// `detector.*`, and `engine.pool.*` series on the registry (supplied or
@@ -153,32 +165,23 @@ class BatchEngine {
   [[nodiscard]] SessionReport run_one(const sim::Session& session,
                                       std::uint64_t session_id);
   void record(const SessionReport& report);
-  /// Shared DSP plans for this session's chirp + sample rate: cached when
-  /// possible, built fresh when the session is pathological (the per-stage
-  /// error mapping in try_localize then classifies any failure). May
-  /// return null for sessions whose plans cannot be built — try_localize
-  /// falls back to its local-context path and reports the stage error.
-  [[nodiscard]] std::shared_ptr<const core::PipelineContext> context_for(
-      const sim::Session& session);
   [[nodiscard]] std::future<SessionReport> enqueue(
       std::shared_ptr<const sim::Session> session);
 
   const core::PipelineConfig config_;
-  /// Declared before pool_ and channel_executor_: queued tasks and the
-  /// pool's own metric handles reference the registry while the pool
-  /// drains during destruction.
+  /// Declared before pool_: queued tasks and the pool's own metric handles
+  /// reference the registry while the pool drains during destruction.
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::shared_ptr<obs::Tracer> tracer_;
   Counters counters_;
   std::atomic<std::uint64_t> next_session_id_{0};
-  mutable std::mutex context_mutex_;
-  std::vector<std::shared_ptr<const core::PipelineContext>> contexts_;
-  /// Overlaps the two microphone channels of each session on the SAME pool
-  /// the sessions run on (help-draining while waiting, so nested fan-out
-  /// cannot deadlock and the engine never oversubscribes the machine).
-  /// Declared before pool_: queued session tasks reference it while the
-  /// pool drains during destruction.
-  std::unique_ptr<const core::PairExecutor> channel_executor_;
+  /// Shared immutable plans, sharded by configuration hash. Workers hit
+  /// this only when their memoized context does not match the session.
+  ContextCache contexts_;
+  /// Exclusive per-worker session state (workspace + memoized context),
+  /// leased for one session at a time. Declared before pool_: in-flight
+  /// sessions return their lease while the pool drains during destruction.
+  WorkspacePool workspaces_;
   ThreadPool pool_;  // declared last: workers must die before state above
 };
 

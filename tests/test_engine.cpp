@@ -11,9 +11,14 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "runtime/context_cache.hpp"
+#include "runtime/workspace_pool.hpp"
 #include "sim/scenario.hpp"
 
 namespace hyperear::runtime {
@@ -200,6 +205,77 @@ TEST(BatchEngine, RejectsInvalidConfigAtConstruction) {
 TEST(BatchEngine, DefaultsToAtLeastOneWorker) {
   BatchEngine engine({}, 0);
   EXPECT_GE(engine.thread_count(), 1u);
+}
+
+TEST(WorkspacePool, ConcurrentLeasesNeverShareState) {
+  // Exclusivity by construction: while a lease is alive its WorkerState
+  // must be visible to no other thread. Every worker records the state
+  // address it holds in a shared set — a duplicate insert means two leases
+  // aliased one workspace (also a data race tsan would flag).
+  WorkspacePool pool;
+  std::mutex mutex;
+  std::set<const WorkspacePool::WorkerState*> live;
+  std::atomic<bool> overlap{false};
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        WorkspacePool::Lease lease = pool.checkout();
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!live.insert(&*lease).second) overlap.store(true);
+        }
+        ++lease->sessions_served;  // mutate: tsan sees any aliasing
+        lease->workspace.reset();
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          live.erase(&*lease);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overlap.load());
+  // The pool grows to peak concurrency and no further.
+  EXPECT_GE(pool.created(), 1u);
+  EXPECT_LE(pool.created(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ContextCache, SharesPlansPerConfigurationAndIsolatesMismatches) {
+  ContextCache cache;
+  const core::PipelineConfig config;
+  const dsp::ChirpParams chirp;
+  const auto a = cache.acquire(config, chirp, 44100.0);
+  const auto b = cache.acquire(config, chirp, 44100.0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get()) << "same configuration must share one plan set";
+
+  const auto other_fs = cache.acquire(config, chirp, 48000.0);
+  ASSERT_NE(other_fs, nullptr);
+  EXPECT_NE(a.get(), other_fs.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Pathological configuration: null, never cached, never thrown.
+  const auto bad = cache.acquire(config, chirp, 0.0);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ContextCache, PlanKeyHashIsDeterministicAndFieldSensitive) {
+  const core::AspOptions asp;
+  const dsp::ChirpParams chirp;
+  const std::uint64_t h = core::plan_key_hash(asp, chirp, 44100.0);
+  EXPECT_EQ(h, core::plan_key_hash(asp, chirp, 44100.0));
+  EXPECT_NE(h, core::plan_key_hash(asp, chirp, 48000.0));
+  core::AspOptions other = asp;
+  other.bandpass_taps += 2;
+  EXPECT_NE(h, core::plan_key_hash(other, chirp, 44100.0));
+  dsp::ChirpParams shifted = chirp;
+  shifted.freq_high_hz += 100.0;
+  EXPECT_NE(h, core::plan_key_hash(asp, shifted, 44100.0));
 }
 
 TEST(ThreadPool, RunsEveryPostedTask) {

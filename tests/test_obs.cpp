@@ -288,8 +288,7 @@ TEST(Obs, PipelineResultBitIdenticalWithAndWithoutRegistry) {
   MetricsRegistry registry;
   Tracer tracer;
   const ObsContext obs{&registry, &tracer, 42};
-  const auto traced =
-      core::try_localize(session, {}, nullptr, nullptr, nullptr, &obs);
+  const auto traced = core::try_localize(session, {}, nullptr, &obs);
   ASSERT_TRUE(traced.has_value());
 
   // Metrics observe, never steer: every deterministic result field must be

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "core/asp.hpp"
 #include "core/pipeline.hpp"
+#include "core/session_workspace.hpp"
 #include "sim/scenario.hpp"
 
 namespace hyperear::core {
@@ -65,9 +66,10 @@ TEST(PipelineContext, TryLocalizeBitIdenticalWithAndWithoutContext) {
   const sim::Session s = small_session(601);
   const PipelineConfig config;
   const PipelineContext context(config, s.prior.chirp, s.audio.sample_rate);
+  SessionWorkspace workspace;
 
   const auto planless = try_localize(s, config);
-  const auto planned = try_localize(s, config, nullptr, &context);
+  const auto planned = try_localize(s, config, context, workspace);
   ASSERT_TRUE(planless.has_value());
   ASSERT_TRUE(planned.has_value());
   EXPECT_EQ(planless->valid, planned->valid);

@@ -199,8 +199,8 @@ int cmd_localize(const Args& args) {
   s.config.phone =
       args.get("phone", "s4") == "note3" ? sim::galaxy_note3() : sim::galaxy_s4();
   const std::unique_ptr<CliObs> obs = make_obs(args);
-  const auto outcome = core::try_localize(s, {}, nullptr, nullptr, nullptr,
-                                          obs != nullptr ? &obs->context : nullptr);
+  const auto outcome = core::try_localize(
+      s, {}, nullptr, obs != nullptr ? &obs->context : nullptr);
   const int code = print_fix(outcome);
   if (obs != nullptr && !obs->write()) return 1;
   return code;
@@ -211,8 +211,8 @@ int cmd_demo(const Args& args) {
   sim::ScenarioConfig c = config_from(args);
   const sim::Session s = sim::make_localization_session(c, rng);
   const std::unique_ptr<CliObs> obs = make_obs(args);
-  const auto outcome = core::try_localize(s, {}, nullptr, nullptr, nullptr,
-                                          obs != nullptr ? &obs->context : nullptr);
+  const auto outcome = core::try_localize(
+      s, {}, nullptr, obs != nullptr ? &obs->context : nullptr);
   const int code = print_fix(outcome);
   if (obs != nullptr) obs->write();
   if (code == 0) {

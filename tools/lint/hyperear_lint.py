@@ -20,6 +20,17 @@ applied regex/AST-lite style over the checked-in sources:
                 (it drags an ELF-wide static initializer into every TU).
   suppressions  every NOLINT escape hatch carries a written reason:
                 `// NOLINT(<check>) -- <why>`.
+  hotpath       files listed in tools/lint/hotpath_files.txt run once per
+                session in the batch engine's steady state, where buffers
+                come from a leased SessionWorkspace and allocate nothing.
+                In those files, std::vector value declarations (locals,
+                by-value parameters, by-value returns) and resize/reserve
+                on receivers that are not workspace-owned (`ws.*`, `out`,
+                `workspace*`, or an ArenaVector declared in the file) are
+                flagged. Cold-path code in a hot file — plan construction,
+                convenience wrappers returning owning containers —
+                suppresses with `NOLINT(hyperear-hotpath) -- <why>`
+                (NEXTLINE/BEGIN/END work too, reasons required as usual).
   whitespace    no trailing whitespace, no tabs in C++ sources, no CRLF,
                 final newline present — the formatting floor that holds
                 even where clang-format isn't installed.
@@ -48,9 +59,24 @@ LIBRARY_PREFIX = "src/"
 # Telemetry layers where the monotonic clock is sanctioned.
 STEADY_CLOCK_ALLOWED = ("src/obs/", "src/runtime/")
 
+# Checked-in manifest of steady-state per-session files (hotpath rule).
+HOTPATH_MANIFEST = "tools/lint/hotpath_files.txt"
+
 LINE_COMMENT = re.compile(r"//.*$")
 
-RULES_HELP = "determinism ownership logging headers suppressions whitespace"
+RULES_HELP = "determinism ownership logging headers suppressions hotpath whitespace"
+
+
+def load_hotpath_manifest(root: Path) -> set[str]:
+    manifest = root / HOTPATH_MANIFEST
+    if not manifest.is_file():
+        return set()
+    entries: set[str] = set()
+    for line in manifest.read_text(encoding="utf-8").splitlines():
+        entry = line.split("#", 1)[0].strip()
+        if entry:
+            entries.add(entry.replace("\\", "/"))
+    return entries
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -85,6 +111,8 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[dict] = []
+        self.hotpath_files = load_hotpath_manifest(root)
+        self.hotpath_seen: set[str] = set()
 
     def add(self, rule: str, path: Path, line_no: int, message: str) -> None:
         self.findings.append(
@@ -112,9 +140,14 @@ class Linter:
         is_header = path.suffix in {".hpp", ".h"}
         is_library = rel.startswith(LIBRARY_PREFIX)
         steady_ok = rel.startswith(STEADY_CLOCK_ALLOWED)
-
-        if is_header and "#pragma once" not in text:
-            self.add("headers", path, 1, "header missing #pragma once")
+        is_hotpath = rel in self.hotpath_files
+        if is_hotpath:
+            self.hotpath_seen.add(rel)
+            # ArenaVector-backed buffers bump a workspace arena, not the
+            # heap: resize/reserve on them is sanctioned by declaration.
+            arena_names = set(re.findall(r"\bArenaVector<[^>]*>\s+(\w+)", text))
+            hot_block_suppressed = False
+            hot_next_suppressed = False
 
         in_block_comment = False
         for idx, line in enumerate(lines, start=1):
@@ -145,6 +178,22 @@ class Linter:
                 self.check_determinism(path, idx, code, steady_ok)
                 self.check_ownership(path, idx, code)
                 self.check_logging(path, idx, code)
+            if is_hotpath:
+                # Suppression directives live in comments: read the raw
+                # line. The rule honors the project's NOLINT-with-reason
+                # forms when the named check mentions "hotpath".
+                if self.HOT_NOLINT_BEGIN.search(line):
+                    hot_block_suppressed = True
+                suppressed = (
+                    hot_block_suppressed
+                    or hot_next_suppressed
+                    or self.HOT_NOLINT_LINE.search(line) is not None
+                )
+                if self.HOT_NOLINT_END.search(line):
+                    hot_block_suppressed = False
+                hot_next_suppressed = self.HOT_NOLINT_NEXTLINE.search(line) is not None
+                if not suppressed:
+                    self.check_hotpath(path, idx, code, arena_names)
 
     def check_whitespace(self, path: Path, idx: int, line: str) -> None:
         stripped = line.rstrip("\r")
@@ -236,6 +285,78 @@ class Linter:
                 "`NOLINT(<check>) -- <why>`",
             )
 
+    HOT_NOLINT_LINE = re.compile(r"NOLINT\([^)]*hotpath[^)]*\)")
+    HOT_NOLINT_NEXTLINE = re.compile(r"NOLINTNEXTLINE\([^)]*hotpath[^)]*\)")
+    HOT_NOLINT_BEGIN = re.compile(r"NOLINTBEGIN\([^)]*hotpath[^)]*\)")
+    HOT_NOLINT_END = re.compile(r"NOLINTEND\([^)]*hotpath[^)]*\)")
+
+    HOT_RESIZE = re.compile(r"([A-Za-z_]\w*(?:(?:\.|->)\w+)*)\s*\.\s*(resize|reserve)\s*\(")
+    # Receivers that bump workspace-owned storage, not the heap: leased
+    # DetectorWorkspace fields (`ws.*`), the caller-owned `_into` output
+    # convention (`out`), and anything spelled as a workspace.
+    HOT_SANCTIONED_RECEIVERS = {"ws", "out", "workspace"}
+
+    def check_hotpath(
+        self, path: Path, idx: int, code: str, arena_names: set[str]
+    ) -> None:
+        for _ in self.find_vector_value_decls(code):
+            self.add(
+                "hotpath",
+                path,
+                idx,
+                "std::vector value construction in a steady-state file: "
+                "route buffers through SessionWorkspace/DetectorWorkspace, "
+                "or mark cold-path code NOLINT(hyperear-hotpath) -- <why>",
+            )
+        for m in self.HOT_RESIZE.finditer(code):
+            receiver_head = re.split(r"\.|->", m.group(1))[0]
+            if receiver_head in self.HOT_SANCTIONED_RECEIVERS:
+                continue
+            if receiver_head in arena_names or "workspace" in receiver_head:
+                continue
+            self.add(
+                "hotpath",
+                path,
+                idx,
+                f"{m.group(2)} on non-workspace buffer `{m.group(1)}` in a "
+                "steady-state file: grow workspace-owned storage instead, "
+                "or mark cold-path code NOLINT(hyperear-hotpath) -- <why>",
+            )
+
+    @staticmethod
+    def find_vector_value_decls(code: str) -> list[int]:
+        """Positions of `std::vector<...>` spellings that declare a VALUE
+        (local, by-value parameter, by-value return) — i.e. the template is
+        followed by an identifier rather than `&`, `*`, `::`, `(` or `{`.
+        Angle brackets are counted so nested template arguments parse."""
+        hits: list[int] = []
+        start = 0
+        while True:
+            at = code.find("std::vector", start)
+            if at < 0:
+                return hits
+            i = at + len("std::vector")
+            while i < len(code) and code[i].isspace():
+                i += 1
+            if i >= len(code) or code[i] != "<":
+                start = at + 1
+                continue
+            depth = 0
+            while i < len(code):
+                if code[i] == "<":
+                    depth += 1
+                elif code[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1  # past the closing '>'
+            while i < len(code) and code[i].isspace():
+                i += 1
+            if i < len(code) and (code[i].isalpha() or code[i] == "_"):
+                hits.append(at)
+            start = at + 1
+
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
@@ -246,6 +367,15 @@ class Linter:
             for path in sorted(base.rglob("*")):
                 if path.suffix in CXX_EXTENSIONS and path.is_file():
                     self.lint_file(path)
+        # A manifest entry that matches no scanned file is a silent hole in
+        # the allocation guard (renamed file, stale path): fail loudly.
+        for missing in sorted(self.hotpath_files - self.hotpath_seen):
+            self.add(
+                "hotpath",
+                self.root / HOTPATH_MANIFEST,
+                1,
+                f"manifest lists `{missing}` but no such file was scanned",
+            )
         # This file states its own rule patterns; it is python, not scanned.
         return 1 if self.findings else 0
 
