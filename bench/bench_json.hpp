@@ -94,6 +94,42 @@ inline bool validate_bench_rows(const std::vector<BenchRow>& rows,
       }
     }
   }
+  // Contract of the streaming bench (BENCH_streaming.json): the cadence
+  // ladder must stay complete, and every peak-retention row must report a
+  // window that is (a) actually measured and (b) smaller than one
+  // channel's full retention — the bounded-memory claim the streaming
+  // subsystem makes, enforced at the schema layer so a regression fails
+  // the bench-smoke run rather than surviving into a committed JSON.
+  bool any_streaming = false;
+  for (const BenchRow& r : rows) any_streaming = any_streaming || r.op == "streaming_ingest";
+  if (any_streaming) {
+    for (const char* rung :
+         {"chunk-441", "chunk-4410", "chunk-44100", "chunk-whole"}) {
+      bool found = false;
+      for (const BenchRow& r : rows) {
+        found = found || (r.op == "streaming_ingest" && r.variant == rung);
+      }
+      if (!found) {
+        return fail(std::string("streaming_ingest rows missing cadence variant ") +
+                    rung);
+      }
+    }
+    bool any_peak = false;
+    for (const BenchRow& r : rows) {
+      if (r.op != "streaming_peak_retained") continue;
+      any_peak = true;
+      if (r.bytes_allocated == 0) {
+        return fail("streaming_peak_retained row reports an empty window");
+      }
+      if (r.bytes_allocated >= r.n * sizeof(double)) {
+        return fail("streaming_peak_retained window not bounded below full "
+                    "retention (variant " + r.variant + ")");
+      }
+    }
+    if (!any_peak) {
+      return fail("streaming rows present but no streaming_peak_retained row");
+    }
+  }
   return true;
 }
 

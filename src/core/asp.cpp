@@ -16,16 +16,16 @@
 
 namespace hyperear::core {
 
-namespace {
-
-void convert_events(const std::vector<dsp::Detection>& detections,
-                    std::vector<ChirpEvent>& out) {
+void convert_chirp_events(const std::vector<dsp::Detection>& detections,
+                          std::vector<ChirpEvent>& out) {
   out.clear();
   out.reserve(detections.size());
   for (const dsp::Detection& d : detections) {
     out.push_back({d.time_s, d.score, d.amplitude, d.echo_competition});
   }
 }
+
+namespace {
 
 /// `estimate_period` with caller-owned scratch: the arrival-time and index
 /// series live in the session arena, so the steady-state batch path fits
@@ -108,13 +108,26 @@ AspResult preprocess_audio_impl(const sim::StereoRecording& recording,
     } else {
       context->detector().detect_into(mic, ch.detector, ch.detections, obs);
     }
-    convert_events(ch.detections, events);
+    convert_chirp_events(ch.detections, events);
   };
   const SerialPairExecutor serial;
   const PairExecutor& exec = executor != nullptr ? *executor : serial;
   exec.run_pair([&] { process_channel(recording.mic1, 0, result.mic1); },
                 [&] { process_channel(recording.mic2, 1, result.mic2); });
 
+  finish_asp(result, nominal_period, calibration_duration, options,
+             workspace->arena(), obs);
+  return result;
+}
+
+}  // namespace
+
+void finish_asp(AspResult& result, double nominal_period, double calibration_duration,
+                const AspOptions& options, MonotonicArena& arena,
+                const obs::ObsContext* obs) {
+  result.estimated_period = nominal_period;
+  result.sfo_ppm = 0.0;
+  result.sfo_estimated = false;
   if (options.sfo_correction) {
     // Average the per-mic estimates when both are available (the two mics
     // share the phone clock, so their true periods are identical).
@@ -124,8 +137,7 @@ AspResult preprocess_audio_impl(const sim::StereoRecording& recording,
       try {
         sum += estimate_period_with_arena(*events, nominal_period,
                                           calibration_duration,
-                                          options.min_calibration_events,
-                                          workspace->arena());
+                                          options.min_calibration_events, arena);
         ++count;
       } catch (const DetectionError&) {
         // fall through; the other mic may still provide an estimate
@@ -148,10 +160,7 @@ AspResult preprocess_audio_impl(const sim::StereoRecording& recording,
       m.histogram("asp.sfo_ppm", kPpmBounds).observe(result.sfo_ppm);
     }
   }
-  return result;
 }
-
-}  // namespace
 
 double estimate_period(const std::vector<ChirpEvent>& events, double nominal_period,
                        double window_end, std::size_t min_events) {

@@ -19,8 +19,16 @@
 ///     head of the session provides arrivals whose spacing is exactly the
 ///     beacon period as seen by the phone clock.
 
+namespace hyperear {
+class MonotonicArena;
+}
+
 namespace hyperear::obs {
 struct ObsContext;
+}
+
+namespace hyperear::dsp {
+struct Detection;
 }
 
 namespace hyperear::core {
@@ -119,5 +127,24 @@ class SessionWorkspace;
 [[nodiscard]] double estimate_period(const std::vector<ChirpEvent>& events,
                                      double nominal_period, double window_end,
                                      std::size_t min_events);
+
+/// Convert raw matched-filter detections to ChirpEvents (clears `out`).
+/// The per-channel half of ASP that `preprocess_audio` runs after
+/// detection; public so an incremental ingest path (core::StreamingSession)
+/// can assemble the same AspResult from streamed detections.
+void convert_chirp_events(const std::vector<dsp::Detection>& detections,
+                          std::vector<ChirpEvent>& out);
+
+/// The post-detection half of ASP: given `result` with its per-mic event
+/// lists already filled, run the SFO estimate over the calibration head
+/// (exactly as `preprocess_audio` does — per-mic fits averaged, falling
+/// back to the nominal period when neither mic has enough arrivals) and
+/// record the stage's SFO telemetry on `obs`. `arena` backs the fit's
+/// scratch series. Public for the same reason as `convert_chirp_events`:
+/// `preprocess_audio` and the streaming path share it, so a batch and a
+/// streamed session produce bit-identical AspResults.
+void finish_asp(AspResult& result, double nominal_period, double calibration_duration,
+                const AspOptions& options, MonotonicArena& arena,
+                const obs::ObsContext* obs = nullptr);
 
 }  // namespace hyperear::core

@@ -3,6 +3,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "core/pipeline_context.hpp"
+#include "core/pipeline_detail.hpp"
 #include "core/session_workspace.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -22,12 +23,11 @@ std::optional<PipelineError> config_violation(bool bad, const std::string& what)
 constexpr double kStageMsBounds[] = {1.0,  2.0,   5.0,   10.0,  20.0,
                                      50.0, 100.0, 200.0, 500.0, 1000.0};
 
-/// Pipeline-level registry updates for one finished attempt. All derived
-/// from values the pipeline computed anyway — observing costs no extra
-/// clock reads and cannot perturb the result.
-void record_pipeline_metrics(obs::MetricsRegistry& m, const StageMetrics& stage,
-                             const LocalizationResult* result,
-                             const PipelineError* error) {
+}  // namespace
+
+void detail::record_pipeline_metrics(obs::MetricsRegistry& m, const StageMetrics& stage,
+                                     const LocalizationResult* result,
+                                     const PipelineError* error) {
   m.counter("pipeline.sessions_total").inc();
   m.histogram("pipeline.asp_ms", kStageMsBounds).observe(stage.asp_ms);
   if (error != nullptr) {
@@ -47,7 +47,75 @@ void record_pipeline_metrics(obs::MetricsRegistry& m, const StageMetrics& stage,
   }
 }
 
-}  // namespace
+Expected<LocalizationResult, PipelineError> detail::localize_from_asp(
+    const AspResult& asp, const sim::Session& session, const PipelineConfig& config,
+    StageMetrics& stage, const obs::ObsContext* obs,
+    const obs::TraceSpan* session_span) {
+  obs::MetricsRegistry* registry = obs != nullptr ? obs->metrics : nullptr;
+  obs::Tracer* tracer = obs != nullptr ? obs->tracer : nullptr;
+  const std::uint64_t sid = obs != nullptr ? obs->session_id : 0;
+
+  const auto fail = [&](const std::exception& e, PipelineStage failed_stage) {
+    PipelineError error = error_from_exception(e, failed_stage);
+    if (registry != nullptr) {
+      record_pipeline_metrics(*registry, stage, nullptr, &error);
+    }
+    return make_unexpected(std::move(error));
+  };
+
+  imu::MotionSignals motion;
+  try {
+    obs::TraceSpan span(tracer, "msp", sid, session_span);
+    const obs::MonotonicTime t0 = obs::monotonic_now();
+    motion = imu::preprocess(session.imu, config.msp);
+    stage.msp_ms = obs::ms_since(t0);
+  } catch (const std::exception& e) {
+    return fail(e, PipelineStage::msp);
+  }
+
+  const double mic_separation = session.config.phone.mic_separation;
+  LocalizationResult result;
+  result.estimated_period = asp.estimated_period;
+  result.sfo_ppm = asp.sfo_ppm;
+
+  if (session.prior.two_statures) {
+    try {
+      obs::TraceSpan span(tracer, "ple", sid, session_span);
+      const obs::MonotonicTime t0 = obs::monotonic_now();
+      result.ple = localize_3d(asp, motion, session.prior, mic_separation,
+                               config.ple_options());
+      stage.solve_ms = obs::ms_since(t0);
+    } catch (const std::exception& e) {
+      return fail(e, PipelineStage::ple);
+    }
+    result.valid = result.ple->valid;
+    result.estimated_position = result.ple->estimated_position;
+    result.range = result.ple->projected_distance;
+    result.slides_used = result.ple->slides_used;
+    stage.slides_segmented = static_cast<int>(result.ple->slides.size());
+    stage.slides_accepted = result.ple->slides_used;
+  } else {
+    try {
+      obs::TraceSpan span(tracer, "ttl", sid, session_span);
+      const obs::MonotonicTime t0 = obs::monotonic_now();
+      result.ttl = localize_2d(asp, motion, session.prior, mic_separation, config.ttl);
+      stage.solve_ms = obs::ms_since(t0);
+    } catch (const std::exception& e) {
+      return fail(e, PipelineStage::ttl);
+    }
+    result.valid = result.ttl->valid;
+    result.estimated_position = result.ttl->estimated_position;
+    result.range = result.ttl->aggregated_l;
+    result.slides_used = result.ttl->accepted_count;
+    stage.slides_segmented = static_cast<int>(result.ttl->slides.size());
+    stage.slides_accepted = result.ttl->accepted_count;
+  }
+
+  if (registry != nullptr) {
+    record_pipeline_metrics(*registry, stage, &result, nullptr);
+  }
+  return result;
+}
 
 std::optional<PipelineError> PipelineConfig::validate() const {
   if (auto e = config_violation(asp.bandpass_taps < 3, "asp.bandpass_taps must be >= 3"))
@@ -128,19 +196,10 @@ Expected<LocalizationResult, PipelineError> try_localize_impl(
 
   if (std::optional<PipelineError> bad = config.validate()) {
     if (registry != nullptr) {
-      record_pipeline_metrics(*registry, local, nullptr, &*bad);
+      detail::record_pipeline_metrics(*registry, local, nullptr, &*bad);
     }
     return make_unexpected(*std::move(bad));
   }
-
-  const auto fail = [&](const std::exception& e, PipelineStage stage) {
-    if (metrics != nullptr) *metrics = local;
-    PipelineError error = error_from_exception(e, stage);
-    if (registry != nullptr) {
-      record_pipeline_metrics(*registry, local, nullptr, &error);
-    }
-    return make_unexpected(std::move(error));
-  };
 
   AspResult asp;
   try {
@@ -167,62 +226,18 @@ Expected<LocalizationResult, PipelineError> try_localize_impl(
     local.chirps_mic2 = asp.mic2.size();
     local.sfo_estimated = asp.sfo_estimated;
   } catch (const std::exception& e) {
-    return fail(e, PipelineStage::asp);
-  }
-
-  imu::MotionSignals motion;
-  try {
-    obs::TraceSpan span(tracer, "msp", sid, &session_span);
-    const obs::MonotonicTime t0 = obs::monotonic_now();
-    motion = imu::preprocess(session.imu, config.msp);
-    local.msp_ms = obs::ms_since(t0);
-  } catch (const std::exception& e) {
-    return fail(e, PipelineStage::msp);
-  }
-
-  const double mic_separation = session.config.phone.mic_separation;
-  LocalizationResult result;
-  result.estimated_period = asp.estimated_period;
-  result.sfo_ppm = asp.sfo_ppm;
-
-  if (session.prior.two_statures) {
-    try {
-      obs::TraceSpan span(tracer, "ple", sid, &session_span);
-      const obs::MonotonicTime t0 = obs::monotonic_now();
-      result.ple = localize_3d(asp, motion, session.prior, mic_separation,
-                               config.ple_options());
-      local.solve_ms = obs::ms_since(t0);
-    } catch (const std::exception& e) {
-      return fail(e, PipelineStage::ple);
+    if (metrics != nullptr) *metrics = local;
+    PipelineError error = error_from_exception(e, PipelineStage::asp);
+    if (registry != nullptr) {
+      detail::record_pipeline_metrics(*registry, local, nullptr, &error);
     }
-    result.valid = result.ple->valid;
-    result.estimated_position = result.ple->estimated_position;
-    result.range = result.ple->projected_distance;
-    result.slides_used = result.ple->slides_used;
-    local.slides_segmented = static_cast<int>(result.ple->slides.size());
-    local.slides_accepted = result.ple->slides_used;
-  } else {
-    try {
-      obs::TraceSpan span(tracer, "ttl", sid, &session_span);
-      const obs::MonotonicTime t0 = obs::monotonic_now();
-      result.ttl = localize_2d(asp, motion, session.prior, mic_separation, config.ttl);
-      local.solve_ms = obs::ms_since(t0);
-    } catch (const std::exception& e) {
-      return fail(e, PipelineStage::ttl);
-    }
-    result.valid = result.ttl->valid;
-    result.estimated_position = result.ttl->estimated_position;
-    result.range = result.ttl->aggregated_l;
-    result.slides_used = result.ttl->accepted_count;
-    local.slides_segmented = static_cast<int>(result.ttl->slides.size());
-    local.slides_accepted = result.ttl->accepted_count;
+    return make_unexpected(std::move(error));
   }
 
+  Expected<LocalizationResult, PipelineError> r =
+      detail::localize_from_asp(asp, session, config, local, obs, &session_span);
   if (metrics != nullptr) *metrics = local;
-  if (registry != nullptr) {
-    record_pipeline_metrics(*registry, local, &result, nullptr);
-  }
-  return result;
+  return r;
 }
 
 }  // namespace

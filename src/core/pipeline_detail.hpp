@@ -1,0 +1,44 @@
+#pragma once
+
+#include "common/expected.hpp"
+#include "core/pipeline.hpp"
+
+/// @file pipeline_detail.hpp
+/// The pipeline's back half, factored out of `try_localize` so the
+/// incremental ingest path (core/streaming_session.hpp) can run the exact
+/// same instructions from MSP onward. Not a stable public surface — batch
+/// callers use `try_localize`; these exist so the streamed and batch
+/// spellings cannot drift (one implementation, two front ends).
+
+namespace hyperear::obs {
+struct ObsContext;
+class TraceSpan;
+class MetricsRegistry;
+}  // namespace hyperear::obs
+
+namespace hyperear::core::detail {
+
+/// Everything `try_localize` does after the ASP stage: MSP preprocessing,
+/// the TTL (2D) or PLE (3D) solve chosen by the session prior, stage spans
+/// and wall-time metrics into `stage`, and the pipeline-level registry
+/// updates for the attempt's outcome. `stage` must carry the already-filled
+/// ASP fields (asp_ms, chirp counts, sfo_estimated); msp/solve fields are
+/// written here. `session_span` parents the per-stage trace spans (null:
+/// stages become root spans, as with a null tracer).
+///
+/// The caller owns error classification for the stages BEFORE this call
+/// (config validation, asp) and copies `stage` to its sink afterwards.
+[[nodiscard]] Expected<LocalizationResult, PipelineError> localize_from_asp(
+    const AspResult& asp, const sim::Session& session, const PipelineConfig& config,
+    StageMetrics& stage, const obs::ObsContext* obs,
+    const obs::TraceSpan* session_span);
+
+/// Pipeline-level registry updates for one finished attempt. All derived
+/// from values the pipeline computed anyway — observing costs no extra
+/// clock reads and cannot perturb the result. Exactly one of
+/// `result`/`error` is non-null.
+void record_pipeline_metrics(obs::MetricsRegistry& m, const StageMetrics& stage,
+                             const LocalizationResult* result,
+                             const PipelineError* error);
+
+}  // namespace hyperear::core::detail

@@ -66,108 +66,139 @@ void MatchedFilterDetector::detect_into(std::span<const double> recording,
                                         DetectorWorkspace& ws,
                                         std::vector<Detection>& out,
                                         const obs::ObsContext* obs) const {
-  using Candidate = DetectorWorkspace::Candidate;
-  out.clear();
-  if (recording.size() < reference_.size()) return;
-  std::size_t chunks_streamed = 0;
+  // The batch spelling IS the streaming protocol run to completion over
+  // the fixed chunk schedule — one implementation, so the two paths cannot
+  // drift. A recording shorter than the reference streams zero chunks and
+  // still passes through stream_end, which clears the output and staging
+  // and keeps the telemetry consistent (the old early return skipped both).
+  DetectorStream stream;
+  stream_begin(stream, ws);
   const std::size_t ref_len = reference_.size();
-  const auto min_spacing =
-      static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
+  const std::size_t chunk = config_.chunk;
+  while (stream.next_start < recording.size()) {
+    const std::size_t start = stream.next_start;
+    const std::size_t end = std::min(start + chunk, recording.size());
+    if (end - start < ref_len) break;
+    const bool final_chunk = end == recording.size();
+    stream_chunk(recording.subspan(start, end - start), final_chunk, stream, ws);
+    if (final_chunk) break;
+  }
+  stream_end(stream, ws, out, obs);
+}
 
-  // Pass 1: collect every above-threshold local maximum per chunk, WITHOUT
-  // spacing-gating inside the chunk — spacing is a global property and is
-  // enforced once over all chunks below, so the detections cannot depend on
-  // where the chunk boundaries happened to fall. Correlation lags are
-  // contiguous across chunks (chunks overlap by ref_len - 1 samples), and
-  // the local-maximum test reads its neighbors across chunk boundaries: a
+void MatchedFilterDetector::stream_begin(DetectorStream& stream,
+                                         DetectorWorkspace& ws) const {
+  // Pass 1 (run chunk by chunk in stream_chunk) collects every
+  // above-threshold local maximum per chunk, WITHOUT spacing-gating inside
+  // the chunk — spacing is a global property and is enforced once over all
+  // chunks in stream_end, so the detections cannot depend on where the
+  // chunk boundaries happened to fall. Correlation lags are contiguous
+  // across chunks (chunks overlap by ref_len - 1 samples), and the
+  // local-maximum test reads its neighbors across chunk boundaries: a
   // first-lag candidate checks the previous chunk's last value, and a
   // last-lag candidate is held pending until the next chunk's first value
   // is known.
+  stream = DetectorStream{};
   ws.candidates.clear();
-  std::optional<Candidate> pending;
-  double prev_last_masked = 0.0;
-  bool have_prev = false;
+}
 
-  const std::size_t chunk = config_.chunk;
-  const std::size_t hop = chunk - (ref_len - 1);
+void MatchedFilterDetector::stream_chunk(std::span<const double> seg, bool final_chunk,
+                                         DetectorStream& stream,
+                                         DetectorWorkspace& ws) const {
+  using Candidate = DetectorWorkspace::Candidate;
+  const std::size_t ref_len = reference_.size();
+  require(seg.size() >= ref_len && seg.size() <= config_.chunk,
+          "stream_chunk: segment must span [reference, chunk] samples");
+  require(final_chunk || seg.size() == config_.chunk,
+          "stream_chunk: only the final chunk may be short");
+  const auto min_spacing =
+      static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
   const auto exclusion = static_cast<std::size_t>(1.2e-3 * config_.sample_rate);
-  for (std::size_t start = 0; start < recording.size(); start += hop) {
-    const std::size_t end = std::min(start + chunk, recording.size());
-    if (end - start < ref_len) break;
-    const std::span<const double> seg = recording.subspan(start, end - start);
-    ++chunks_streamed;
-    correlate_chunk(seg, ws);
-    const std::vector<double>& raw = ws.raw;
-    normalize_correlation_into(raw, seg, ref_len, reference_norm_, ws.prefix, ws.norm);
-    // Candidate gating on the normalized statistic, ranking on amplitude:
-    // suppress sub-threshold shapes, then find local maxima of |raw|.
-    ws.masked.resize(raw.size());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      ws.masked[i] = ws.norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
-    }
-    const std::vector<double>& masked = ws.masked;
+  const std::size_t start = stream.next_start;
 
-    // The previous chunk's boundary candidate can be resolved now that its
-    // right neighbor (this chunk's first lag) is known.
-    if (pending) {
-      if (pending->key > masked.front()) ws.candidates.push_back(*pending);
-      pending.reset();
-    }
-
-    const bool final_chunk = end == recording.size();
-    for (std::size_t i = 0; i < masked.size(); ++i) {
-      if (masked[i] < 1e-12) continue;
-      const bool left_ok = i > 0 ? masked[i] >= masked[i - 1]
-                                 : (!have_prev || masked[i] >= prev_last_masked);
-      if (!left_ok) continue;
-      const bool last_lag = i + 1 == masked.size();
-      bool defer = false;
-      if (!last_lag) {
-        if (!(masked[i] > masked[i + 1])) continue;
-      } else if (!final_chunk) {
-        defer = true;  // right neighbor lives in the next chunk
-      }
-
-      // Refine timing on the raw correlation around the winning sample.
-      const Peak refined = refine_peak(raw, i);
-      Detection d;
-      d.time_s =
-          (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
-      d.amplitude = std::abs(refined.value);
-      d.score = ws.norm[i];
-      // Echo competition: strongest |raw| local max in the same window but
-      // outside the exclusion zone around the winner (the autocorrelation
-      // main lobe plus near sidelobes span ~1 ms; only arrivals beyond that
-      // are genuine competing paths).
-      const std::size_t lo = i > min_spacing ? i - min_spacing : 0;
-      const std::size_t hi = std::min(i + min_spacing, raw.size() - 1);
-      double runner = 0.0;
-      for (std::size_t j = lo + 1; j + 1 <= hi; ++j) {
-        const std::size_t gap = j > i ? j - i : i - j;
-        if (gap < exclusion) continue;
-        const double v = std::abs(raw[j]);
-        if (v > runner && std::abs(raw[j]) >= std::abs(raw[j - 1]) &&
-            std::abs(raw[j]) > std::abs(raw[j + 1])) {
-          runner = v;
-        }
-      }
-      d.echo_competition = d.amplitude > 0.0 ? runner / d.amplitude : 0.0;
-
-      Candidate c{d, masked[i], start + i};
-      if (defer) {
-        pending = c;
-      } else {
-        ws.candidates.push_back(c);
-      }
-    }
-    prev_last_masked = masked.back();
-    have_prev = true;
-    if (final_chunk) break;
+  ++stream.chunks_streamed;
+  correlate_chunk(seg, ws);
+  const std::vector<double>& raw = ws.raw;
+  normalize_correlation_into(raw, seg, ref_len, reference_norm_, ws.prefix, ws.norm);
+  // Candidate gating on the normalized statistic, ranking on amplitude:
+  // suppress sub-threshold shapes, then find local maxima of |raw|.
+  ws.masked.resize(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    ws.masked[i] = ws.norm[i] >= config_.threshold ? std::abs(raw[i]) : 0.0;
   }
+  const std::vector<double>& masked = ws.masked;
+
+  // The previous chunk's boundary candidate can be resolved now that its
+  // right neighbor (this chunk's first lag) is known.
+  if (stream.pending) {
+    if (stream.pending->key > masked.front()) ws.candidates.push_back(*stream.pending);
+    stream.pending.reset();
+  }
+
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    if (masked[i] < 1e-12) continue;
+    const bool left_ok = i > 0 ? masked[i] >= masked[i - 1]
+                               : (!stream.have_prev || masked[i] >= stream.prev_last_masked);
+    if (!left_ok) continue;
+    const bool last_lag = i + 1 == masked.size();
+    bool defer = false;
+    if (!last_lag) {
+      if (!(masked[i] > masked[i + 1])) continue;
+    } else if (!final_chunk) {
+      defer = true;  // right neighbor lives in the next chunk
+    }
+
+    // Refine timing on the raw correlation around the winning sample.
+    const Peak refined = refine_peak(raw, i);
+    Detection d;
+    d.time_s =
+        (static_cast<double>(start) + refined.refined_index) / config_.sample_rate;
+    d.amplitude = std::abs(refined.value);
+    d.score = ws.norm[i];
+    // Echo competition: strongest |raw| local max in the same window but
+    // outside the exclusion zone around the winner (the autocorrelation
+    // main lobe plus near sidelobes span ~1 ms; only arrivals beyond that
+    // are genuine competing paths).
+    const std::size_t lo = i > min_spacing ? i - min_spacing : 0;
+    const std::size_t hi = std::min(i + min_spacing, raw.size() - 1);
+    double runner = 0.0;
+    for (std::size_t j = lo + 1; j + 1 <= hi; ++j) {
+      const std::size_t gap = j > i ? j - i : i - j;
+      if (gap < exclusion) continue;
+      const double v = std::abs(raw[j]);
+      if (v > runner && std::abs(raw[j]) >= std::abs(raw[j - 1]) &&
+          std::abs(raw[j]) > std::abs(raw[j + 1])) {
+        runner = v;
+      }
+    }
+    d.echo_competition = d.amplitude > 0.0 ? runner / d.amplitude : 0.0;
+
+    Candidate c{d, masked[i], start + i};
+    if (defer) {
+      stream.pending = c;
+    } else {
+      ws.candidates.push_back(c);
+    }
+  }
+  stream.prev_last_masked = masked.back();
+  stream.have_prev = true;
+  stream.next_start = start + (config_.chunk - (ref_len - 1));
+}
+
+void MatchedFilterDetector::stream_end(DetectorStream& stream, DetectorWorkspace& ws,
+                                       std::vector<Detection>& out,
+                                       const obs::ObsContext* obs) const {
+  using Candidate = DetectorWorkspace::Candidate;
+  out.clear();
+  const auto min_spacing =
+      static_cast<std::size_t>(config_.min_spacing_s * config_.sample_rate);
   // The recording ended right at a chunk boundary (the tail was shorter
   // than the reference): the held-back candidate has no right neighbor and
   // stands.
-  if (pending) ws.candidates.push_back(*pending);
+  if (stream.pending) {
+    ws.candidates.push_back(*stream.pending);
+    stream.pending.reset();
+  }
 
   // Pass 2: enforce min_spacing once, globally, strongest-first — the same
   // greedy rule find_peaks applies inside a single chunk, so two arrivals
@@ -216,7 +247,7 @@ void MatchedFilterDetector::detect_into(std::span<const double> recording,
 
   if (obs != nullptr && obs->metrics != nullptr) {
     obs::MetricsRegistry& m = *obs->metrics;
-    m.counter("detector.chunks_total").inc(static_cast<double>(chunks_streamed));
+    m.counter("detector.chunks_total").inc(static_cast<double>(stream.chunks_streamed));
     m.counter("detector.candidates_total").inc(static_cast<double>(ws.candidates.size()));
     m.counter("detector.detections_total").inc(static_cast<double>(out.size()));
     static constexpr double kScoreBounds[] = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};

@@ -84,6 +84,27 @@ struct DetectorWorkspace {
   std::vector<Candidate> selected;    ///< pass-2 staging
 };
 
+/// Resumable cursor for incremental (streaming) detection: the cross-chunk
+/// state of `detect_into`'s pass-1 loop, lifted out so a caller can run the
+/// chunk schedule itself as samples arrive. Plain data — persist one per
+/// live stream (next to the stream's DetectorWorkspace, whose `candidates`
+/// vector accumulates the pass-1 output between calls) and drive it with
+/// MatchedFilterDetector::stream_begin / stream_chunk / stream_end.
+/// `detect_into` is itself written as begin -> chunk loop -> end over this
+/// struct, so the streamed and batch spellings share every instruction.
+struct DetectorStream {
+  /// A last-lag boundary candidate held until the next chunk's first
+  /// normalized value resolves its right-neighbor comparison.
+  std::optional<DetectorWorkspace::Candidate> pending;
+  double prev_last_masked = 0.0;  ///< previous chunk's final masked value
+  bool have_prev = false;
+  std::size_t chunks_streamed = 0;
+  /// Recording index of the next chunk's first sample. Chunks advance by
+  /// the fixed hop (chunk - reference + 1), so the schedule is a function
+  /// of the recording length alone — never of how a caller buffered it.
+  std::size_t next_start = 0;
+};
+
 /// Matched-filter detector for a fixed reference waveform.
 ///
 /// Construction is the expensive part: an overlap-save convolver for the
@@ -128,6 +149,40 @@ class MatchedFilterDetector {
   void detect_into(std::span<const double> recording, DetectorWorkspace& ws,
                    std::vector<Detection>& out,
                    const obs::ObsContext* obs = nullptr) const;
+
+  /// Streaming protocol. Detection of a recording of (eventual) length N is
+  ///   stream_begin(st, ws);
+  ///   for each chunk of the fixed schedule: stream_chunk(seg, final, st, ws);
+  ///   stream_end(st, ws, out, obs);
+  /// where the schedule is the one `detect_into` runs: chunks start at
+  /// st.next_start (0, hop, 2*hop, ... with hop = chunk - reference + 1)
+  /// and span min(config().chunk, N - start) samples; a chunk shorter than
+  /// the reference is never processed (its lags don't exist), and
+  /// `final_chunk` is true iff the chunk ends the recording. An incremental
+  /// caller may process a chunk as soon as MORE than `start + chunk`
+  /// samples exist (the chunk is then certainly full and non-final), and
+  /// the remaining <= 1 chunk at end of stream; detections and telemetry
+  /// are then bit-identical to `detect_into` on the whole recording —
+  /// pass 2 (global min-spacing) and the amplitude gate run in
+  /// `stream_end`, over candidates accumulated in `ws.candidates`.
+  void stream_begin(DetectorStream& stream, DetectorWorkspace& ws) const;
+
+  /// Process the chunk starting at stream.next_start. `seg` holds recording
+  /// samples [stream.next_start, stream.next_start + seg.size()) and must
+  /// satisfy reference().size() <= seg.size() <= config().chunk, with
+  /// seg.size() == config().chunk unless `final_chunk`. Advances
+  /// stream.next_start by the hop.
+  void stream_chunk(std::span<const double> seg, bool final_chunk,
+                    DetectorStream& stream, DetectorWorkspace& ws) const;
+
+  /// Flush the pending boundary candidate, run the global min-spacing pass
+  /// and the relative amplitude gate over `ws.candidates`, write the
+  /// surviving detections to `out` (cleared first), and record detector
+  /// telemetry for the whole stream on `obs`. The stream is exhausted
+  /// afterwards; reuse requires stream_begin.
+  void stream_end(DetectorStream& stream, DetectorWorkspace& ws,
+                  std::vector<Detection>& out,
+                  const obs::ObsContext* obs = nullptr) const;
 
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
   [[nodiscard]] const std::vector<double>& reference() const { return reference_; }

@@ -48,17 +48,13 @@ OlsConvolver::OlsConvolver(std::vector<double> kernel, std::size_t fft_size)
   HE_ENSURES(spectrum_.size() == plan_.size());
 }
 
-void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
-                                 std::size_t count, double* out, Workspace& ws) const {
-  require(!x.empty(), "OlsConvolver: empty signal");
+std::vector<Complex>& OlsConvolver::transform_pair(std::span<const double> x,
+                                                   std::ptrdiff_t x_start,
+                                                   std::size_t b, bool paired,
+                                                   Workspace& ws) const {
   const std::size_t m = kernel_.size();
   const std::size_t n = plan_.size();
   const std::size_t block = block_size();
-  const std::size_t full_len = x.size() + m - 1;
-  require(offset <= full_len && count <= full_len - offset,
-          "OlsConvolver: output window exceeds the full convolution");
-  if (count == 0) return;
-
   std::vector<Complex>& z = ws.complex_scratch(0, n);
 
   // Block b produces full-convolution samples [b*block, b*block + block)
@@ -70,11 +66,57 @@ void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
   //   IFFT(FFT(a + i*b) . K) = (a*k) + i*(b*k)
   // by linearity, both parts real — so the real parts carry block b's
   // result and the imaginary parts block b+1's, halving the FFT count.
-  const auto sample = [&x](std::ptrdiff_t idx) {
-    return idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size())
-               ? x[static_cast<std::size_t>(idx)]
+  const auto sample = [&x, x_start](std::ptrdiff_t idx) {
+    const std::ptrdiff_t local = idx - x_start;
+    return local >= 0 && local < static_cast<std::ptrdiff_t>(x.size())
+               ? x[static_cast<std::size_t>(local)]
                : 0.0;
   };
+  const std::ptrdiff_t base0 =
+      static_cast<std::ptrdiff_t>(b * block) - static_cast<std::ptrdiff_t>(m - 1);
+  if (paired) {
+    const std::ptrdiff_t base1 = base0 + static_cast<std::ptrdiff_t>(block);
+    for (std::size_t j = 0; j < n; ++j) {
+      z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)),
+                     sample(base1 + static_cast<std::ptrdiff_t>(j)));
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)), 0.0);
+    }
+  }
+  plan_.forward(z);
+  for (std::size_t j = 0; j < n; ++j) z[j] *= spectrum_[j];
+  plan_.inverse(z);
+  return z;
+}
+
+void OlsConvolver::copy_pair_halves(const std::vector<Complex>& z, std::size_t b,
+                                    bool paired, std::size_t offset, std::size_t count,
+                                    std::size_t full_len, double* out) const {
+  const std::size_t m = kernel_.size();
+  const std::size_t block = block_size();
+  for (std::size_t half = 0; half < (paired ? 2u : 1u); ++half) {
+    const std::size_t start = (b + half) * block;
+    const std::size_t lo = std::max(start, offset);
+    const std::size_t hi = std::min({start + block, offset + count, full_len});
+    for (std::size_t g = lo; g < hi; ++g) {
+      const Complex& v = z[m - 1 + (g - start)];
+      out[g - offset] = half == 0 ? v.real() : v.imag();
+    }
+  }
+}
+
+void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
+                                 std::size_t count, double* out, Workspace& ws) const {
+  require(!x.empty(), "OlsConvolver: empty signal");
+  const std::size_t m = kernel_.size();
+  const std::size_t block = block_size();
+  const std::size_t full_len = x.size() + m - 1;
+  require(offset <= full_len && count <= full_len - offset,
+          "OlsConvolver: output window exceeds the full convolution");
+  if (count == 0) return;
+
   // Pairing is anchored to the FULL convolution, not to the requested
   // window: block 2k always shares its transform with block 2k+1 (when the
   // latter exists at all). A window therefore computes exactly the block
@@ -91,33 +133,25 @@ void OlsConvolver::convolve_into(std::span<const double> x, std::size_t offset,
   HE_EXPECTS(last_block < total_blocks);
   for (std::size_t b = first_block; b <= last_block; b += 2) {
     const bool paired = b + 1 < total_blocks;
-    const std::ptrdiff_t base0 =
-        static_cast<std::ptrdiff_t>(b * block) - static_cast<std::ptrdiff_t>(m - 1);
-    if (paired) {
-      const std::ptrdiff_t base1 = base0 + static_cast<std::ptrdiff_t>(block);
-      for (std::size_t j = 0; j < n; ++j) {
-        z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)),
-                       sample(base1 + static_cast<std::ptrdiff_t>(j)));
-      }
-    } else {
-      for (std::size_t j = 0; j < n; ++j) {
-        z[j] = Complex(sample(base0 + static_cast<std::ptrdiff_t>(j)), 0.0);
-      }
-    }
-    plan_.forward(z);
-    for (std::size_t j = 0; j < n; ++j) z[j] *= spectrum_[j];
-    plan_.inverse(z);
-
-    for (std::size_t half = 0; half < (paired ? 2u : 1u); ++half) {
-      const std::size_t start = (b + half) * block;
-      const std::size_t lo = std::max(start, offset);
-      const std::size_t hi = std::min({start + block, offset + count, full_len});
-      for (std::size_t g = lo; g < hi; ++g) {
-        const Complex& v = z[m - 1 + (g - start)];
-        out[g - offset] = half == 0 ? v.real() : v.imag();
-      }
-    }
+    const std::vector<Complex>& z = transform_pair(x, 0, b, paired, ws);
+    copy_pair_halves(z, b, paired, offset, count, full_len, out);
   }
+}
+
+void OlsConvolver::convolve_pair_into(std::span<const double> x, std::size_t x_start,
+                                      std::size_t signal_len, std::size_t block_index,
+                                      bool paired, std::size_t offset,
+                                      std::size_t count, double* out,
+                                      Workspace& ws) const {
+  const std::size_t m = kernel_.size();
+  const std::size_t full_len = signal_len + m - 1;
+  require(block_index % 2 == 0, "OlsConvolver: pair index must be even");
+  require(offset <= full_len && count <= full_len - offset,
+          "OlsConvolver: output window exceeds the full convolution");
+  if (count == 0) return;
+  const std::vector<Complex>& z = transform_pair(
+      x, static_cast<std::ptrdiff_t>(x_start), block_index, paired, ws);
+  copy_pair_halves(z, block_index, paired, offset, count, full_len, out);
 }
 
 // NOLINTBEGIN(hyperear-hotpath) -- convenience wrappers: return owning containers; steady-state callers use the _into spellings

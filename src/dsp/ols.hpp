@@ -83,6 +83,28 @@ class OlsConvolver {
   void convolve_into(std::span<const double> x, std::size_t offset, std::size_t count,
                      double* out, Workspace& ws) const;
 
+  /// Streamed spelling of one transform pair of `convolve_into`: computes
+  /// blocks `block_index` and (when `paired`) `block_index + 1` of the full
+  /// convolution of the kernel with a signal of `signal_len` samples, and
+  /// writes the intersection of the pair's output range with
+  /// [offset, offset + count) to `out[g - offset]`.
+  ///
+  /// `x` is a WINDOW of that signal: its samples are signal indices
+  /// [x_start, x_start + x.size()); everything outside `x` is read as zero,
+  /// exactly the zero-padding `convolve_into` applies outside the signal —
+  /// so the caller must retain (at least) the signal samples the pair's
+  /// input window [block_index*block - (kernel-1), end-of-pair) intersects.
+  /// `block_index` must be even (the pairing anchor of the full
+  /// convolution) and `paired` must equal `block_index + 1 <
+  /// ceil((signal_len + kernel - 1) / block)` of the FINAL signal — under
+  /// those conditions the pair arithmetic is the one `convolve_into` runs,
+  /// so incremental callers (dsp::StreamingFirFilter) are bit-identical to
+  /// the batch path by construction.
+  void convolve_pair_into(std::span<const double> x, std::size_t x_start,
+                          std::size_t signal_len, std::size_t block_index, bool paired,
+                          std::size_t offset, std::size_t count, double* out,
+                          Workspace& ws) const;
+
   /// Full linear convolution; length x.size() + kernel_size() - 1.
   [[nodiscard]] std::vector<double> convolve_full(std::span<const double> x,
                                                   Workspace* ws = nullptr) const;
@@ -111,6 +133,22 @@ class OlsConvolver {
                             Workspace& ws) const;
 
  private:
+  /// The shared pair transform: fill ws.complex_scratch(0, fft_size) with
+  /// the circular convolution of blocks (b, b+1) packed as (real, imag),
+  /// reading signal index `idx` as x[idx - x_start] when inside the window
+  /// and zero otherwise. Every public spelling routes its block arithmetic
+  /// through here, which is what makes windowed, full, and streamed calls
+  /// bit-identical.
+  std::vector<Complex>& transform_pair(std::span<const double> x,
+                                       std::ptrdiff_t x_start, std::size_t b,
+                                       bool paired, Workspace& ws) const;
+  /// Copy the alias-free halves of a transformed pair into the caller's
+  /// output window [offset, offset + count), clipped to the full
+  /// convolution [0, full_len).
+  void copy_pair_halves(const std::vector<Complex>& z, std::size_t b, bool paired,
+                        std::size_t offset, std::size_t count, std::size_t full_len,
+                        double* out) const;
+
   std::vector<double> kernel_;
   FftPlan plan_;
   std::vector<Complex> spectrum_;

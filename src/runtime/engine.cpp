@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 
 #include "common/contracts.hpp"
@@ -177,17 +179,55 @@ std::future<SessionReport> BatchEngine::submit(sim::Session&& session) {
 
 std::vector<SessionReport> BatchEngine::localize_all(
     std::span<const sim::Session> sessions) {
-  std::vector<std::future<SessionReport>> futures;
-  futures.reserve(sessions.size());
-  for (const sim::Session& s : sessions) {
-    // Non-owning alias: safe (and copy-free) because this function blocks
-    // on every future below, so the span outlives all queued work.
-    futures.push_back(enqueue(std::shared_ptr<const sim::Session>(
-        std::shared_ptr<const sim::Session>(), &s)));
+  // No futures here: each task writes its report straight into the result
+  // vector's slot and bumps a completion counter. The future path costs a
+  // promise/shared-state allocation plus a report move per session; this
+  // path allocates exactly once (the vector) no matter the batch size, and
+  // input order holds trivially because slot i belongs to session i.
+  // Sessions are read in place too — the span outlives the call because
+  // the waits below cover every posted task.
+  std::vector<SessionReport> reports(sessions.size());
+  if (sessions.empty()) return reports;
+  HE_EXPECTS(!pool_.stopped());
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::size_t posted = 0;
+  const auto wait_for_posted = [&] {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == posted; });
+  };
+  try {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const std::uint64_t session_id =
+          next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      // Same submitted-then-rejected discipline as enqueue (see there).
+      counters_.submitted.inc();
+      try {
+        pool_.post([this, sessions, &reports, &done_mutex, &done_cv, &done, i,
+                    session_id] {
+          reports[i] = run_one(sessions[i], session_id);
+          // Notify under the lock: the waiter destroys the condvar as soon
+          // as it observes done == posted, so signalling after unlock would
+          // race that destruction.
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          ++done;
+          done_cv.notify_one();
+        });
+      } catch (...) {
+        counters_.rejected.inc();
+        throw;
+      }
+      ++posted;
+    }
+  } catch (...) {
+    // A mid-batch shutdown refused the post. Tasks already queued still
+    // reference `reports` and the counters on this frame — drain them
+    // before the exception unwinds the frame out from under them.
+    wait_for_posted();
+    throw;
   }
-  std::vector<SessionReport> reports;
-  reports.reserve(futures.size());
-  for (std::future<SessionReport>& f : futures) reports.push_back(f.get());
+  wait_for_posted();
   return reports;
 }
 
@@ -195,7 +235,16 @@ void BatchEngine::shutdown() { pool_.stop(); }
 
 EngineStats BatchEngine::stats() const {
   EngineStats s;
-  s.submitted = as_count(counters_.submitted.value() - counters_.rejected.value());
+  // Read rejected BEFORE submitted. A failing submit increments submitted
+  // first and rejected second, so sampling submitted first can observe a
+  // rejected tick whose submitted tick the earlier read missed — the
+  // difference then transiently under-counts (and, right at startup, would
+  // wrap negative through the size_t cast). Reading rejected first makes
+  // every rejected tick we see carry its submitted tick in the later read,
+  // so the difference never goes negative; the clamp is belt-and-braces.
+  const double rejected = counters_.rejected.value();
+  const double submitted = counters_.submitted.value();
+  s.submitted = as_count(submitted > rejected ? submitted - rejected : 0.0);
   s.completed = as_count(counters_.completed.value());
   s.ok = as_count(counters_.ok.value());
   s.no_solution = as_count(counters_.no_solution.value());

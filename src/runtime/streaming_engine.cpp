@@ -1,0 +1,337 @@
+#include "runtime/streaming_engine.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace hyperear::runtime {
+
+namespace {
+
+std::size_t default_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Finalize-latency buckets (ms) — the streaming back half is the batch
+/// pipeline minus the already-amortized filtering/detection, so the same
+/// decade grid the stage histograms use fits.
+constexpr double kFinalizeMsBounds[] = {1.0,  2.0,   5.0,   10.0,  20.0,
+                                        50.0, 100.0, 200.0, 500.0, 1000.0};
+
+}  // namespace
+
+const char* to_string(PushStatus status) {
+  switch (status) {
+    case PushStatus::accepted: return "accepted";
+    case PushStatus::overflow: return "overflow";
+    case PushStatus::closed: return "closed";
+    case PushStatus::unknown_session: return "unknown_session";
+  }
+  return "unknown_session";
+}
+
+StreamingEngine::StreamingEngine(core::PipelineConfig config,
+                                 StreamingEngineOptions options, EngineObs obs)
+    : config_(std::move(config)),
+      options_(options),
+      registry_(obs.registry != nullptr ? std::move(obs.registry)
+                                        : std::make_shared<obs::MetricsRegistry>()),
+      tracer_(std::move(obs.tracer)),
+      pool_(default_threads(options.threads)) {
+  if (std::optional<core::PipelineError> bad = config_.validate()) {
+    throw PreconditionError("StreamingEngine: " + describe(*bad));
+  }
+  require(options_.max_sessions > 0, "StreamingEngine: max_sessions must be >= 1");
+  require(options_.max_buffered_samples > 0,
+          "StreamingEngine: max_buffered_samples must be >= 1");
+  obs::MetricsRegistry& m = *registry_;
+  counters_.opened = m.counter("streaming.sessions_opened_total");
+  counters_.closed = m.counter("streaming.sessions_closed_total");
+  counters_.evicted = m.counter("streaming.sessions_evicted_total");
+  counters_.open_rejected = m.counter("streaming.open_rejected_total");
+  counters_.push_accepted = m.counter("streaming.push_accepted_total");
+  counters_.push_overflow = m.counter("streaming.push_overflow_total");
+  counters_.samples = m.counter("streaming.samples_total");
+  counters_.events = m.counter("streaming.events_total");
+  counters_.open_gauge = m.gauge("streaming.open_sessions");
+  counters_.buffered_gauge = m.gauge("streaming.buffered_samples");
+  counters_.finalize_ms = m.histogram("streaming.finalize_ms", kFinalizeMsBounds);
+  pool_.install_metrics(m, "streaming.pool");
+}
+
+StreamingEngine::~StreamingEngine() { shutdown(); }
+
+std::uint64_t StreamingEngine::open(sim::Session meta) {
+  require(!stopping_.load(std::memory_order_relaxed),
+          "StreamingEngine: open after shutdown");
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    counters_.open_rejected.inc();
+    return 0;
+  }
+  // Build the whole entry before publishing the id: a throwing
+  // StreamingSession constructor (meta arrived with audio attached) must
+  // leave no half-open session behind — the lease returns via RAII.
+  auto entry = std::make_shared<Entry>();
+  entry->id = ++next_id_;
+  entry->last_tick = current_tick_.load(std::memory_order_relaxed);
+  entry->opened_at = obs::monotonic_now();
+  entry->lease.emplace(workspaces_.checkout());
+  WorkspacePool::WorkerState& state = **entry->lease;
+  ++state.sessions_served;
+  // Same memo-then-cache context lookup as the batch engine's run_one; a
+  // null context (pathological configuration) is handed to the session,
+  // which rebuilds locally and classifies the failure at finalize.
+  const double fs = meta.audio.sample_rate;
+  std::shared_ptr<const core::PipelineContext> context = state.last_context;
+  if (context == nullptr || !context->matches(config_.asp, meta.prior.chirp, fs)) {
+    context = contexts_.acquire(config_, meta.prior.chirp, fs);
+    state.last_context = context;
+  }
+  entry->session.emplace(std::move(meta), config_, std::move(context),
+                         &state.workspace);
+  const std::uint64_t id = entry->id;
+  sessions_.emplace(id, std::move(entry));
+  counters_.opened.inc();
+  counters_.open_gauge.set(static_cast<double>(sessions_.size()));
+  return id;
+}
+
+std::shared_ptr<StreamingEngine::Entry> StreamingEngine::find(
+    std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool StreamingEngine::schedule_drain_locked(const std::shared_ptr<Entry>& entry) {
+  if (entry->scheduled) return true;
+  entry->scheduled = true;
+  try {
+    pool_.post([this, entry] { drain(entry); });
+  } catch (const std::exception&) {
+    entry->scheduled = false;
+    return false;
+  }
+  return true;
+}
+
+PushStatus StreamingEngine::push(std::uint64_t id, std::span<const double> mic1,
+                                 std::span<const double> mic2) {
+  require(mic1.size() == mic2.size(),
+          "StreamingEngine::push: channel length mismatch");
+  if (stopping_.load(std::memory_order_relaxed)) return PushStatus::closed;
+  const std::shared_ptr<Entry> entry = find(id);
+  if (entry == nullptr) return PushStatus::unknown_session;
+  const std::size_t added = mic1.size() + mic2.size();
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->evicted) return PushStatus::unknown_session;
+  if (entry->closing) return PushStatus::closed;
+  if (entry->buffered_samples + added > options_.max_buffered_samples) {
+    counters_.push_overflow.inc();
+    return PushStatus::overflow;
+  }
+  Buffered buf;
+  if (!entry->freelist.empty()) {
+    buf = std::move(entry->freelist.back());
+    entry->freelist.pop_back();
+  }
+  buf.mic1.assign(mic1.begin(), mic1.end());
+  buf.mic2.assign(mic2.begin(), mic2.end());
+  entry->inbox.push_back(std::move(buf));
+  entry->buffered_samples += added;
+  entry->last_tick = current_tick_.load(std::memory_order_relaxed);
+  counters_.push_accepted.inc();
+  counters_.samples.inc(static_cast<double>(added));
+  counters_.buffered_gauge.add(static_cast<double>(added));
+  if (!schedule_drain_locked(entry)) return PushStatus::closed;
+  return PushStatus::accepted;
+}
+
+std::future<SessionReport> StreamingEngine::finalize(std::uint64_t id) {
+  const std::shared_ptr<Entry> entry = find(id);
+  require(entry != nullptr, "StreamingEngine::finalize: unknown session");
+  bool run_inline = false;
+  std::future<SessionReport> future;
+  {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    require(!entry->evicted, "StreamingEngine::finalize: unknown session");
+    require(!entry->closing, "StreamingEngine::finalize: already finalizing");
+    entry->closing = true;
+    entry->last_tick = current_tick_.load(std::memory_order_relaxed);
+    future = entry->promise.get_future();
+    if (!schedule_drain_locked(entry)) {
+      // Pool refused (shutdown racing this call). No drain task is running
+      // (scheduled was false), so the caller thread owns the session and
+      // can resolve the future itself instead of leaving it hanging.
+      entry->scheduled = true;
+      run_inline = true;
+    }
+  }
+  if (run_inline) drain(entry);
+  return future;
+}
+
+void StreamingEngine::drain(const std::shared_ptr<Entry>& entry) {
+  // The strand: at most one drain task per session exists at a time
+  // (`scheduled`), so everything below the inbox pop — the session, the
+  // lease, the filters and detector state inside — is touched single-
+  // threaded without holding any lock across the DSP work.
+  for (;;) {
+    Buffered buf;
+    bool have_chunk = false;
+    bool do_finalize = false;
+    {
+      const std::lock_guard<std::mutex> lock(entry->mutex);
+      if (entry->evicted) {
+        // Evictor saw us running and left teardown to us.
+        entry->session.reset();
+        entry->lease.reset();
+        entry->scheduled = false;
+        return;
+      }
+      if (!entry->inbox.empty()) {
+        buf = std::move(entry->inbox.front());
+        entry->inbox.pop_front();
+        const std::size_t popped = buf.mic1.size() + buf.mic2.size();
+        entry->buffered_samples -= popped;
+        counters_.buffered_gauge.add(-static_cast<double>(popped));
+        have_chunk = true;
+      } else if (entry->closing) {
+        do_finalize = true;
+      } else {
+        entry->scheduled = false;
+        return;
+      }
+    }
+    if (do_finalize) {
+      finish_entry(entry);
+      return;
+    }
+    if (have_chunk) {
+      if (entry->push_error == nullptr) {
+        try {
+          entry->session->push(buf.mic1, buf.mic2);
+          const std::size_t seen = entry->session->events().size();
+          counters_.events.inc(static_cast<double>(seen - entry->events_seen));
+          entry->events_seen = seen;
+        } catch (...) {
+          // Remember the first failure; finish_entry reports it as the
+          // session's error (the batch engine would have failed the same
+          // session the same way, just all at once).
+          entry->push_error = std::current_exception();
+        }
+      }
+      const std::lock_guard<std::mutex> lock(entry->mutex);
+      buf.mic1.clear();
+      buf.mic2.clear();
+      entry->freelist.push_back(std::move(buf));
+    }
+  }
+}
+
+void StreamingEngine::finish_entry(const std::shared_ptr<Entry>& entry) {
+  SessionReport report;
+  const obs::MonotonicTime t0 = obs::monotonic_now();
+  try {
+    if (entry->push_error != nullptr) std::rethrow_exception(entry->push_error);
+    const obs::ObsContext obs{registry_.get(), tracer_.get(), entry->id};
+    Expected<core::LocalizationResult, core::PipelineError> outcome =
+        entry->session->finalize(&report.metrics, &obs);
+    if (outcome.has_value()) {
+      report.result = *std::move(outcome);
+      report.status =
+          report.result.valid ? SessionStatus::ok : SessionStatus::no_solution;
+    } else {
+      report.status = SessionStatus::error;
+      report.error = std::move(outcome).error();
+    }
+    counters_.events.inc(
+        static_cast<double>(entry->session->events().size() - entry->events_seen));
+  } catch (const std::exception& e) {
+    report.status = SessionStatus::error;
+    report.error = core::error_from_exception(e, core::PipelineStage::aggregate);
+  } catch (...) {
+    report.status = SessionStatus::error;
+    report.error = core::PipelineError{core::ErrorCategory::internal,
+                                       core::PipelineStage::aggregate,
+                                       "unknown error"};
+  }
+  counters_.finalize_ms.observe(obs::ms_since(t0));
+  // Wall time spans the session's life, open to fix — the streaming analog
+  // of the batch report's end-to-end worker time.
+  report.wall_ms = obs::ms_since(entry->opened_at);
+  // Retire the session BEFORE resolving the future: a caller returning
+  // from future.get() must observe the id gone and the lease returned.
+  {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->session.reset();
+    entry->lease.reset();
+    entry->scheduled = false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.erase(entry->id);
+    counters_.open_gauge.set(static_cast<double>(sessions_.size()));
+  }
+  counters_.closed.inc();
+  entry->promise.set_value(std::move(report));
+}
+
+void StreamingEngine::tick() {
+  current_tick_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t StreamingEngine::evict_idle(std::uint64_t max_idle_ticks) {
+  const std::uint64_t now = current_tick_.load(std::memory_order_relaxed);
+  std::size_t evicted = 0;
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const std::shared_ptr<Entry>& entry = it->second;
+    bool evict_this = false;
+    {
+      const std::lock_guard<std::mutex> entry_lock(entry->mutex);
+      const std::uint64_t idle = now - entry->last_tick;
+      if (!entry->closing && !entry->evicted && idle > max_idle_ticks) {
+        entry->evicted = true;
+        // Pending audio dies with the session, whether or not a drain is
+        // running — a running drain checks `evicted` before the inbox.
+        counters_.buffered_gauge.add(-static_cast<double>(entry->buffered_samples));
+        entry->inbox.clear();
+        entry->freelist.clear();
+        entry->buffered_samples = 0;
+        if (!entry->scheduled) {
+          // No drain in flight: this thread owns the session state.
+          entry->session.reset();
+          entry->lease.reset();
+        }
+        evict_this = true;
+      }
+    }
+    if (evict_this) {
+      it = sessions_.erase(it);
+      ++evicted;
+      counters_.evicted.inc();
+    } else {
+      ++it;
+    }
+  }
+  counters_.open_gauge.set(static_cast<double>(sessions_.size()));
+  return evicted;
+}
+
+void StreamingEngine::shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  pool_.stop();
+}
+
+std::size_t StreamingEngine::open_sessions() const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+}  // namespace hyperear::runtime

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/streaming_session.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/context_cache.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace_pool.hpp"
+
+/// @file streaming_engine.hpp
+/// Multiplexes many live `core::StreamingSession`s over one thread pool.
+///
+/// The batch engine answers "localize these N finished recordings"; this
+/// engine answers "N phones are streaming audio right now". Each open
+/// session owns a leased per-session workspace and a StreamingSession;
+/// pushed audio is buffered in a per-session inbox and drained by at most
+/// one pool task at a time (a strand), so session state is never touched
+/// concurrently while unrelated sessions proceed in parallel. Backpressure
+/// is a hard per-session cap on buffered-but-undrained samples — `push`
+/// reports `overflow` instead of queueing unboundedly, and the caller
+/// retries or drops. Idle sessions are evicted on a LOGICAL clock
+/// (`tick()` + `evict_idle`), so reclamation is deterministic and testable
+/// — wall time never decides which sessions die.
+///
+/// Results are bit-identical to `BatchEngine`/`core::try_localize` on the
+/// concatenated audio (the StreamingSession guarantee), whatever the
+/// chunking, interleaving, or thread count. Telemetry lands on the
+/// `streaming.*` series of the registry (supplied or engine-private).
+
+namespace hyperear::runtime {
+
+/// Outcome of one `push` call. Values, not exceptions: a full buffer or a
+/// closed session is normal operation under load, not a programming error.
+enum class PushStatus : std::uint8_t {
+  accepted,         ///< buffered; a drain task is (or was already) scheduled
+  overflow,         ///< per-session buffer cap hit — retry later or drop
+  closed,           ///< session finalized/closing, or the engine shut down
+  unknown_session,  ///< no such id (never opened, already done, or evicted)
+};
+
+[[nodiscard]] const char* to_string(PushStatus status);
+
+struct StreamingEngineOptions {
+  /// Worker threads; 0 = hardware_concurrency (min 1).
+  std::size_t threads = 0;
+  /// Maximum concurrently open sessions; `open` returns 0 beyond it.
+  std::size_t max_sessions = 64;
+  /// Per-session cap on buffered (pushed but not yet drained) samples,
+  /// both channels combined — the backpressure bound.
+  std::size_t max_buffered_samples = std::size_t{1} << 22;
+};
+
+/// Concurrent streaming localizer. See the file comment for the model.
+/// Thread-safe: open/push/finalize/tick/evict_idle may be called from any
+/// thread.
+class StreamingEngine {
+ public:
+  explicit StreamingEngine(core::PipelineConfig config = {},
+                           StreamingEngineOptions options = {}, EngineObs obs = {});
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  /// Open a session for `meta` (audio channels must be empty — samples
+  /// arrive via `push`). Returns the session id (>= 1), or 0 when
+  /// `max_sessions` are already open. Throws PreconditionError after
+  /// shutdown.
+  [[nodiscard]] std::uint64_t open(sim::Session meta);
+
+  /// Buffer one stereo slice for the session (equal lengths) and schedule
+  /// its drain. Never blocks on DSP work.
+  [[nodiscard]] PushStatus push(std::uint64_t id, std::span<const double> mic1,
+                                std::span<const double> mic2);
+
+  /// Declare end-of-audio: no further pushes are accepted; the future
+  /// resolves once the drain task has run the session's `finalize`. Throws
+  /// PreconditionError for an unknown (or already finalized) id.
+  [[nodiscard]] std::future<SessionReport> finalize(std::uint64_t id);
+
+  /// Advance the logical clock one step. Activity on a session stamps the
+  /// current tick; `evict_idle(max_idle)` closes sessions whose stamp is
+  /// more than `max_idle` ticks old.
+  void tick();
+
+  /// Evict sessions idle for more than `max_idle_ticks` (finalizing
+  /// sessions are never evicted). Their ids become unknown and their
+  /// workspaces return to the pool. Returns how many were evicted.
+  std::size_t evict_idle(std::uint64_t max_idle_ticks);
+
+  /// Stop accepting opens and pushes; sessions already finalizing still
+  /// resolve their futures. Idempotent; the destructor implies it.
+  void shutdown();
+
+  [[nodiscard]] std::size_t open_sessions() const;
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *registry_; }
+  [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
+  [[nodiscard]] const core::PipelineConfig& config() const { return config_; }
+
+ private:
+  /// One buffered stereo slice. Recycled through the entry's freelist so a
+  /// steady push cadence reuses capacity instead of allocating.
+  struct Buffered {
+    std::vector<double> mic1;
+    std::vector<double> mic2;
+  };
+
+  /// One open session. `mutex` guards the inbox and flags; the session and
+  /// lease are touched ONLY by the (single) scheduled drain task.
+  struct Entry {
+    std::mutex mutex;
+    std::deque<Buffered> inbox;
+    std::vector<Buffered> freelist;
+    std::size_t buffered_samples = 0;  ///< both channels combined
+    bool scheduled = false;  ///< a drain task is queued or running
+    bool closing = false;    ///< finalize requested; inbox drains then solves
+    bool evicted = false;    ///< drain must abandon the session
+    std::uint64_t last_tick = 0;
+    std::uint64_t id = 0;
+    std::size_t events_seen = 0;       ///< events already counted on metrics
+    std::exception_ptr push_error;     ///< first drain-side failure, if any
+    obs::MonotonicTime opened_at;
+    std::optional<WorkspacePool::Lease> lease;
+    std::optional<core::StreamingSession> session;
+    std::promise<SessionReport> promise;
+  };
+
+  /// Handles into the registry for the `streaming.*` series.
+  struct Counters {
+    obs::Counter opened;         ///< streaming.sessions_opened_total
+    obs::Counter closed;         ///< streaming.sessions_closed_total
+    obs::Counter evicted;        ///< streaming.sessions_evicted_total
+    obs::Counter open_rejected;  ///< streaming.open_rejected_total
+    obs::Counter push_accepted;  ///< streaming.push_accepted_total
+    obs::Counter push_overflow;  ///< streaming.push_overflow_total
+    obs::Counter samples;        ///< streaming.samples_total
+    obs::Counter events;         ///< streaming.events_total
+    obs::Gauge open_gauge;       ///< streaming.open_sessions
+    obs::Gauge buffered_gauge;   ///< streaming.buffered_samples
+    obs::Histogram finalize_ms;  ///< streaming.finalize_ms
+  };
+
+  /// Queue a drain task unless one is already queued/running. Returns false
+  /// when the pool refused the post (engine shutting down). Caller holds
+  /// `entry->mutex`.
+  bool schedule_drain_locked(const std::shared_ptr<Entry>& entry);
+  void drain(const std::shared_ptr<Entry>& entry);
+  void finish_entry(const std::shared_ptr<Entry>& entry);
+  [[nodiscard]] std::shared_ptr<Entry> find(std::uint64_t id) const;
+
+  const core::PipelineConfig config_;
+  const StreamingEngineOptions options_;
+  /// Declared before pool_: drain tasks reference the registry while the
+  /// pool drains during destruction.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  Counters counters_;
+  ContextCache contexts_;
+  WorkspacePool workspaces_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Entry>> sessions_;
+  std::uint64_t next_id_ = 0;
+  std::atomic<std::uint64_t> current_tick_{0};
+  std::atomic<bool> stopping_{false};
+
+  ThreadPool pool_;  // declared last: workers must die before state above
+};
+
+}  // namespace hyperear::runtime

@@ -196,6 +196,43 @@ TEST(BatchEngine, MatchesContextFreePipelineBitExactly) {
   }
 }
 
+TEST(BatchEngine, StatsViewNeverUnderflowsUnderRacingRejects) {
+  // Regression: stats() read submitted before rejected. A failing submit
+  // increments submitted first and rejected second, so a reader sampling
+  // between the two could see the rejected tick without its submitted tick
+  // — right at startup the subtraction then wrapped through size_t to
+  // ~1.8e19. Hammer racing submits/shutdowns against a stats() reader; an
+  // underflow shows up as a view larger than the attempt count.
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kAttempts = 64;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    BatchEngine engine({}, 2);
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const EngineStats s = engine.stats();
+        ASSERT_LE(s.submitted, kAttempts) << "stats view underflowed";
+      }
+    });
+    std::thread closer([&engine] { engine.shutdown(); });
+    std::vector<std::future<SessionReport>> futures;
+    for (std::size_t i = 0; i < kAttempts; ++i) {
+      try {
+        futures.push_back(engine.submit(sim::Session{}));
+      } catch (const PreconditionError&) {
+        break;  // shutdown won the race
+      }
+    }
+    done.store(true, std::memory_order_relaxed);
+    reader.join();
+    closer.join();
+    for (std::future<SessionReport>& f : futures) (void)f.get();
+    const EngineStats s = engine.stats();
+    EXPECT_LE(s.submitted, kAttempts);
+    EXPECT_EQ(s.submitted, s.completed);
+  }
+}
+
 TEST(BatchEngine, RejectsInvalidConfigAtConstruction) {
   core::PipelineConfig bad;
   bad.ttl.max_range = -1.0;

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dsp/chirp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hyperear::dsp {
 namespace {
@@ -201,6 +204,106 @@ TEST(MatchedFilter, ArrivalOnChunkSeamDetectedOnce) {
   const auto detections = MatchedFilterDetector(ref, cfg).detect(x);
   ASSERT_EQ(detections.size(), 1u);
   EXPECT_NEAR(detections[0].time_s, t0, 1e-4);
+}
+
+/// Run the incremental caller protocol: reveal the recording in slices of
+/// the given sizes (cycled), process every chunk of the fixed schedule as
+/// soon as STRICTLY more than its end is available (certainly full,
+/// certainly non-final), then drain the tail once the length is known.
+std::vector<Detection> stream_detect(const MatchedFilterDetector& det,
+                                     std::span<const double> x,
+                                     const std::vector<std::size_t>& slice_sizes,
+                                     const obs::ObsContext* obs = nullptr) {
+  const std::size_t ref_len = det.reference().size();
+  const std::size_t chunk = det.config().chunk;
+  DetectorWorkspace ws;
+  DetectorStream stream;
+  det.stream_begin(stream, ws);
+  std::size_t avail = 0;
+  std::size_t cursor = 0;
+  while (avail < x.size()) {
+    avail = std::min(x.size(),
+                     avail + slice_sizes[cursor++ % slice_sizes.size()]);
+    while (avail > stream.next_start + chunk) {
+      det.stream_chunk(x.subspan(stream.next_start, chunk), false, stream, ws);
+    }
+  }
+  while (stream.next_start < x.size()) {
+    const std::size_t start = stream.next_start;
+    const std::size_t len = std::min(chunk, x.size() - start);
+    if (len < ref_len) break;
+    const bool final_chunk = start + len == x.size();
+    det.stream_chunk(x.subspan(start, len), final_chunk, stream, ws);
+    if (final_chunk) break;
+  }
+  std::vector<Detection> out;
+  det.stream_end(stream, ws, out, obs);
+  return out;
+}
+
+TEST(MatchedFilter, StreamProtocolBitIdenticalToDetectAcrossChunkings) {
+  // The detector half of the streaming tentpole: the stream_begin /
+  // stream_chunk / stream_end protocol driven by ANY arrival pattern of
+  // samples must reproduce detect() bit for bit — candidates are keyed to
+  // the fixed chunk schedule, never to how a caller buffered the audio.
+  const Chirp chirp{ChirpParams{}};
+  Rng rng(55);
+  DetectorConfig cfg;
+  cfg.sample_rate = kFs;
+  cfg.chunk = 8192;  // several chunks, arrivals near the seams
+  const std::vector<double>& ref = chirp.reference(kFs);
+  const std::size_t hop = cfg.chunk - (ref.size() - 1);
+  const std::vector<double> starts{0.1, 2.0 * static_cast<double>(hop) / kFs - 0.01,
+                                   static_cast<double>(4 * hop - 1) / kFs, 1.3};
+  const std::vector<double> x = make_recording(chirp, starts, 1.6, 0.01, rng);
+  const MatchedFilterDetector det(ref, cfg);
+  const std::vector<Detection> expect = det.detect(x);
+  ASSERT_EQ(expect.size(), starts.size());
+  for (const std::vector<std::size_t>& slices :
+       {std::vector<std::size_t>{x.size()}, std::vector<std::size_t>{1009},
+        std::vector<std::size_t>{1u << 14},
+        std::vector<std::size_t>{3, 8191, 1, 20011}}) {
+    const std::vector<Detection> got = stream_detect(det, x, slices);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].time_s, expect[i].time_s) << i;
+      EXPECT_EQ(got[i].score, expect[i].score) << i;
+      EXPECT_EQ(got[i].amplitude, expect[i].amplitude) << i;
+      EXPECT_EQ(got[i].echo_competition, expect[i].echo_competition) << i;
+    }
+  }
+}
+
+TEST(MatchedFilter, ShortRecordingClearsStaleStateAndTelemetry) {
+  // Regression (the detect_into early-return bug): a recording shorter than
+  // the reference used to return before clearing `out` and `ws.candidates`,
+  // so a warmed workspace leaked the PREVIOUS session's detections into the
+  // short one, and the telemetry counted chunks that never streamed. The
+  // short path must behave exactly like a zero-chunk stream: outputs
+  // cleared, candidates cleared, zero chunks / zero detections recorded.
+  const Chirp chirp{ChirpParams{}};
+  Rng rng(56);
+  const MatchedFilterDetector det = make_detector(chirp);
+  DetectorWorkspace ws;
+  std::vector<Detection> out;
+
+  // Warm the workspace with a real session so stale state exists.
+  const std::vector<double> warm = make_recording(chirp, {0.3, 0.5}, 1.0, 0.01, rng);
+  det.detect_into(warm, ws, out);
+  ASSERT_EQ(out.size(), 2u);
+
+  obs::MetricsRegistry m;
+  const obs::ObsContext obs{&m, nullptr, 0};
+  for (const std::size_t n : {std::size_t{0}, std::size_t{100},
+                              det.reference().size() - 1}) {
+    const std::vector<double> shorty(n, 0.0);
+    det.detect_into(shorty, ws, out, &obs);
+    EXPECT_TRUE(out.empty()) << "stale detections leaked, n=" << n;
+    EXPECT_TRUE(ws.candidates.empty()) << "stale candidates leaked, n=" << n;
+  }
+  EXPECT_EQ(m.counter("detector.chunks_total").value(), 0.0);
+  EXPECT_EQ(m.counter("detector.candidates_total").value(), 0.0);
+  EXPECT_EQ(m.counter("detector.detections_total").value(), 0.0);
 }
 
 TEST(MatchedFilter, ConfigValidation) {
