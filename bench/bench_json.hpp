@@ -130,6 +130,47 @@ inline bool validate_bench_rows(const std::vector<BenchRow>& rows,
       return fail("streaming rows present but no streaming_peak_retained row");
     }
   }
+  // Contract of the serving-layer load bench (BENCH_load.json): the
+  // offered-rate ladder needs at least four rungs per row family, observed
+  // queue peaks must stay within the configured bound (on server_load_queue
+  // rows n is the configured max_queued and bytes_allocated the observed
+  // peak), and at least one rung must actually shed (bytes_allocated on
+  // server_load_throughput rows counts unserved requests) — the
+  // past-saturation story. Enforced at the schema layer so a bench edit
+  // that loses the saturation point fails bench-smoke instead of silently
+  // committing a hollow JSON.
+  bool any_load = false;
+  for (const BenchRow& r : rows) {
+    any_load = any_load || r.op.rfind("server_load", 0) == 0;
+  }
+  if (any_load) {
+    for (const char* family : {"server_load_p50", "server_load_p99",
+                               "server_load_throughput", "server_load_queue"}) {
+      std::size_t rungs = 0;
+      for (const BenchRow& r : rows) {
+        if (r.op == family) ++rungs;
+      }
+      if (rungs < 4) {
+        return fail(std::string(family) +
+                    " has fewer than 4 offered-rate rows");
+      }
+    }
+    for (const BenchRow& r : rows) {
+      if (r.op == "server_load_queue" && r.bytes_allocated > r.n) {
+        return fail("server_load_queue peak depth exceeds the configured "
+                    "bound (variant " + r.variant + ")");
+      }
+    }
+    bool any_shed = false;
+    for (const BenchRow& r : rows) {
+      any_shed = any_shed ||
+                 (r.op == "server_load_throughput" && r.bytes_allocated > 0);
+    }
+    if (!any_shed) {
+      return fail("no server_load_throughput row sheds: the offered-rate "
+                  "ladder never passed saturation");
+    }
+  }
   return true;
 }
 

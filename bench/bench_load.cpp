@@ -1,0 +1,321 @@
+/// Open-loop load generator for the serving layer: a seeded arrival
+/// process (Poisson inter-arrival gaps with periodic zero-gap bursts)
+/// drives runtime::Server at stepped offered rates — fractions and
+/// multiples of the measured per-thread service capacity, plus a zero-gap
+/// burst rung that is past saturation by construction — over a mixed
+/// traffic pool (2D and 3D protocols, four environments, two chirp plans
+/// so both shards see work, ~30% streaming-class requests). Open-loop
+/// means arrivals NEVER wait for completions: past saturation the server
+/// must shed, and the bench records that the queue stayed within its
+/// bound while it did (the bounded-p99 story; the schema check in
+/// bench_json.hpp enforces the saturation rung kept shedding).
+///
+/// Output: BENCH_load.json —
+///   server_load_p50 / offered-*        p50 completed-request latency (ns);
+///                                      n = submitted, bytes = completed
+///   server_load_p99 / offered-*        p99 of the same distribution
+///   server_load_throughput / offered-* ns of makespan per completed
+///                                      request; bytes = unserved
+///                                      (shed + expired + cancelled)
+///   server_load_queue / offered-*      n = configured max_queued, bytes =
+///                                      observed peak depth (schema:
+///                                      bytes <= n — bounded queue)
+///
+/// A final manual-dispatch replay phase submits one seeded request stream
+/// twice and exits nonzero unless admissions, outcomes, shards, and every
+/// result bit agree — the generator-determinism check the bench-smoke
+/// ctest entry runs on every default ctest invocation.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "runtime/server.hpp"
+#include "sim/environment.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace hyperear;
+using Clock = std::chrono::steady_clock;
+
+/// Mixed traffic: environments from quiet meeting room to busy mall,
+/// ruler and handheld jitter, the 3D two-stature protocol, and a second
+/// chirp plan (different plan_key_hash, so the shard keyed to it gets its
+/// own traffic).
+std::vector<sim::Session> make_traffic_mix(bool smoke) {
+  const auto base = [] {
+    sim::ScenarioConfig c;
+    c.speaker_distance = 4.0;
+    c.slides_per_stature = 3;
+    c.calibration_duration = 3.0;
+    c.jitter = sim::ruler_jitter();
+    return c;
+  };
+  std::vector<sim::ScenarioConfig> configs;
+  configs.push_back(base());  // meeting room, quiet, ruler, 2D
+  {
+    sim::ScenarioConfig c = base();
+    c.environment = sim::meeting_room_chatting();
+    c.jitter = sim::hand_jitter();
+    c.speaker_distance = 5.0;
+    configs.push_back(c);
+  }
+  {
+    sim::ScenarioConfig c = base();
+    c.environment = sim::mall_off_peak();
+    // Second DSP plan key; 5800 Hz specifically hashes to the odd shard
+    // under the 2-shard bench layout, so both shards see traffic.
+    c.speaker.chirp.freq_high_hz = 5800.0;
+    configs.push_back(c);
+  }
+  if (!smoke) {
+    {
+      sim::ScenarioConfig c = base();
+      c.environment = sim::mall_busy_hour();
+      c.jitter = sim::hand_jitter();
+      configs.push_back(c);
+    }
+    {
+      sim::ScenarioConfig c = base();
+      c.two_statures = true;  // full 3D protocol
+      configs.push_back(c);
+    }
+    {
+      sim::ScenarioConfig c = base();
+      c.environment = sim::meeting_room_chatting();
+      c.speaker.chirp.freq_high_hz = 6200.0;  // also maps to the odd shard
+      configs.push_back(c);
+    }
+  }
+  std::vector<sim::Session> pool;
+  pool.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Rng rng(8200 + i);
+    pool.push_back(sim::make_localization_session(configs[i], rng));
+  }
+  return pool;
+}
+
+/// Mean per-session service time on one warm worker — the capacity anchor
+/// the offered-rate ladder is calibrated against.
+double mean_service_ms(const std::vector<sim::Session>& pool) {
+  runtime::BatchEngine engine({}, 1);
+  (void)engine.localize_all(pool);  // warm plans and workspace
+  const Clock::time_point t0 = Clock::now();
+  (void)engine.localize_all(pool);
+  const double wall =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return wall / static_cast<double>(pool.size());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct RungOutcome {
+  runtime::ServerStats stats;
+  std::vector<double> completed_latency_ms;
+  double makespan_ms = 0.0;
+  std::size_t offered = 0;
+};
+
+/// One offered-rate rung: a fresh server, `offered` seeded arrivals at
+/// `rate_rps` (Poisson gaps, every fifth arrival a zero-gap burst rider),
+/// drained to quiescence. `rate_rps <= 0` is the burst rung: every gap is
+/// zero, the open-loop limit.
+RungOutcome run_rung(const std::vector<sim::Session>& pool,
+                     const runtime::ServerOptions& opts, double rate_rps,
+                     std::size_t offered, std::uint64_t seed) {
+  runtime::Server server({}, opts);
+  Rng rng(seed);
+  std::vector<std::future<runtime::Response>> futures;
+  futures.reserve(offered);
+  const Clock::time_point start = Clock::now();
+  double offset_s = 0.0;
+  for (std::size_t i = 0; i < offered; ++i) {
+    if (rate_rps > 0.0) {
+      double gap_s = -std::log(1.0 - rng.uniform()) / rate_rps;
+      if (i % 5 == 4) gap_s = 0.0;  // burst rider on the Poisson base
+      offset_s += gap_s;
+      std::this_thread::sleep_until(start + std::chrono::duration<double>(offset_s));
+    }
+    const sim::Session& session = pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const runtime::RequestClass cls = rng.uniform_int(0, 9) < 3
+                                          ? runtime::RequestClass::streaming
+                                          : runtime::RequestClass::batch;
+    runtime::SubmitResult r = server.submit(session, cls);
+    if (r.admission == runtime::Admission::accepted) {
+      futures.push_back(std::move(r.response));
+    }
+  }
+  server.drain();
+  RungOutcome out;
+  out.makespan_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  out.offered = offered;
+  for (std::future<runtime::Response>& f : futures) {
+    const runtime::Response response = f.get();
+    if (response.outcome == runtime::RequestOutcome::completed) {
+      out.completed_latency_ms.push_back(response.latency_ms);
+    }
+  }
+  out.stats = server.stats();
+  server.shutdown();
+  return out;
+}
+
+/// One seeded manual-dispatch request stream, reduced to a deterministic
+/// transcript: admission, outcome, shard, and exact result bits (hex
+/// floats) per request. Latencies are excluded — they are the one
+/// timing-dependent field.
+std::vector<std::string> replay_transcript(const std::vector<sim::Session>& pool,
+                                           std::uint64_t seed) {
+  runtime::ServerOptions opts;
+  opts.shards = 2;
+  opts.threads_per_shard = 1;
+  opts.max_in_flight = 2;
+  opts.max_queued = 12;
+  opts.manual_dispatch = true;
+  opts.streaming_policy.deadline_ticks = 2;  // streaming class will expire
+  runtime::Server server({}, opts);
+  Rng rng(seed);
+  constexpr std::size_t kRequests = 10;
+  std::vector<std::future<runtime::Response>> futures;
+  std::vector<std::string> transcript;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const sim::Session& session = pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const runtime::RequestClass cls = rng.uniform_int(0, 2) == 0
+                                          ? runtime::RequestClass::streaming
+                                          : runtime::RequestClass::batch;
+    runtime::SubmitResult r = server.submit(session, cls);
+    transcript.emplace_back(runtime::to_string(r.admission));
+    if (r.admission == runtime::Admission::accepted) {
+      futures.push_back(std::move(r.response));
+    }
+  }
+  // Past the streaming deadline before anything dispatches: the expiry
+  // set is a pure function of the stream, not of engine timing.
+  server.tick();
+  server.tick();
+  server.tick();
+  server.drain();
+  for (std::future<runtime::Response>& f : futures) {
+    const runtime::Response response = f.get();
+    char line[256];
+    std::snprintf(line, sizeof line, "%s %s shard=%zu status=%d %a %a %a %a",
+                  runtime::to_string(response.outcome),
+                  runtime::to_string(response.cls), response.shard,
+                  static_cast<int>(response.report.status),
+                  response.report.result.estimated_position.x,
+                  response.report.result.estimated_position.y,
+                  response.report.result.range,
+                  response.report.result.sfo_ppm);
+    transcript.emplace_back(line);
+  }
+  server.shutdown();
+  return transcript;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::smoke_mode();
+  const std::vector<sim::Session> pool = make_traffic_mix(smoke);
+
+  runtime::ServerOptions opts;
+  opts.shards = 2;
+  opts.threads_per_shard = smoke ? 1 : 2;
+  const std::size_t total_threads = opts.shards * opts.threads_per_shard;
+  opts.max_in_flight = total_threads;
+  opts.max_queued = 6;
+  opts.streaming_chunk_samples = 4410;  // 100 ms cadence at 44.1 kHz
+
+  const double mean_ms = mean_service_ms(pool);
+  const double capacity_rps =
+      1000.0 * static_cast<double>(total_threads) / mean_ms;
+  std::printf("# mean service %.1f ms/session, capacity %.1f req/s "
+              "(%zu threads across %zu shards)\n",
+              mean_ms, capacity_rps, total_threads, opts.shards);
+
+  struct Rung {
+    const char* label;
+    double multiplier;  ///< of measured capacity; <= 0 = zero-gap burst
+  };
+  const std::vector<Rung> ladder =
+      smoke ? std::vector<Rung>{{"offered-0.25x", 0.25},
+                                {"offered-1.0x", 1.0},
+                                {"offered-4.0x", 4.0},
+                                {"offered-burst", 0.0}}
+            : std::vector<Rung>{{"offered-0.25x", 0.25},
+                                {"offered-0.75x", 0.75},
+                                {"offered-1.5x", 1.5},
+                                {"offered-4.0x", 4.0},
+                                {"offered-burst", 0.0}};
+  // The burst rung offers twice the server's total admission capacity
+  // back-to-back, so it sheds no matter how fast the hardware is.
+  const std::size_t rung_requests = smoke ? 8 : 24;
+  const std::size_t burst_requests = 2 * (opts.max_in_flight + opts.max_queued);
+
+  std::vector<bench::BenchRow> rows;
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const Rung& rung = ladder[r];
+    const bool burst = rung.multiplier <= 0.0;
+    const double rate = burst ? 0.0 : rung.multiplier * capacity_rps;
+    const std::size_t offered = burst ? burst_requests : rung_requests;
+    const RungOutcome out = run_rung(pool, opts, rate, offered, 8300 + r);
+    const runtime::ServerStats& s = out.stats;
+    const std::size_t unserved = s.shed + s.expired + s.cancelled;
+    const double p50 = percentile(out.completed_latency_ms, 0.50);
+    const double p99 = percentile(out.completed_latency_ms, 0.99);
+    const double makespan_ns = out.makespan_ms * 1e6;
+    const std::size_t completed = std::max<std::size_t>(s.completed, 1);
+    std::printf("# %-14s offered=%-3zu completed=%-3zu shed=%-3zu "
+                "peak_queue=%zu/%zu p50=%.0fms p99=%.0fms\n",
+                rung.label, out.offered, s.completed, unserved, s.peak_queued,
+                opts.max_queued, p50, p99);
+    rows.push_back({"server_load_p50", rung.label, out.offered,
+                    std::max(p50, 1e-3) * 1e6, s.completed});
+    rows.push_back({"server_load_p99", rung.label, out.offered,
+                    std::max(p99, 1e-3) * 1e6, s.completed});
+    rows.push_back({"server_load_throughput", rung.label, completed,
+                    makespan_ns / static_cast<double>(completed), unserved});
+    rows.push_back({"server_load_queue", rung.label, opts.max_queued,
+                    makespan_ns / static_cast<double>(out.offered),
+                    s.peak_queued});
+  }
+
+  // Generator determinism: one seeded stream, replayed, must transcribe
+  // identically down to the result bits.
+  const std::vector<std::string> first = replay_transcript(pool, 8400);
+  const std::vector<std::string> second = replay_transcript(pool, 8400);
+  if (first != second) {
+    std::fprintf(stderr, "bench_load: replay transcripts diverge\n");
+    const std::size_t n = std::min(first.size(), second.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (first[i] != second[i]) {
+        std::fprintf(stderr, "  event %zu:\n    %s\n    %s\n", i,
+                     first[i].c_str(), second[i].c_str());
+      }
+    }
+    return 1;
+  }
+  std::printf("# replay determinism: OK (%zu events bit-identical)\n",
+              first.size());
+
+  bench::write_bench_json("BENCH_load.json", rows);
+  return 0;
+}

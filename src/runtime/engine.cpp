@@ -1,13 +1,16 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "core/streaming_session.hpp"
 
 namespace hyperear::runtime {
 
@@ -68,24 +71,32 @@ BatchEngine::BatchEngine(core::PipelineConfig config, std::size_t threads,
   pool_.install_metrics(m, "engine.pool");
 }
 
+std::shared_ptr<const core::PipelineContext> BatchEngine::context_for(
+    WorkspacePool::WorkerState& state, const sim::Session& session) {
+  // Steady state (same configuration as the state's last session)
+  // revalidates the memo with `matches` and never touches the sharded
+  // cache, so no cross-session lock is on this path.
+  const double fs = session.audio.sample_rate;
+  std::shared_ptr<const core::PipelineContext> context = state.last_context;
+  if (context == nullptr ||
+      !context->matches(config_.asp, session.prior.chirp, fs)) {
+    context = contexts_.acquire(config_, session.prior.chirp, fs);
+    state.last_context = context;
+  }
+  return context;
+}
+
 SessionReport BatchEngine::run_one(const sim::Session& session,
                                    std::uint64_t session_id) {
   SessionReport report;
   const Clock::time_point t0 = Clock::now();
   try {
     // Exclusive worker state for this session: a warm workspace plus the
-    // memoized plan pointer. Steady state (same configuration as the
-    // state's last session) revalidates the memo with `matches` and never
-    // touches the sharded cache, so no cross-session lock is on this path.
+    // memoized plan pointer (see context_for).
     WorkspacePool::Lease lease = workspaces_.checkout();
     ++lease->sessions_served;
-    const double fs = session.audio.sample_rate;
-    std::shared_ptr<const core::PipelineContext> context = lease->last_context;
-    if (context == nullptr ||
-        !context->matches(config_.asp, session.prior.chirp, fs)) {
-      context = contexts_.acquire(config_, session.prior.chirp, fs);
-      lease->last_context = context;
-    }
+    std::shared_ptr<const core::PipelineContext> context =
+        context_for(*lease, session);
     const obs::ObsContext obs{registry_.get(), tracer_.get(), session_id};
     // Pathological sessions (plans cannot be built) take the context-free
     // spelling, which rebuilds and fails INSIDE the ASP stage so the error
@@ -106,6 +117,61 @@ SessionReport BatchEngine::run_one(const sim::Session& session,
   } catch (const std::exception& e) {
     // try_localize already maps stage failures; this guards the remaining
     // surface (bad_alloc, metric copies) so no exception reaches the pool.
+    report.status = SessionStatus::error;
+    report.error = core::error_from_exception(e, core::PipelineStage::aggregate);
+  }
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  record(report);
+  return report;
+}
+
+SessionReport BatchEngine::run_one_streamed(const sim::Session& session,
+                                            std::size_t chunk_samples,
+                                            std::uint64_t session_id) {
+  // Streaming push requires equal-length slices; a session whose channels
+  // disagree is corrupt data the batch path classifies inside ASP, so
+  // route it there and keep the error taxonomy identical across classes.
+  if (session.audio.mic1.size() != session.audio.mic2.size() ||
+      chunk_samples == 0) {
+    return run_one(session, session_id);
+  }
+  SessionReport report;
+  const Clock::time_point t0 = Clock::now();
+  try {
+    WorkspacePool::Lease lease = workspaces_.checkout();
+    ++lease->sessions_served;
+    std::shared_ptr<const core::PipelineContext> context =
+        context_for(*lease, session);
+    const obs::ObsContext obs{registry_.get(), tracer_.get(), session_id};
+    // The meta copy carries everything except the samples — those arrive
+    // through push() in chunk_samples-sample slices, exactly as a live
+    // phone would deliver them.
+    sim::Session meta;
+    meta.imu = session.imu;
+    meta.truth = session.truth;
+    meta.prior = session.prior;
+    meta.config = session.config;
+    meta.audio.sample_rate = session.audio.sample_rate;
+    core::StreamingSession stream(std::move(meta), config_, std::move(context),
+                                  &lease->workspace);
+    const std::span<const double> mic1(session.audio.mic1);
+    const std::span<const double> mic2(session.audio.mic2);
+    for (std::size_t i = 0; i < mic1.size(); i += chunk_samples) {
+      const std::size_t n = std::min(chunk_samples, mic1.size() - i);
+      stream.push(mic1.subspan(i, n), mic2.subspan(i, n));
+    }
+    Expected<core::LocalizationResult, core::PipelineError> outcome =
+        stream.finalize(&report.metrics, &obs);
+    if (outcome.has_value()) {
+      report.result = *std::move(outcome);
+      report.status =
+          report.result.valid ? SessionStatus::ok : SessionStatus::no_solution;
+    } else {
+      report.status = SessionStatus::error;
+      report.error = std::move(outcome).error();
+    }
+  } catch (const std::exception& e) {
     report.status = SessionStatus::error;
     report.error = core::error_from_exception(e, core::PipelineStage::aggregate);
   }
@@ -165,6 +231,52 @@ std::future<SessionReport> BatchEngine::enqueue(
     throw;
   }
   return future;
+}
+
+bool BatchEngine::post_refusable(std::function<void()> task) {
+  // Same submitted-then-rejected discipline as enqueue (see there), but a
+  // refused post is an answer, not an exception: the serving layer shares
+  // fate with its shards and must observe a dying one as a value.
+  counters_.submitted.inc();
+  try {
+    pool_.post(std::move(task));
+  } catch (const PreconditionError&) {
+    counters_.rejected.inc();
+    return false;
+  } catch (...) {
+    counters_.rejected.inc();
+    throw;
+  }
+  return true;
+}
+
+bool BatchEngine::try_submit(std::shared_ptr<const sim::Session> session,
+                             std::function<void(SessionReport&&)> done,
+                             std::uint64_t session_id) {
+  HE_EXPECTS(session != nullptr && done != nullptr);
+  const std::uint64_t id =
+      session_id != 0
+          ? session_id
+          : next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return post_refusable(
+      [this, session = std::move(session), done = std::move(done), id] {
+        done(run_one(*session, id));
+      });
+}
+
+bool BatchEngine::try_submit_streamed(std::shared_ptr<const sim::Session> session,
+                                      std::size_t chunk_samples,
+                                      std::function<void(SessionReport&&)> done,
+                                      std::uint64_t session_id) {
+  HE_EXPECTS(session != nullptr && done != nullptr);
+  const std::uint64_t id =
+      session_id != 0
+          ? session_id
+          : next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return post_refusable([this, session = std::move(session),
+                         done = std::move(done), chunk_samples, id] {
+    done(run_one_streamed(*session, chunk_samples, id));
+  });
 }
 
 std::future<SessionReport> BatchEngine::submit(const sim::Session& session) {

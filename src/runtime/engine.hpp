@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <span>
@@ -124,6 +125,30 @@ class BatchEngine {
   [[nodiscard]] std::future<SessionReport> submit(const sim::Session& session);
   [[nodiscard]] std::future<SessionReport> submit(sim::Session&& session);
 
+  /// Serving-layer intake (runtime/server.hpp): like submit(), but the
+  /// report is delivered to `done` on the worker thread that produced it,
+  /// and an engine that has shut down answers `false` instead of throwing —
+  /// the server treats a shard dying mid-flight as data (the request is
+  /// cancelled by value), not as a caller bug. A `false` answer means
+  /// `done` will never run and stats().submitted is untouched. `done` must
+  /// not throw (pool tasks that throw terminate the process, by design).
+  /// `session_id` labels this run's metric/trace series (0 = allocate an
+  /// engine-internal id) so the caller's root span and the pipeline's
+  /// stage spans share one id.
+  [[nodiscard]] bool try_submit(std::shared_ptr<const sim::Session> session,
+                                std::function<void(SessionReport&&)> done,
+                                std::uint64_t session_id = 0);
+
+  /// Streaming-class intake: same contract as try_submit, but the worker
+  /// ingests the session's audio through core::StreamingSession in
+  /// `chunk_samples`-sample slices before solving, exercising the
+  /// incremental path end to end. The report is bit-identical to
+  /// try_submit on the same session (the streaming guarantee: chunking is
+  /// representation, not information); only the ingest spelling differs.
+  [[nodiscard]] bool try_submit_streamed(
+      std::shared_ptr<const sim::Session> session, std::size_t chunk_samples,
+      std::function<void(SessionReport&&)> done, std::uint64_t session_id = 0);
+
   /// Run a whole batch and block until every session is done. Reports come
   /// back in input order regardless of completion order. Sessions are
   /// processed in place (no copies — the span outlives the call by
@@ -164,9 +189,17 @@ class BatchEngine {
 
   [[nodiscard]] SessionReport run_one(const sim::Session& session,
                                       std::uint64_t session_id);
+  [[nodiscard]] SessionReport run_one_streamed(const sim::Session& session,
+                                               std::size_t chunk_samples,
+                                               std::uint64_t session_id);
+  /// Memoized-or-cached plan lookup for one session (may return null for
+  /// pathological sessions; callers fall back to the context-free path).
+  [[nodiscard]] std::shared_ptr<const core::PipelineContext> context_for(
+      WorkspacePool::WorkerState& state, const sim::Session& session);
   void record(const SessionReport& report);
   [[nodiscard]] std::future<SessionReport> enqueue(
       std::shared_ptr<const sim::Session> session);
+  [[nodiscard]] bool post_refusable(std::function<void()> task);
 
   const core::PipelineConfig config_;
   /// Declared before pool_: queued tasks and the pool's own metric handles

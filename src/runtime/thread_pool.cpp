@@ -56,8 +56,15 @@ void ThreadPool::post(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     require(!stopping_, "ThreadPool::post: pool is shutting down");
     queue_.push_back(std::move(queued));
+    // The +1 must land inside the locked region: note_dequeued's -1 runs
+    // under this mutex, so any consumer that pops this task strictly
+    // follows the increment. Incrementing after unlock was safe when the
+    // only consumers were CV-woken workers (the notify below ordered
+    // them), but a try_run_one help-drainer polls the queue without
+    // waiting for the notify and could pop-and-decrement first, driving
+    // the gauge transiently negative (test_stress_pool pins this).
+    if (instrumented) queue_depth_.add(1.0);
   }
-  if (instrumented) queue_depth_.add(1.0);
   wake_.notify_one();
 }
 

@@ -58,7 +58,10 @@ class ThreadPool {
   /// help-drain primitive for callers that posted work and are waiting for
   /// it: instead of blocking while every worker is busy, the waiter runs
   /// queued tasks itself, which keeps nested fan-out (sessions posting
-  /// per-channel tasks onto the same pool) deadlock-free.
+  /// per-channel tasks onto the same pool) deadlock-free. Safe from any
+  /// number of threads concurrently with posts — the queue-depth gauge is
+  /// updated under the queue lock on both sides, so it never dips below
+  /// zero even when a help-drainer races the poster.
   bool try_run_one();
 
   /// True once stop() has been called. Advisory for contract checks: a

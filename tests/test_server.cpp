@@ -1,0 +1,378 @@
+/// Request-lifecycle tests of the serving layer (ctest label "server";
+/// the tsan/asan presets run them under the sanitizers): admission
+/// accept/shed at the configured caps, deadline expiry before dispatch,
+/// shutdown draining every future exactly once, per-class telemetry
+/// agreeing with the lifecycle totals, and determinism of seeded request
+/// streams.
+
+#include "runtime/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/scenario.hpp"
+
+namespace hyperear::runtime {
+namespace {
+
+sim::ScenarioConfig small_scenario() {
+  sim::ScenarioConfig c;
+  c.speaker_distance = 4.0;
+  c.slides_per_stature = 3;
+  c.calibration_duration = 3.0;
+  c.jitter = sim::ruler_jitter();
+  return c;
+}
+
+sim::Session make_session(std::uint64_t seed) {
+  Rng rng(seed);
+  return sim::make_localization_session(small_scenario(), rng);
+}
+
+/// Bit-exact equality of the deterministic result fields.
+void expect_identical(const core::LocalizationResult& a,
+                      const core::LocalizationResult& b) {
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.slides_used, b.slides_used);
+  EXPECT_EQ(a.estimated_position.x, b.estimated_position.x);
+  EXPECT_EQ(a.estimated_position.y, b.estimated_position.y);
+  EXPECT_EQ(a.range, b.range);
+  EXPECT_EQ(a.estimated_period, b.estimated_period);
+  EXPECT_EQ(a.sfo_ppm, b.sfo_ppm);
+}
+
+/// The conservation law every snapshot must satisfy.
+void expect_conserved(const ServerStats& s) {
+  EXPECT_EQ(s.submitted, s.completed + s.shed + s.expired + s.cancelled +
+                             s.queued + s.in_flight);
+}
+
+TEST(Server, AdmissionAcceptShedBoundaryAtTheCaps) {
+  // Manual dispatch: nothing leaves the queue, so the admission decision
+  // is a pure function of the submit sequence — exactly max_queued accepts
+  // then sheds.
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_in_flight = 2;
+  opts.max_queued = 4;
+  opts.manual_dispatch = true;
+  Server server({}, opts);
+  const sim::Session session = make_session(900);
+
+  std::vector<SubmitResult> results;
+  for (std::size_t i = 0; i < 6; ++i) results.push_back(server.submit(session));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].admission, Admission::accepted) << "request " << i;
+    EXPECT_TRUE(results[i].response.valid()) << "request " << i;
+  }
+  for (std::size_t i = 4; i < 6; ++i) {
+    EXPECT_EQ(results[i].admission, Admission::shed) << "request " << i;
+    EXPECT_FALSE(results[i].response.valid()) << "request " << i;
+  }
+
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, 6u);
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.queued, 4u);
+  EXPECT_EQ(s.peak_queued, 4u);
+  expect_conserved(s);
+
+  server.drain();
+  s = server.stats();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_LE(s.peak_in_flight, opts.max_in_flight);
+  expect_conserved(s);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Response r = results[i].response.get();
+    EXPECT_EQ(r.outcome, RequestOutcome::completed);
+    EXPECT_EQ(r.report.status, SessionStatus::ok);
+  }
+}
+
+TEST(Server, DeadlineExpiredRequestsAreCancelledBeforeDispatch) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_queued = 8;
+  opts.batch_policy.deadline_ticks = 1;
+  opts.manual_dispatch = true;
+  Server server({}, opts);
+
+  auto r1 = server.submit(make_session(905));
+  auto r2 = server.submit(make_session(906));
+  ASSERT_EQ(r1.admission, Admission::accepted);
+  ASSERT_EQ(r2.admission, Admission::accepted);
+  server.tick();  // still dispatchable at submit_tick + deadline
+  server.tick();  // now past the deadline
+  EXPECT_EQ(server.pump(), 0u);
+
+  const Response a = r1.response.get();
+  const Response b = r2.response.get();
+  EXPECT_EQ(a.outcome, RequestOutcome::expired);
+  EXPECT_EQ(b.outcome, RequestOutcome::expired);
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.expired, 2u);
+  EXPECT_EQ(s.completed, 0u);
+  expect_conserved(s);
+  // Expired requests never reached an engine.
+  EXPECT_EQ(server.shard(0).stats().submitted, 0u);
+}
+
+TEST(Server, DeadlineHoldsThroughItsLastDispatchableTick) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_queued = 8;
+  opts.batch_policy.deadline_ticks = 2;
+  opts.manual_dispatch = true;
+  Server server({}, opts);
+
+  auto r = server.submit(make_session(907));
+  ASSERT_EQ(r.admission, Admission::accepted);
+  server.tick();
+  server.tick();  // tick == submit_tick + deadline: still dispatchable
+  EXPECT_EQ(server.pump(), 1u);
+  server.drain();
+  EXPECT_EQ(r.response.get().outcome, RequestOutcome::completed);
+}
+
+TEST(Server, ShutdownDrainsEveryAcceptedRequestExactlyOnce) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.threads_per_shard = 1;
+  opts.max_in_flight = 1;
+  opts.max_queued = 8;
+  Server server({}, opts);
+
+  std::vector<SubmitResult> results;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    results.push_back(server.submit(make_session(910 + i)));
+    ASSERT_EQ(results.back().admission, Admission::accepted);
+  }
+  server.shutdown();
+
+  // Every future resolves: whatever was in flight completes, the rest of
+  // the queue cancels. Nothing is lost and nothing resolves twice (a
+  // double set_value would throw future_error inside the server).
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (SubmitResult& r : results) {
+    const Response response = r.response.get();
+    if (response.outcome == RequestOutcome::completed) ++completed;
+    if (response.outcome == RequestOutcome::cancelled) ++cancelled;
+  }
+  EXPECT_EQ(completed + cancelled, 3u);
+  EXPECT_GE(completed, 1u);  // the dispatched head of the queue finished
+
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, completed);
+  EXPECT_EQ(s.cancelled, cancelled);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  expect_conserved(s);
+
+  // Admission is closed now, and shutdown is idempotent.
+  const SubmitResult refused = server.submit(make_session(914));
+  EXPECT_EQ(refused.admission, Admission::closed);
+  server.shutdown();
+  s = server.stats();
+  EXPECT_EQ(s.closed, 1u);
+  expect_conserved(s);
+}
+
+TEST(Server, ShardShutdownMidFlightCancelsByValueInsteadOfLosingTheFuture) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_queued = 4;
+  opts.manual_dispatch = true;
+  Server server({}, opts);
+
+  auto r = server.submit(make_session(915));
+  ASSERT_EQ(r.admission, Admission::accepted);
+  server.shard(0).shutdown();  // chaos: the shard dies before dispatch
+  EXPECT_EQ(server.pump(), 0u);
+
+  const Response response = r.response.get();
+  EXPECT_EQ(response.outcome, RequestOutcome::cancelled);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cancelled, 1u);
+  expect_conserved(s);
+  // The refused dispatch never drifted the engine's stats view.
+  EXPECT_EQ(server.shard(0).stats().submitted, 0u);
+}
+
+TEST(Server, PerClassCountersMatchLifecycleTotals) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_in_flight = 1;
+  opts.max_queued = 1;
+  opts.manual_dispatch = true;
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  Server server({}, opts, EngineObs{registry, nullptr});
+
+  // One accepted batch, one accepted streaming... then the queue is full:
+  // one shed of each class.
+  auto a = server.submit(make_session(920), RequestClass::batch);
+  auto b = server.submit(make_session(921), RequestClass::streaming);
+  auto c = server.submit(make_session(922), RequestClass::batch);
+  auto d = server.submit(make_session(923), RequestClass::streaming);
+  ASSERT_EQ(a.admission, Admission::accepted);
+  ASSERT_EQ(b.admission, Admission::shed);  // queue holds only request a
+  ASSERT_EQ(c.admission, Admission::shed);
+  ASSERT_EQ(d.admission, Admission::shed);
+  server.drain();
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted_by_class[0], 2u);
+  EXPECT_EQ(s.submitted_by_class[1], 2u);
+  EXPECT_EQ(s.completed_by_class[0], 1u);
+  EXPECT_EQ(s.completed_by_class[1], 0u);
+  EXPECT_EQ(s.shed_by_class[0], 1u);
+  EXPECT_EQ(s.shed_by_class[1], 2u);
+  expect_conserved(s);
+
+  // The registry mirrors the lifecycle totals, per class and overall.
+  obs::MetricsRegistry& m = *registry;
+  EXPECT_EQ(m.counter("server.requests_submitted_total").value(), 4.0);
+  EXPECT_EQ(m.counter("server.requests_shed_total").value(), 3.0);
+  EXPECT_EQ(m.counter("server.requests_completed_total").value(), 1.0);
+  EXPECT_EQ(m.counter("server.class.batch.submitted_total").value(), 2.0);
+  EXPECT_EQ(m.counter("server.class.streaming.submitted_total").value(), 2.0);
+  EXPECT_EQ(m.counter("server.class.batch.completed_total").value(), 1.0);
+  EXPECT_EQ(m.counter("server.class.batch.shed_total").value(), 1.0);
+  EXPECT_EQ(m.counter("server.class.streaming.shed_total").value(), 2.0);
+  EXPECT_EQ(m.gauge("server.queue_depth").value(), 0.0);
+  EXPECT_EQ(m.gauge("server.in_flight").value(), 0.0);
+}
+
+TEST(Server, StreamingClassIsBitIdenticalToBatchClass) {
+  const sim::Session session = make_session(930);
+  ServerOptions opts;
+  opts.streaming_chunk_samples = 1000;  // deliberately odd-sized slices
+  Server server({}, opts);
+  auto batch = server.submit(session, RequestClass::batch);
+  auto streaming = server.submit(session, RequestClass::streaming);
+  ASSERT_EQ(batch.admission, Admission::accepted);
+  ASSERT_EQ(streaming.admission, Admission::accepted);
+  const Response rb = batch.response.get();
+  const Response rs = streaming.response.get();
+  ASSERT_EQ(rb.outcome, RequestOutcome::completed);
+  ASSERT_EQ(rs.outcome, RequestOutcome::completed);
+  EXPECT_EQ(rb.report.status, rs.report.status);
+  expect_identical(rb.report.result, rs.report.result);
+}
+
+TEST(Server, IdenticalSeededRequestStreamsProduceBitIdenticalResponses) {
+  // Manual dispatch makes the whole lifecycle a pure function of the
+  // submit/tick/pump schedule, so two replays of one seeded stream must
+  // agree on every admission, outcome, shard, and result bit.
+  const auto run_stream = [](std::uint64_t seed) {
+    ServerOptions opts;
+    opts.shards = 2;
+    opts.threads_per_shard = 2;
+    opts.max_in_flight = 2;
+    opts.max_queued = 8;
+    opts.manual_dispatch = true;
+    Server server({}, opts);
+    Rng rng(seed);
+    std::vector<sim::Session> sessions;
+    for (std::uint64_t i = 0; i < 4; ++i) sessions.push_back(make_session(940 + i));
+    std::vector<SubmitResult> submits;
+    for (int i = 0; i < 6; ++i) {
+      const auto& session = sessions[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sessions.size()) - 1))];
+      const RequestClass cls = rng.uniform_int(0, 1) == 0
+                                   ? RequestClass::batch
+                                   : RequestClass::streaming;
+      submits.push_back(server.submit(session, cls));
+      if (i % 2 == 1) server.tick();
+    }
+    server.drain();
+    std::vector<Response> responses;
+    for (SubmitResult& s : submits) {
+      Response r;
+      if (s.admission == Admission::accepted) r = s.response.get();
+      r.id = s.id;
+      responses.push_back(std::move(r));
+    }
+    return responses;
+  };
+
+  std::vector<Response> first = run_stream(77);
+  std::vector<Response> second = run_stream(77);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].outcome, second[i].outcome) << "request " << i;
+    EXPECT_EQ(first[i].cls, second[i].cls) << "request " << i;
+    EXPECT_EQ(first[i].id, second[i].id) << "request " << i;
+    EXPECT_EQ(first[i].shard, second[i].shard) << "request " << i;
+    EXPECT_EQ(first[i].report.status, second[i].report.status) << "request " << i;
+    expect_identical(first[i].report.result, second[i].report.result);
+  }
+}
+
+TEST(Server, RootSpanPerAcceptedRequestSharesTheSessionId) {
+  auto tracer = std::make_shared<obs::Tracer>();
+  ServerOptions opts;
+  Server server({}, opts, EngineObs{nullptr, tracer});
+  auto a = server.submit(make_session(950));
+  auto b = server.submit(make_session(951));
+  ASSERT_EQ(a.admission, Admission::accepted);
+  ASSERT_EQ(b.admission, Admission::accepted);
+  (void)a.response.get();
+  (void)b.response.get();
+  server.shutdown();
+
+  std::size_t roots = 0;
+  bool stage_span_shares_id = false;
+  for (const obs::SpanRecord& span : tracer->snapshot()) {
+    if (span.name == "server.request") {
+      ++roots;
+      EXPECT_TRUE(span.session == a.id || span.session == b.id);
+    } else if (span.session == a.id || span.session == b.id) {
+      // The pipeline's stage spans ran under the request's id.
+      stage_span_shares_id = true;
+    }
+  }
+  EXPECT_EQ(roots, 2u);
+  EXPECT_TRUE(stage_span_shares_id);
+}
+
+TEST(Server, RejectsInvalidOptionsAndConfigAtConstruction) {
+  ServerOptions no_shards;
+  no_shards.shards = 0;
+  EXPECT_THROW(Server({}, no_shards), PreconditionError);
+
+  ServerOptions no_slots;
+  no_slots.max_in_flight = 0;
+  EXPECT_THROW(Server({}, no_slots), PreconditionError);
+
+  core::PipelineConfig bad;
+  bad.ttl.max_range = -1.0;
+  EXPECT_THROW(Server(bad, ServerOptions{}), PreconditionError);
+}
+
+TEST(Server, CorruptSessionCompletesAsErrorReport) {
+  // A zero-length session is data, not a server failure: it completes
+  // with an error report, exactly like the batch engine's contract.
+  Server server({}, ServerOptions{});
+  auto r = server.submit(sim::Session{});
+  ASSERT_EQ(r.admission, Admission::accepted);
+  const Response response = r.response.get();
+  EXPECT_EQ(response.outcome, RequestOutcome::completed);
+  EXPECT_EQ(response.report.status, SessionStatus::error);
+  EXPECT_EQ(response.report.error.stage, core::PipelineStage::asp);
+}
+
+}  // namespace
+}  // namespace hyperear::runtime

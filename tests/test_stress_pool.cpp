@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -201,6 +202,78 @@ TEST(ThreadPoolStress, MetricsCountEveryTaskAndQueueDepthReturnsToZero) {
   ASSERT_EQ(snap.histograms.size(), 1u);
   EXPECT_EQ(snap.histograms[0].name, "pool.task_wait_ms");
   EXPECT_EQ(snap.histograms[0].count, kTasks);
+}
+
+TEST(ThreadPoolStress, QueueDepthGaugeNeverDipsNegativeUnderHelpDraining) {
+  // Regression for a latent single-consumer assumption: post() used to
+  // bump the queue-depth gauge AFTER releasing the queue lock, while
+  // dequeues decrement it under the lock. CV-woken workers never noticed
+  // (the notify ordered them behind the increment), but a try_run_one
+  // help-drainer — the serving layer's dispatch-context pattern — polls
+  // the queue without the notify and could pop-and-decrement first,
+  // driving the gauge transiently negative. The +1 now lands inside the
+  // locked region; a sampler racing posters and help-drainers must never
+  // observe a negative depth.
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kTasks = 2000;
+  {
+    ThreadPool pool(1);
+    pool.install_metrics(registry, "pool");
+    const obs::Gauge depth = registry.gauge("pool.queue_depth");
+    std::atomic<bool> done{false};
+    std::atomic<bool> negative_seen{false};
+
+    std::vector<std::thread> drainers;
+    for (int d = 0; d < 2; ++d) {
+      drainers.emplace_back([&pool, &done] {
+        while (!done.load(std::memory_order_acquire)) pool.try_run_one();
+      });
+    }
+    std::thread sampler([&depth, &done, &negative_seen] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (depth.value() < 0.0) negative_seen.store(true);
+      }
+    });
+
+    std::atomic<std::size_t> ran{0};
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (ran.load(std::memory_order_acquire) < kTasks) pool.try_run_one();
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : drainers) t.join();
+    sampler.join();
+    EXPECT_FALSE(negative_seen.load());
+  }
+  EXPECT_EQ(registry.gauge("pool.queue_depth").value(), 0.0);
+}
+
+TEST(ThreadPoolStress, CompletionChainedPostsDrainOnPoolOfOne) {
+  // The serving layer pumps from completion context: a pool task, as it
+  // finishes, posts the NEXT task onto the same pool. Pin that such
+  // chains complete on a pool of one even when an outside waiter is
+  // help-draining — any link of the chain may run on either thread.
+  std::function<void(int)> chain;  // declared before the pool: links may
+                                   // still reference it while the pool drains
+  ThreadPool pool(1);
+  constexpr int kLinks = 64;
+  std::atomic<int> ran{0};
+  std::promise<void> finished;
+  chain = [&pool, &chain, &ran, &finished](int remaining) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (remaining == 0) {
+      finished.set_value();
+      return;
+    }
+    pool.post([&chain, remaining] { chain(remaining - 1); });
+  };
+  pool.post([&chain] { chain(kLinks - 1); });
+  std::future<void> done = finished.get_future();
+  while (done.wait_for(std::chrono::milliseconds(0)) !=
+         std::future_status::ready) {
+    pool.try_run_one();
+  }
+  EXPECT_EQ(ran.load(), kLinks);
 }
 
 }  // namespace

@@ -12,7 +12,14 @@
 ///   hyperear_cli demo [--seed N]
 ///       one self-contained simulate+localize round trip
 ///
-/// `localize` and `demo` accept `--metrics-out FILE`: the run executes
+///   hyperear_cli serve [--requests N] [--shards N] [--threads N]
+///               [--in-flight N] [--queue N] [--seed N]
+///       renders a small mixed-traffic pool and pushes it through the
+///       admission-controlled runtime::Server (batch + streaming classes),
+///       printing each request's admission and outcome plus the final
+///       lifecycle totals
+///
+/// `localize`, `demo`, and `serve` accept `--metrics-out FILE`: the run executes
 /// with a live metrics registry + tracer and dumps the telemetry to FILE —
 /// Prometheus text format when FILE ends in ".prom", otherwise a JSON
 /// object {"metrics": {...}, "trace": [...]} with per-stage spans.
@@ -22,17 +29,22 @@
 /// default beacon chirp), so recorded sessions from elsewhere only need the
 /// two sensor files.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "io/csv.hpp"
 #include "io/wav.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/server.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -90,10 +102,13 @@ sim::ScenarioConfig config_from(const Args& args) {
 }
 
 /// One run's observability bundle, created iff --metrics-out was given.
+/// Registry and tracer live behind shared_ptrs so `serve` can hand them to
+/// runtime::Server (whose shards co-own their observability sinks).
 struct CliObs {
-  obs::MetricsRegistry registry;
-  obs::Tracer tracer;
-  obs::ObsContext context{&registry, &tracer, 1};
+  std::shared_ptr<obs::MetricsRegistry> registry =
+      std::make_shared<obs::MetricsRegistry>();
+  std::shared_ptr<obs::Tracer> tracer = std::make_shared<obs::Tracer>();
+  obs::ObsContext context{registry.get(), tracer.get(), 1};
   std::string path;
 
   /// Write the telemetry to `path`; returns false on I/O failure.
@@ -105,11 +120,11 @@ struct CliObs {
     }
     const bool prom = path.size() >= 5 && path.rfind(".prom") == path.size() - 5;
     if (prom) {
-      const std::string text = registry.to_prometheus();
+      const std::string text = registry->to_prometheus();
       std::fwrite(text.data(), 1, text.size(), f);
     } else {
-      const std::string metrics = registry.to_json();
-      const std::string trace = tracer.to_json();
+      const std::string metrics = registry->to_json();
+      const std::string trace = tracer->to_json();
       std::fprintf(f, "{\n\"metrics\": %s,\n\"trace\": %s}\n", metrics.c_str(),
                    trace.c_str());
     }
@@ -223,11 +238,90 @@ int cmd_demo(const Args& args) {
   return code;
 }
 
+int cmd_serve(const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.get_num("seed", 11.0)));
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_num("requests", 10.0));
+  runtime::ServerOptions opts;
+  opts.shards = static_cast<std::size_t>(args.get_num("shards", 2.0));
+  opts.threads_per_shard = static_cast<std::size_t>(args.get_num("threads", 2.0));
+  opts.max_in_flight = static_cast<std::size_t>(args.get_num("in-flight", 4.0));
+  opts.max_queued = static_cast<std::size_t>(args.get_num("queue", 8.0));
+
+  // A small mixed-traffic pool: quiet ruler, chatting hand-held, and a
+  // mall session on a second chirp band so both shard plan keys see work.
+  std::vector<sim::Session> pool;
+  {
+    sim::ScenarioConfig quiet;
+    quiet.speaker_distance = 4.0;
+    quiet.slides_per_stature = 3;
+    quiet.calibration_duration = 3.0;
+    quiet.jitter = sim::ruler_jitter();
+    sim::ScenarioConfig chatting = quiet;
+    chatting.environment = sim::meeting_room_chatting();
+    chatting.jitter = sim::hand_jitter();
+    sim::ScenarioConfig mall = quiet;
+    mall.environment = sim::mall_off_peak();
+    mall.speaker.chirp.freq_high_hz = 5800.0;  // hashes to the odd shard
+    for (const sim::ScenarioConfig& c : {quiet, chatting, mall}) {
+      pool.push_back(sim::make_localization_session(c, rng));
+    }
+  }
+
+  const std::unique_ptr<CliObs> obs = make_obs(args);
+  runtime::Server server({}, opts,
+                         obs != nullptr
+                             ? runtime::EngineObs{obs->registry, obs->tracer}
+                             : runtime::EngineObs{});
+  std::printf("serving: %zu shard(s) x %zu thread(s), %zu in flight, queue %zu\n",
+              server.shard_count(), opts.threads_per_shard, opts.max_in_flight,
+              opts.max_queued);
+
+  std::vector<std::future<runtime::Response>> futures;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const sim::Session& session = pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const runtime::RequestClass cls = rng.uniform_int(0, 9) < 3
+                                          ? runtime::RequestClass::streaming
+                                          : runtime::RequestClass::batch;
+    runtime::SubmitResult r = server.submit(session, cls);
+    std::printf("submit %2llu [%-9s] -> %s (shard %zu)\n",
+                static_cast<unsigned long long>(r.id), runtime::to_string(cls),
+                runtime::to_string(r.admission), server.shard_for(session));
+    if (r.admission == runtime::Admission::accepted) {
+      futures.push_back(std::move(r.response));
+    }
+  }
+  server.drain();
+
+  for (std::future<runtime::Response>& f : futures) {
+    const runtime::Response r = f.get();
+    if (r.outcome == runtime::RequestOutcome::completed) {
+      std::printf("request %2llu: completed on shard %zu in %7.1f ms -> %s\n",
+                  static_cast<unsigned long long>(r.id), r.shard, r.latency_ms,
+                  runtime::to_string(r.report.status));
+    } else {
+      std::printf("request %2llu: %s\n",
+                  static_cast<unsigned long long>(r.id),
+                  runtime::to_string(r.outcome));
+    }
+  }
+
+  const runtime::ServerStats s = server.stats();
+  std::printf("totals: %zu submitted, %zu completed, %zu shed, %zu expired, "
+              "%zu cancelled (peak queue %zu, peak in flight %zu)\n",
+              s.submitted, s.completed, s.shed, s.expired, s.cancelled,
+              s.peak_queued, s.peak_in_flight);
+  server.shutdown();
+  if (obs != nullptr && !obs->write()) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: hyperear_cli simulate|localize|demo [--flags]\n");
+    std::printf("usage: hyperear_cli simulate|localize|demo|serve [--flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -236,6 +330,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "localize") return cmd_localize(args);
     if (cmd == "demo") return cmd_demo(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 1;
