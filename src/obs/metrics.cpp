@@ -78,7 +78,7 @@ void Histogram::observe(double value) const {
 }
 
 Counter MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
     return Counter(it->second);
   }
@@ -88,7 +88,7 @@ Counter MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
     return Gauge(it->second);
   }
@@ -104,7 +104,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
     require(upper_bounds[i - 1] < upper_bounds[i],
             "MetricsRegistry::histogram: bounds must be strictly increasing");
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   if (const auto it = histogram_index_.find(name); it != histogram_index_.end()) {
     require(std::equal(upper_bounds.begin(), upper_bounds.end(),
                        it->second->upper_bounds.begin(),
@@ -120,7 +120,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const detail::CounterEntry& e : counters_) {

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 /// @file metrics.hpp
 /// The metrics half of the observability layer (DESIGN.md Section 10): a
@@ -170,15 +171,16 @@ class MetricsRegistry {
   /// Find-or-create; the same name always yields a handle to the same
   /// metric, so independent components can share a series by agreeing on
   /// its name.
-  [[nodiscard]] Counter counter(std::string_view name);
-  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Counter counter(std::string_view name) HE_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge gauge(std::string_view name) HE_EXCLUDES(mutex_);
   /// `upper_bounds` must be non-empty and strictly increasing; throws
   /// PreconditionError otherwise, or when `name` exists with different
   /// bounds.
   [[nodiscard]] Histogram histogram(std::string_view name,
-                                    std::span<const double> upper_bounds);
+                                    std::span<const double> upper_bounds)
+      HE_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const HE_EXCLUDES(mutex_);
 
   /// Deterministic JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} with name-sorted keys.
@@ -189,13 +191,22 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_prometheus() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<detail::CounterEntry> counters_;
-  std::deque<detail::GaugeEntry> gauges_;
-  std::deque<detail::HistogramEntry> histograms_;
-  std::map<std::string, detail::CounterEntry*, std::less<>> counter_index_;
-  std::map<std::string, detail::GaugeEntry*, std::less<>> gauge_index_;
-  std::map<std::string, detail::HistogramEntry*, std::less<>> histogram_index_;
+  /// Leaf of the lock hierarchy: handle creation and snapshots happen
+  /// under arbitrary caller locks (engines register series while the
+  /// server lock is held), so nothing may be acquired under this one.
+  /// Handle UPDATES are sharded relaxed atomics on the entries — the
+  /// entry deques are guarded (they append under the lock) but handles
+  /// reach entries through stable pointers, never through the deque.
+  mutable he::Mutex mutex_ HE_LOCK_LEVEL(registry);
+  std::deque<detail::CounterEntry> counters_ HE_GUARDED_BY(mutex_);
+  std::deque<detail::GaugeEntry> gauges_ HE_GUARDED_BY(mutex_);
+  std::deque<detail::HistogramEntry> histograms_ HE_GUARDED_BY(mutex_);
+  std::map<std::string, detail::CounterEntry*, std::less<>> counter_index_
+      HE_GUARDED_BY(mutex_);
+  std::map<std::string, detail::GaugeEntry*, std::less<>> gauge_index_
+      HE_GUARDED_BY(mutex_);
+  std::map<std::string, detail::HistogramEntry*, std::less<>> histogram_index_
+      HE_GUARDED_BY(mutex_);
 };
 
 /// Render a snapshot without a live registry (exporter golden tests build

@@ -8,7 +8,7 @@ namespace hyperear::obs {
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::vector<SpanRecord> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(),
@@ -36,7 +36,7 @@ std::string Tracer::to_json() const {
 }
 
 void Tracer::record(SpanRecord&& rec) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   spans_.push_back(std::move(rec));
 }
 

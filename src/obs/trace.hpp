@@ -3,10 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 /// @file trace.hpp
 /// The tracing half of the observability layer: per-stage spans of the
@@ -49,7 +50,7 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Finished spans, ordered by span id (== start order).
-  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const HE_EXCLUDES(mutex_);
 
   /// JSON array of span objects, id-ordered.
   [[nodiscard]] std::string to_json() const;
@@ -59,15 +60,18 @@ class Tracer {
   [[nodiscard]] std::uint64_t begin() {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  void record(SpanRecord&& rec);
+  void record(SpanRecord&& rec) HE_EXCLUDES(mutex_);
   [[nodiscard]] double ms_since_epoch(std::chrono::steady_clock::time_point t) const {
     return std::chrono::duration<double, std::milli>(t - epoch_).count();
   }
 
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_id_{1};
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  /// Leaf of the lock hierarchy, like the metrics registry lock: spans
+  /// finish on worker threads inside engine callbacks, so nothing may be
+  /// acquired under this mutex.
+  mutable he::Mutex mutex_ HE_LOCK_LEVEL(registry);
+  std::vector<SpanRecord> spans_ HE_GUARDED_BY(mutex_);
 };
 
 /// RAII span: records itself on destruction (or explicit `finish()`).

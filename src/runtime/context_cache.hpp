@@ -3,9 +3,9 @@
 #include <array>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/pipeline.hpp"
 #include "core/pipeline_context.hpp"
 
@@ -45,7 +45,7 @@ class ContextCache {
       double sample_rate) {
     const std::uint64_t hash = core::plan_key_hash(config.asp, chirp, sample_rate);
     Shard& shard = shards_[hash & (kShards - 1)];
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const he::MutexLock lock(shard.mutex);
     for (const auto& c : shard.entries) {
       if (c->matches(config.asp, chirp, sample_rate)) return c;
     }
@@ -63,7 +63,7 @@ class ContextCache {
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const he::MutexLock lock(shard.mutex);
       total += shard.entries.size();
     }
     return total;
@@ -78,8 +78,9 @@ class ContextCache {
   static constexpr std::size_t kMaxPerShard = 4;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<std::shared_ptr<const core::PipelineContext>> entries;
+    mutable he::Mutex mutex HE_LOCK_LEVEL(engine);
+    std::vector<std::shared_ptr<const core::PipelineContext>> entries
+        HE_GUARDED_BY(mutex);
   };
 
   std::array<Shard, kShards> shards_;

@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/streaming_session.hpp"
 
 namespace hyperear::runtime {
@@ -301,13 +300,15 @@ std::vector<SessionReport> BatchEngine::localize_all(
   std::vector<SessionReport> reports(sessions.size());
   if (sessions.empty()) return reports;
   HE_EXPECTS(!pool_.stopped());
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Frame-local join state: a leaf outside the lock hierarchy (no
+  // HE_LOCK_LEVEL — nothing else is ever acquired under it).
+  he::Mutex done_mutex;
+  he::CondVar done_cv;
   std::size_t done = 0;
   std::size_t posted = 0;
   const auto wait_for_posted = [&] {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done == posted; });
+    he::MutexLock lock(done_mutex);
+    while (done != posted) done_cv.wait(lock);
   };
   try {
     for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -322,7 +323,7 @@ std::vector<SessionReport> BatchEngine::localize_all(
           // Notify under the lock: the waiter destroys the condvar as soon
           // as it observes done == posted, so signalling after unlock would
           // race that destruction.
-          const std::lock_guard<std::mutex> lock(done_mutex);
+          const he::MutexLock lock(done_mutex);
           ++done;
           done_cv.notify_one();
         });

@@ -23,6 +23,13 @@
 /// Public (rather than an engine implementation detail) so the stress
 /// suite (tests/test_stress_pool.cpp, label "stress") can drive nested
 /// fan-out and drain-on-stop races against it under tsan directly.
+///
+/// Lock-free by design: the executor owns no mutex (futures carry the
+/// completion edge; try_run_one takes the pool lock internally), so under
+/// the thread-safety analysis (DESIGN.md §14) run_pair is an ordinary
+/// unannotated function — it must NOT be called while holding any lock at
+/// or below the `pool` level, which holds structurally because every
+/// caller sits on a worker thread outside the engine's locked regions.
 
 namespace hyperear::runtime {
 

@@ -90,9 +90,17 @@ Server::Server(core::PipelineConfig config, ServerOptions options, EngineObs obs
   }
   // NOLINTNEXTLINE(hyperear-hotpath) -- one-time construction of the shard pool
   shards_.reserve(options_.shards);
+  // NOLINTNEXTLINE(hyperear-hotpath) -- one-time construction of per-shard telemetry handles
+  counters_.shard_queue_depth.reserve(options_.shards);
+  // NOLINTNEXTLINE(hyperear-hotpath) -- one-time construction of per-shard telemetry handles
+  counters_.shard_dispatched.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(std::make_unique<BatchEngine>(
         config_, options_.threads_per_shard, EngineObs{registry_, tracer_}));
+    const std::string shard_prefix = "server.shard." + std::to_string(s);
+    counters_.shard_queue_depth.push_back(m.gauge(shard_prefix + ".queue_depth"));
+    counters_.shard_dispatched.push_back(
+        m.counter(shard_prefix + ".dispatched_total"));
   }
 }
 
@@ -134,6 +142,7 @@ SubmitResult Server::submit(sim::Session session, RequestClass cls) {
   PendingRequest req;
   req.session = std::make_shared<const sim::Session>(std::move(session));
   req.cls = cls;
+  req.shard = shard_for(*req.session);
   req.submitted_at = obs::monotonic_now();
   const std::uint64_t deadline = policy(cls).deadline_ticks;
   req.deadline_tick =
@@ -144,7 +153,7 @@ SubmitResult Server::submit(sim::Session session, RequestClass cls) {
   // NOLINTNEXTLINE(hyperear-hotpath) -- per-request control-plane staging (promise resolution outside the lock), not per-sample DSP
   std::vector<Resolution> resolved;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     if (stopping_) {
       ++stats_.closed;
       counters_.closed.inc();
@@ -177,6 +186,7 @@ SubmitResult Server::submit(sim::Session session, RequestClass cls) {
     }
     result.response = req.promise.get_future();
     result.admission = Admission::accepted;
+    counters_.shard_queue_depth[req.shard].add(1.0);
     pending_.push_back(std::move(req));
     counters_.queue_depth.add(1.0);
     stats_.peak_queued = std::max(stats_.peak_queued, pending_.size());
@@ -203,6 +213,7 @@ std::size_t Server::pump_locked(std::vector<Resolution>& resolved) {
     PendingRequest req = std::move(pending_.front());
     pending_.pop_front();
     counters_.queue_depth.add(-1.0);
+    counters_.shard_queue_depth[req.shard].add(-1.0);
     const std::size_t ci = class_index(req.cls);
     // Deadline check happens HERE, at the dispatch decision — an expired
     // request never reaches an engine, it resolves by value instead.
@@ -216,7 +227,7 @@ std::size_t Server::pump_locked(std::vector<Resolution>& resolved) {
     auto rec = std::make_shared<InFlight>();
     rec->cls = req.cls;
     rec->id = req.id;
-    rec->shard = shard_for(*req.session);
+    rec->shard = req.shard;
     rec->submitted_at = req.submitted_at;
     rec->promise = std::move(req.promise);
     rec->span = std::move(req.span);
@@ -256,6 +267,7 @@ std::size_t Server::pump_locked(std::vector<Resolution>& resolved) {
       resolved.push_back(std::move(res));
       continue;
     }
+    counters_.shard_dispatched[rec->shard].inc();
     ++dispatched;
   }
   return dispatched;
@@ -266,7 +278,7 @@ std::size_t Server::pump() {
   std::vector<Resolution> resolved;
   std::size_t dispatched = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     if (!stopping_) dispatched = pump_locked(resolved);
   }
   resolve(resolved);
@@ -288,7 +300,7 @@ void Server::complete(const std::shared_ptr<InFlight>& rec,
   // NOLINTNEXTLINE(hyperear-hotpath) -- per-request control-plane staging (promise resolution outside the lock), not per-sample DSP
   std::vector<Resolution> resolved;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     HE_EXPECTS(in_flight_ > 0);
     --in_flight_;
     counters_.in_flight.add(-1.0);
@@ -308,11 +320,9 @@ void Server::complete(const std::shared_ptr<InFlight>& rec,
 void Server::drain() {
   for (;;) {
     (void)pump();
-    std::unique_lock<std::mutex> lock(mutex_);
+    he::MutexLock lock(mutex_);
     if (stopping_ || (pending_.empty() && in_flight_ == 0)) return;
-    if (in_flight_ > 0) {
-      idle_cv_.wait(lock, [this] { return in_flight_ == 0 || stopping_; });
-    }
+    while (in_flight_ != 0 && !stopping_) idle_cv_.wait(lock);
     // in_flight_ hit zero with requests still queued (manual mode, or a
     // completion raced our pump) — loop and pump again; every iteration
     // either dispatches, expires, or cancels at least one queued request,
@@ -324,13 +334,14 @@ void Server::shutdown() {
   // NOLINTNEXTLINE(hyperear-hotpath) -- shutdown control plane: one-time cancellation staging, not per-session steady state
   std::vector<Resolution> resolved;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     if (!stopping_) {
       stopping_ = true;
       while (!pending_.empty()) {
         PendingRequest req = std::move(pending_.front());
         pending_.pop_front();
         counters_.queue_depth.add(-1.0);
+        counters_.shard_queue_depth[req.shard].add(-1.0);
         const std::size_t ci = class_index(req.cls);
         ++stats_.cancelled;
         ++stats_.cancelled_by_class[ci];
@@ -342,15 +353,15 @@ void Server::shutdown() {
   }
   resolve(resolved);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    he::MutexLock lock(mutex_);
+    while (in_flight_ != 0) idle_cv_.wait(lock);
   }
   // In-flight work has resolved; now the shard pools can drain and join.
   for (const std::unique_ptr<BatchEngine>& shard : shards_) shard->shutdown();
 }
 
 ServerStats Server::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   ServerStats s = stats_;
   s.queued = pending_.size();
   s.in_flight = in_flight_;

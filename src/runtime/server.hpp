@@ -2,15 +2,14 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/pipeline.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -41,9 +40,16 @@
 /// shards trade load balance for cache affinity (DESIGN.md §13).
 ///
 /// Telemetry: `server.*` counters (submitted/shed/expired/cancelled/
-/// completed), queue-depth and in-flight gauges, per-class latency
-/// histograms, and a root `server.request` trace span per accepted
-/// request whose session id is shared with the pipeline's stage spans.
+/// completed), queue-depth and in-flight gauges, per-shard load series
+/// (`server.shard.<i>.queue_depth` / `.dispatched_total` — the numbers
+/// that quantify plan-affinity skew), per-class latency histograms, and
+/// a root `server.request` trace span per accepted request whose session
+/// id is shared with the pipeline's stage spans.
+///
+/// Locking: `mutex_` is the single server lock, at the TOP (`server`)
+/// level of the lock hierarchy (DESIGN.md §14) — pump_locked posts into
+/// shard pools while holding it, so pool-level locks nest inside it,
+/// never the reverse. Promises are resolved strictly OUTSIDE the lock.
 
 namespace hyperear::runtime {
 
@@ -161,30 +167,31 @@ class Server {
   /// Admit-or-shed one request. Never blocks on engine work: the decision
   /// is made against the queue/in-flight levels under the server lock.
   [[nodiscard]] SubmitResult submit(sim::Session session,
-                                    RequestClass cls = RequestClass::batch);
+                                    RequestClass cls = RequestClass::batch)
+      HE_EXCLUDES(mutex_);
 
   /// Advance the logical deadline clock by one tick (and, in automatic
   /// mode, give queued requests a dispatch opportunity).
-  void tick();
+  void tick() HE_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t current_tick() const;
 
   /// Move queued requests to engines while in-flight capacity allows,
   /// expiring past-deadline ones. Returns the number dispatched. No-op
   /// after shutdown began. Automatic mode calls this internally on every
   /// submit and completion; manual mode relies on explicit calls.
-  std::size_t pump();
+  std::size_t pump() HE_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and nothing is in flight, pumping as
   /// needed (works in both dispatch modes). Returns early if shutdown
   /// begins concurrently.
-  void drain();
+  void drain() HE_EXCLUDES(mutex_);
 
   /// Stop admission, cancel everything still queued (their futures
   /// resolve with `cancelled`), wait for in-flight requests to resolve,
   /// then shut the shard engines down. Idempotent; safe concurrently.
-  void shutdown();
+  void shutdown() HE_EXCLUDES(mutex_);
 
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const HE_EXCLUDES(mutex_);
   [[nodiscard]] obs::MetricsRegistry& metrics() const { return *registry_; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_.get(); }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -203,6 +210,10 @@ class Server {
     RequestClass cls = RequestClass::batch;
     std::uint64_t id = 0;
     std::uint64_t deadline_tick = 0;  ///< kNoDeadline when policy is 0
+    /// Target shard, fixed at admission (shard_for is a pure function of
+    /// the session) so the per-shard queue-depth gauges can move at
+    /// enqueue time, not dispatch time.
+    std::size_t shard = 0;
     obs::MonotonicTime submitted_at{};
     std::promise<Response> promise;
     obs::TraceSpan span;
@@ -245,14 +256,23 @@ class Server {
     std::array<obs::Counter, kRequestClassCount> class_completed;
     /// server.latency_ms.<cls> — completed requests only
     std::array<obs::Histogram, kRequestClassCount> latency_ms;
+    /// Per-shard load series quantifying plan-affinity skew:
+    /// server.shard.<i>.queue_depth — admitted-not-yet-dispatched requests
+    /// bound for shard i (moves under mutex_, like server.queue_depth);
+    /// server.shard.<i>.dispatched_total — requests handed to shard i's
+    /// engine (expired/cancelled requests never count).
+    std::vector<obs::Gauge> shard_queue_depth;
+    std::vector<obs::Counter> shard_dispatched;
   };
 
   [[nodiscard]] const ClassPolicy& policy(RequestClass cls) const;
   /// Dispatch loop; requires mutex_ held. Appends expired/refused
   /// requests to `resolved` for resolution after unlock.
-  std::size_t pump_locked(std::vector<Resolution>& resolved);
+  std::size_t pump_locked(std::vector<Resolution>& resolved)
+      HE_REQUIRES(mutex_);
   /// Engine completion re-entry (runs on a shard worker thread).
-  void complete(const std::shared_ptr<InFlight>& rec, SessionReport&& report);
+  void complete(const std::shared_ptr<InFlight>& rec, SessionReport&& report)
+      HE_EXCLUDES(mutex_);
   static void resolve(std::vector<Resolution>& resolutions);
   [[nodiscard]] static Resolution resolution_for(PendingRequest&& req,
                                                  RequestOutcome outcome);
@@ -265,16 +285,16 @@ class Server {
   std::vector<std::unique_ptr<BatchEngine>> shards_;
 
   std::atomic<std::uint64_t> tick_{0};
-  mutable std::mutex mutex_;
+  mutable he::Mutex mutex_ HE_LOCK_LEVEL(server);
   /// Signalled when in_flight_ reaches zero (drain/shutdown wait on it).
-  std::condition_variable idle_cv_;
-  std::deque<PendingRequest> pending_;
-  std::size_t in_flight_ = 0;
-  std::uint64_t next_request_id_ = 0;
-  bool stopping_ = false;
+  he::CondVar idle_cv_;
+  std::deque<PendingRequest> pending_ HE_GUARDED_BY(mutex_);
+  std::size_t in_flight_ HE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_request_id_ HE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ HE_GUARDED_BY(mutex_) = false;
   /// Exact lifecycle accounting, guarded by mutex_ (the registry counters
   /// mirror these for scraping but are sampled without the lock).
-  ServerStats stats_;
+  ServerStats stats_ HE_GUARDED_BY(mutex_);
 };
 
 }  // namespace hyperear::runtime

@@ -68,7 +68,7 @@ StreamingEngine::~StreamingEngine() { shutdown(); }
 std::uint64_t StreamingEngine::open(sim::Session meta) {
   require(!stopping_.load(std::memory_order_relaxed),
           "StreamingEngine: open after shutdown");
-  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const he::MutexLock lock(sessions_mutex_);
   if (sessions_.size() >= options_.max_sessions) {
     counters_.open_rejected.inc();
     return 0;
@@ -78,7 +78,13 @@ std::uint64_t StreamingEngine::open(sim::Session meta) {
   // leave no half-open session behind — the lease returns via RAII.
   auto entry = std::make_shared<Entry>();
   entry->id = ++next_id_;
-  entry->last_tick = current_tick_.load(std::memory_order_relaxed);
+  {
+    // Uncontended by construction (the entry is unpublished until the
+    // emplace below), but last_tick is a guarded field and the analysis
+    // rightly has no notion of "not shared yet".
+    const he::MutexLock entry_lock(entry->mutex);
+    entry->last_tick = current_tick_.load(std::memory_order_relaxed);
+  }
   entry->opened_at = obs::monotonic_now();
   entry->lease.emplace(workspaces_.checkout());
   WorkspacePool::WorkerState& state = **entry->lease;
@@ -103,7 +109,7 @@ std::uint64_t StreamingEngine::open(sim::Session meta) {
 
 std::shared_ptr<StreamingEngine::Entry> StreamingEngine::find(
     std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const he::MutexLock lock(sessions_mutex_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -128,7 +134,7 @@ PushStatus StreamingEngine::push(std::uint64_t id, std::span<const double> mic1,
   const std::shared_ptr<Entry> entry = find(id);
   if (entry == nullptr) return PushStatus::unknown_session;
   const std::size_t added = mic1.size() + mic2.size();
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const he::MutexLock lock(entry->mutex);
   if (entry->evicted) return PushStatus::unknown_session;
   if (entry->closing) return PushStatus::closed;
   if (entry->buffered_samples + added > options_.max_buffered_samples) {
@@ -158,7 +164,7 @@ std::future<SessionReport> StreamingEngine::finalize(std::uint64_t id) {
   bool run_inline = false;
   std::future<SessionReport> future;
   {
-    const std::lock_guard<std::mutex> lock(entry->mutex);
+    const he::MutexLock lock(entry->mutex);
     require(!entry->evicted, "StreamingEngine::finalize: unknown session");
     require(!entry->closing, "StreamingEngine::finalize: already finalizing");
     entry->closing = true;
@@ -186,7 +192,7 @@ void StreamingEngine::drain(const std::shared_ptr<Entry>& entry) {
     bool have_chunk = false;
     bool do_finalize = false;
     {
-      const std::lock_guard<std::mutex> lock(entry->mutex);
+      const he::MutexLock lock(entry->mutex);
       if (entry->evicted) {
         // Evictor saw us running and left teardown to us.
         entry->session.reset();
@@ -226,7 +232,7 @@ void StreamingEngine::drain(const std::shared_ptr<Entry>& entry) {
           entry->push_error = std::current_exception();
         }
       }
-      const std::lock_guard<std::mutex> lock(entry->mutex);
+      const he::MutexLock lock(entry->mutex);
       buf.mic1.clear();
       buf.mic2.clear();
       entry->freelist.push_back(std::move(buf));
@@ -268,13 +274,13 @@ void StreamingEngine::finish_entry(const std::shared_ptr<Entry>& entry) {
   // Retire the session BEFORE resolving the future: a caller returning
   // from future.get() must observe the id gone and the lease returned.
   {
-    const std::lock_guard<std::mutex> lock(entry->mutex);
+    const he::MutexLock lock(entry->mutex);
     entry->session.reset();
     entry->lease.reset();
     entry->scheduled = false;
   }
   {
-    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const he::MutexLock lock(sessions_mutex_);
     sessions_.erase(entry->id);
     counters_.open_gauge.set(static_cast<double>(sessions_.size()));
   }
@@ -289,12 +295,13 @@ void StreamingEngine::tick() {
 std::size_t StreamingEngine::evict_idle(std::uint64_t max_idle_ticks) {
   const std::uint64_t now = current_tick_.load(std::memory_order_relaxed);
   std::size_t evicted = 0;
-  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const he::MutexLock lock(sessions_mutex_);
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     const std::shared_ptr<Entry>& entry = it->second;
     bool evict_this = false;
     {
-      const std::lock_guard<std::mutex> entry_lock(entry->mutex);
+      // streaming -> session nesting: the declared hierarchy direction.
+      const he::MutexLock entry_lock(entry->mutex);
       const std::uint64_t idle = now - entry->last_tick;
       if (!entry->closing && !entry->evicted && idle > max_idle_ticks) {
         entry->evicted = true;
@@ -330,7 +337,7 @@ void StreamingEngine::shutdown() {
 }
 
 std::size_t StreamingEngine::open_sessions() const {
-  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const he::MutexLock lock(sessions_mutex_);
   return sessions_.size();
 }
 

@@ -8,11 +8,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/streaming_session.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -81,17 +81,20 @@ class StreamingEngine {
   /// arrive via `push`). Returns the session id (>= 1), or 0 when
   /// `max_sessions` are already open. Throws PreconditionError after
   /// shutdown.
-  [[nodiscard]] std::uint64_t open(sim::Session meta);
+  [[nodiscard]] std::uint64_t open(sim::Session meta)
+      HE_EXCLUDES(sessions_mutex_);
 
   /// Buffer one stereo slice for the session (equal lengths) and schedule
   /// its drain. Never blocks on DSP work.
   [[nodiscard]] PushStatus push(std::uint64_t id, std::span<const double> mic1,
-                                std::span<const double> mic2);
+                                std::span<const double> mic2)
+      HE_EXCLUDES(sessions_mutex_);
 
   /// Declare end-of-audio: no further pushes are accepted; the future
   /// resolves once the drain task has run the session's `finalize`. Throws
   /// PreconditionError for an unknown (or already finalized) id.
-  [[nodiscard]] std::future<SessionReport> finalize(std::uint64_t id);
+  [[nodiscard]] std::future<SessionReport> finalize(std::uint64_t id)
+      HE_EXCLUDES(sessions_mutex_);
 
   /// Advance the logical clock one step. Activity on a session stamps the
   /// current tick; `evict_idle(max_idle)` closes sessions whose stamp is
@@ -101,13 +104,14 @@ class StreamingEngine {
   /// Evict sessions idle for more than `max_idle_ticks` (finalizing
   /// sessions are never evicted). Their ids become unknown and their
   /// workspaces return to the pool. Returns how many were evicted.
-  std::size_t evict_idle(std::uint64_t max_idle_ticks);
+  std::size_t evict_idle(std::uint64_t max_idle_ticks)
+      HE_EXCLUDES(sessions_mutex_);
 
   /// Stop accepting opens and pushes; sessions already finalizing still
   /// resolve their futures. Idempotent; the destructor implies it.
   void shutdown();
 
-  [[nodiscard]] std::size_t open_sessions() const;
+  [[nodiscard]] std::size_t open_sessions() const HE_EXCLUDES(sessions_mutex_);
   [[nodiscard]] obs::MetricsRegistry& metrics() const { return *registry_; }
   [[nodiscard]] std::size_t thread_count() const { return pool_.size(); }
   [[nodiscard]] const core::PipelineConfig& config() const { return config_; }
@@ -120,21 +124,32 @@ class StreamingEngine {
     std::vector<double> mic2;
   };
 
-  /// One open session. `mutex` guards the inbox and flags; the session and
-  /// lease are touched ONLY by the (single) scheduled drain task.
+  /// One open session. `mutex` guards the inbox and flags; the members
+  /// below the guarded block are STRAND-OWNED — touched only by the
+  /// (single) scheduled drain task, which `scheduled` serializes — or
+  /// immutable after open, so they deliberately carry no HE_GUARDED_BY
+  /// (the analysis cannot express "owned by whichever thread holds the
+  /// strand", and a mutex annotation here would force drains to hold the
+  /// lock across DSP work).
   struct Entry {
-    std::mutex mutex;
-    std::deque<Buffered> inbox;
-    std::vector<Buffered> freelist;
-    std::size_t buffered_samples = 0;  ///< both channels combined
-    bool scheduled = false;  ///< a drain task is queued or running
-    bool closing = false;    ///< finalize requested; inbox drains then solves
-    bool evicted = false;    ///< drain must abandon the session
-    std::uint64_t last_tick = 0;
+    he::Mutex mutex HE_LOCK_LEVEL(session);
+    std::deque<Buffered> inbox HE_GUARDED_BY(mutex);
+    std::vector<Buffered> freelist HE_GUARDED_BY(mutex);
+    /// Both channels combined.
+    std::size_t buffered_samples HE_GUARDED_BY(mutex) = 0;
+    /// A drain task is queued or running.
+    bool scheduled HE_GUARDED_BY(mutex) = false;
+    /// Finalize requested; inbox drains then solves.
+    bool closing HE_GUARDED_BY(mutex) = false;
+    /// Drain must abandon the session.
+    bool evicted HE_GUARDED_BY(mutex) = false;
+    std::uint64_t last_tick HE_GUARDED_BY(mutex) = 0;
+    // -- immutable after open --
     std::uint64_t id = 0;
+    obs::MonotonicTime opened_at;
+    // -- strand-owned (see above) --
     std::size_t events_seen = 0;       ///< events already counted on metrics
     std::exception_ptr push_error;     ///< first drain-side failure, if any
-    obs::MonotonicTime opened_at;
     std::optional<WorkspacePool::Lease> lease;
     std::optional<core::StreamingSession> session;
     std::promise<SessionReport> promise;
@@ -158,10 +173,13 @@ class StreamingEngine {
   /// Queue a drain task unless one is already queued/running. Returns false
   /// when the pool refused the post (engine shutting down). Caller holds
   /// `entry->mutex`.
-  bool schedule_drain_locked(const std::shared_ptr<Entry>& entry);
-  void drain(const std::shared_ptr<Entry>& entry);
-  void finish_entry(const std::shared_ptr<Entry>& entry);
-  [[nodiscard]] std::shared_ptr<Entry> find(std::uint64_t id) const;
+  bool schedule_drain_locked(const std::shared_ptr<Entry>& entry)
+      HE_REQUIRES(entry->mutex);
+  void drain(const std::shared_ptr<Entry>& entry) HE_EXCLUDES(entry->mutex);
+  void finish_entry(const std::shared_ptr<Entry>& entry)
+      HE_EXCLUDES(entry->mutex, sessions_mutex_);
+  [[nodiscard]] std::shared_ptr<Entry> find(std::uint64_t id) const
+      HE_EXCLUDES(sessions_mutex_);
 
   const core::PipelineConfig config_;
   const StreamingEngineOptions options_;
@@ -173,9 +191,13 @@ class StreamingEngine {
   ContextCache contexts_;
   WorkspacePool workspaces_;
 
-  mutable std::mutex sessions_mutex_;
-  std::map<std::uint64_t, std::shared_ptr<Entry>> sessions_;
-  std::uint64_t next_id_ = 0;
+  /// Session-map lock; nests OUTSIDE the per-entry locks (evict_idle walks
+  /// the map and locks entries inside it) and the workspace/context locks
+  /// (open checks out a lease while holding it).
+  mutable he::Mutex sessions_mutex_ HE_LOCK_LEVEL(streaming);
+  std::map<std::uint64_t, std::shared_ptr<Entry>> sessions_
+      HE_GUARDED_BY(sessions_mutex_);
+  std::uint64_t next_id_ HE_GUARDED_BY(sessions_mutex_) = 0;
   std::atomic<std::uint64_t> current_tick_{0};
   std::atomic<bool> stopping_{false};
 

@@ -37,14 +37,14 @@ void ThreadPool::install_metrics(obs::MetricsRegistry& registry,
 
 void ThreadPool::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
 }
 
 bool ThreadPool::stopped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const he::MutexLock lock(mutex_);
   return stopping_;
 }
 
@@ -53,7 +53,7 @@ void ThreadPool::post(std::function<void()> task) {
   const bool instrumented = metrics_installed_.load(std::memory_order_acquire);
   if (instrumented) queued.posted = std::chrono::steady_clock::now();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     require(!stopping_, "ThreadPool::post: pool is shutting down");
     queue_.push_back(std::move(queued));
     // The +1 must land inside the locked region: note_dequeued's -1 runs
@@ -80,7 +80,7 @@ void ThreadPool::note_dequeued(const QueuedTask& task) {
 bool ThreadPool::try_run_one() {
   QueuedTask task;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const he::MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -94,8 +94,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      he::MutexLock lock(mutex_);
+      // Explicit loop, not the predicate overload: a predicate lambda is
+      // analyzed without the capability, so its guarded reads would fail
+      // thread-safety analysis (see thread_annotations.hpp).
+      while (!stopping_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

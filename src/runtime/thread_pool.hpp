@@ -2,15 +2,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 /// @file thread_pool.hpp
@@ -18,7 +17,10 @@
 /// substrate of the batch-localization engine. Tasks must not throw (the
 /// engine wraps every session in a catch-all and reports failures as
 /// values); a task that does throw terminates the process, by design, so
-/// bugs surface instead of vanishing on a worker thread.
+/// bugs surface instead of vanishing on a worker thread. The queue lock
+/// sits at the `pool` level of the lock hierarchy (DESIGN.md §14): tasks
+/// are posted while holding server/session locks above it, and the only
+/// thing touched under it is leaf telemetry.
 
 namespace hyperear::runtime {
 
@@ -46,12 +48,12 @@ class ThreadPool {
   /// Enqueue a task for execution on some worker, FIFO order. Throws
   /// PreconditionError once the pool is stopping; the task is NOT enqueued
   /// in that case.
-  void post(std::function<void()> task);
+  void post(std::function<void()> task) HE_EXCLUDES(mutex_);
 
   /// Stop accepting new tasks. Already-queued tasks still run to
   /// completion (workers drain the queue, then exit); `post` after this
   /// throws. Idempotent; does not block — the destructor joins.
-  void stop();
+  void stop() HE_EXCLUDES(mutex_);
 
   /// Pop one queued task (if any) and run it on the CALLING thread.
   /// Returns false immediately when the queue is empty. This is the
@@ -62,12 +64,12 @@ class ThreadPool {
   /// number of threads concurrently with posts — the queue-depth gauge is
   /// updated under the queue lock on both sides, so it never dips below
   /// zero even when a help-drainer races the poster.
-  bool try_run_one();
+  bool try_run_one() HE_EXCLUDES(mutex_);
 
   /// True once stop() has been called. Advisory for contract checks: a
   /// false answer can be stale by the time the caller acts on it, so post()
   /// still revalidates under the lock.
-  [[nodiscard]] bool stopped() const;
+  [[nodiscard]] bool stopped() const HE_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
@@ -79,15 +81,15 @@ class ThreadPool {
     std::chrono::steady_clock::time_point posted{};
   };
 
-  void worker_loop();
+  void worker_loop() HE_EXCLUDES(mutex_);
   /// Dequeue bookkeeping shared by worker_loop and try_run_one; called
   /// with `mutex_` held, right after popping `task` off the queue.
-  void note_dequeued(const QueuedTask& task);
+  void note_dequeued(const QueuedTask& task) HE_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<QueuedTask> queue_;
-  bool stopping_ = false;
+  mutable he::Mutex mutex_ HE_LOCK_LEVEL(pool);
+  he::CondVar wake_;
+  std::deque<QueuedTask> queue_ HE_GUARDED_BY(mutex_);
+  bool stopping_ HE_GUARDED_BY(mutex_) = false;
   /// Release-published by install_metrics after the handles are written;
   /// acquire-read on the hot paths so the handle writes are visible.
   std::atomic<bool> metrics_installed_{false};

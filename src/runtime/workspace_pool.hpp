@@ -4,10 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/pipeline_context.hpp"
 #include "core/session_workspace.hpp"
 
@@ -68,9 +68,9 @@ class WorkspacePool {
 
   /// Check out a state, creating one if the free list is empty — the pool
   /// grows to the engine's peak concurrency and no further.
-  [[nodiscard]] Lease checkout() {
+  [[nodiscard]] Lease checkout() HE_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const he::MutexLock lock(mutex_);
       if (!free_.empty()) {
         std::unique_ptr<WorkerState> state = std::move(free_.back());
         free_.pop_back();
@@ -87,13 +87,13 @@ class WorkspacePool {
   }
 
  private:
-  void give_back(std::unique_ptr<WorkerState> state) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void give_back(std::unique_ptr<WorkerState> state) HE_EXCLUDES(mutex_) {
+    const he::MutexLock lock(mutex_);
     free_.push_back(std::move(state));
   }
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<WorkerState>> free_;
+  he::Mutex mutex_ HE_LOCK_LEVEL(engine);
+  std::vector<std::unique_ptr<WorkerState>> free_ HE_GUARDED_BY(mutex_);
   std::atomic<std::size_t> created_{0};
 };
 

@@ -1,0 +1,22 @@
+// Must FAIL under -Wthread-safety-beta -Werror: acquires two mutexes in
+// the opposite order of their direct HE_ACQUIRED_AFTER declaration. This is
+// the case that justifies -beta in the lint/sanitizer presets — the
+// ordering checks live behind it.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+he::Mutex outer;
+he::Mutex inner HE_ACQUIRED_AFTER(outer);
+
+void broken() {
+  const he::MutexLock a(inner);
+  const he::MutexLock b(outer);  // inversion: outer must come first
+}
+
+}  // namespace
+
+int main() {
+  broken();
+  return 0;
+}

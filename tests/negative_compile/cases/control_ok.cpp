@@ -1,0 +1,62 @@
+// Control case: exercises the full annotation surface CORRECTLY and must
+// compile clean under -Wthread-safety -Wthread-safety-beta -Werror. If this
+// fails, the harness (or the wrappers) is broken, not the case under test.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) HE_EXCLUDES(mutex_) {
+    {
+      const he::MutexLock lock(mutex_);
+      value_ = v;
+      full_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  int pop() HE_EXCLUDES(mutex_) {
+    he::MutexLock lock(mutex_);
+    while (!full_) cv_.wait(lock);
+    full_ = false;
+    return take_locked();
+  }
+
+  bool try_peek(int* out) HE_EXCLUDES(mutex_) {
+    if (!mutex_.try_lock()) return false;
+    *out = value_;
+    mutex_.unlock();
+    return true;
+  }
+
+ private:
+  int take_locked() HE_REQUIRES(mutex_) { return value_; }
+
+  he::Mutex mutex_ HE_LOCK_LEVEL(pool);
+  he::CondVar cv_;
+  int value_ HE_GUARDED_BY(mutex_) = 0;
+  bool full_ HE_GUARDED_BY(mutex_) = false;
+};
+
+he::Mutex top_mutex HE_LOCK_LEVEL(server);
+int shared_value HE_GUARDED_BY(top_mutex) = 0;
+
+// server-level lock held while acquiring a pool-level one inside Queue:
+// the declared hierarchy direction, so the beta lock-order check is happy.
+int ordered(Queue& q) HE_EXCLUDES(top_mutex) {
+  const he::MutexLock lock(top_mutex);
+  q.push(1);
+  return shared_value;
+}
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(7);
+  int out = 0;
+  (void)q.try_peek(&out);
+  (void)ordered(q);
+  return q.pop() == 1 ? 0 : 1;
+}

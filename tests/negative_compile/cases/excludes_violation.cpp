@@ -1,0 +1,31 @@
+// Must FAIL under -Wthread-safety -Werror: calls an HE_EXCLUDES(mutex_)
+// function while holding mutex_ — the self-deadlock shape (public API
+// re-entered from under its own lock).
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Widget {
+ public:
+  void tick() HE_EXCLUDES(mutex_) {
+    const he::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  void broken() {
+    const he::MutexLock lock(mutex_);
+    tick();  // would deadlock: tick() takes mutex_ again
+  }
+
+ private:
+  he::Mutex mutex_;
+  int count_ HE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.broken();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Must FAIL under -Wthread-safety -Werror: writes an HE_GUARDED_BY member
+// without holding its mutex.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // no lock held
+  }
+
+ private:
+  he::Mutex mutex_;
+  int balance_ HE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Must FAIL under -Wthread-safety -Werror: acquires a mutex and returns
+// while still holding it (no matching release on the exit path).
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+he::Mutex mutex_;
+int value_ HE_GUARDED_BY(mutex_) = 0;
+
+int broken() {
+  mutex_.lock();
+  return value_;  // still held at end of function
+}
+
+}  // namespace
+
+int main() {
+  (void)broken();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Must FAIL under -Wthread-safety-beta -Werror: two mutexes placed on
+// DIFFERENT levels of the project hierarchy via HE_LOCK_LEVEL, acquired
+// bottom-up. Neither mutex names the other directly — the ordering edge
+// flows transitively through the below_* boundary tokens in
+// thread_annotations.hpp, which is exactly how a cross-class inversion
+// (e.g. ThreadPool calling back into Server) becomes a compile error.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+he::Mutex pool_mutex HE_LOCK_LEVEL(pool);
+he::Mutex server_mutex HE_LOCK_LEVEL(server);
+
+void broken() {
+  const he::MutexLock a(pool_mutex);
+  const he::MutexLock b(server_mutex);  // server is ABOVE pool: inversion
+}
+
+}  // namespace
+
+int main() {
+  broken();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Must FAIL under -Wthread-safety -Werror: releases a capability that was
+// never acquired on this path.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+he::Mutex mutex_;
+
+void broken() {
+  mutex_.unlock();  // not held
+}
+
+}  // namespace
+
+int main() {
+  broken();
+  return 0;
+}

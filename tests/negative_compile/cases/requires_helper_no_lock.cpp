@@ -1,0 +1,27 @@
+// Must FAIL under -Wthread-safety -Werror: calls an HE_REQUIRES helper
+// without holding the required mutex — the _locked-suffix contract the
+// runtime leans on (e.g. ThreadPool::note_dequeued, Server::pump_locked).
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Pool {
+ public:
+  void broken() {
+    note_dequeued();  // requires mutex_, not held
+  }
+
+ private:
+  void note_dequeued() HE_REQUIRES(mutex_) { ++dequeued_; }
+
+  he::Mutex mutex_;
+  int dequeued_ HE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Pool p;
+  p.broken();
+  return 0;
+}

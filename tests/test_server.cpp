@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -253,6 +254,83 @@ TEST(Server, PerClassCountersMatchLifecycleTotals) {
   EXPECT_EQ(m.counter("server.class.streaming.shed_total").value(), 2.0);
   EXPECT_EQ(m.gauge("server.queue_depth").value(), 0.0);
   EXPECT_EQ(m.gauge("server.in_flight").value(), 0.0);
+}
+
+TEST(Server, PerShardLoadGaugesTrackQueueAndDispatch) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_in_flight = 4;
+  opts.max_queued = 3;
+  opts.manual_dispatch = true;
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  Server server({}, opts, EngineObs{registry, nullptr});
+  obs::MetricsRegistry& m = *registry;
+
+  const sim::Session session = make_session(960);
+  std::vector<SubmitResult> results;
+  for (int i = 0; i < 4; ++i) results.push_back(server.submit(session));
+  ASSERT_EQ(results[3].admission, Admission::shed);
+  // Shed requests never touch the shard gauge; the three queued ones do.
+  EXPECT_EQ(m.gauge("server.shard.0.queue_depth").value(), 3.0);
+  EXPECT_EQ(m.counter("server.shard.0.dispatched_total").value(), 0.0);
+
+  server.drain();
+  EXPECT_EQ(m.gauge("server.shard.0.queue_depth").value(), 0.0);
+  EXPECT_EQ(m.counter("server.shard.0.dispatched_total").value(), 3.0);
+  expect_conserved(server.stats());
+}
+
+TEST(Server, PerShardGaugesFollowTheShardOfTheSessionPlan) {
+  // shard_for is a pure function of the session's DSP-plan key, so every
+  // submit of one session lands on one shard — its gauges move, the other
+  // shard's stay at zero (the skew an operator would scrape for).
+  ServerOptions opts;
+  opts.shards = 2;
+  opts.max_queued = 8;
+  opts.manual_dispatch = true;
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  Server server({}, opts, EngineObs{registry, nullptr});
+  obs::MetricsRegistry& m = *registry;
+
+  const sim::Session session = make_session(961);
+  const std::size_t hot = server.shard_for(session);
+  const std::string hot_prefix = "server.shard." + std::to_string(hot);
+  const std::string cold_prefix = "server.shard." + std::to_string(1 - hot);
+
+  std::vector<SubmitResult> results;
+  for (int i = 0; i < 3; ++i) {
+    results.push_back(server.submit(session));
+    ASSERT_EQ(results.back().admission, Admission::accepted);
+  }
+  EXPECT_EQ(m.gauge(hot_prefix + ".queue_depth").value(), 3.0);
+  EXPECT_EQ(m.gauge(cold_prefix + ".queue_depth").value(), 0.0);
+
+  server.drain();
+  EXPECT_EQ(m.gauge(hot_prefix + ".queue_depth").value(), 0.0);
+  EXPECT_EQ(m.counter(hot_prefix + ".dispatched_total").value(), 3.0);
+  EXPECT_EQ(m.counter(cold_prefix + ".dispatched_total").value(), 0.0);
+}
+
+TEST(Server, ShutdownReturnsPerShardQueueGaugeToZero) {
+  ServerOptions opts;
+  opts.shards = 1;
+  opts.max_queued = 4;
+  opts.manual_dispatch = true;
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  Server server({}, opts, EngineObs{registry, nullptr});
+  obs::MetricsRegistry& m = *registry;
+
+  auto a = server.submit(make_session(962));
+  auto b = server.submit(make_session(963));
+  ASSERT_EQ(a.admission, Admission::accepted);
+  ASSERT_EQ(b.admission, Admission::accepted);
+  EXPECT_EQ(m.gauge("server.shard.0.queue_depth").value(), 2.0);
+
+  server.shutdown();  // cancels the queue without dispatching anything
+  EXPECT_EQ(a.response.get().outcome, RequestOutcome::cancelled);
+  EXPECT_EQ(b.response.get().outcome, RequestOutcome::cancelled);
+  EXPECT_EQ(m.gauge("server.shard.0.queue_depth").value(), 0.0);
+  EXPECT_EQ(m.counter("server.shard.0.dispatched_total").value(), 0.0);
 }
 
 TEST(Server, StreamingClassIsBitIdenticalToBatchClass) {

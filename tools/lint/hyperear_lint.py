@@ -31,6 +31,22 @@ applied regex/AST-lite style over the checked-in sources:
                 convenience wrappers returning owning containers —
                 suppresses with `NOLINT(hyperear-hotpath) -- <why>`
                 (NEXTLINE/BEGIN/END work too, reasons required as usual).
+  concurrency   src/runtime + src/obs never name the raw std primitives
+                (std::mutex, std::lock_guard, std::unique_lock,
+                std::condition_variable, ...): they use the annotated
+                he::Mutex / he::MutexLock / he::CondVar wrappers from
+                common/thread_annotations.hpp so every lock site is
+                visible to clang's thread-safety analysis. Anywhere in
+                the tree, HE_NO_THREAD_SAFETY_ANALYSIS must carry a
+                non-empty reason string.
+  lockorder     tools/lint/lock_order.txt is the canonical lock
+                hierarchy. Every he::Mutex MEMBER declared in a header
+                under src/runtime + src/obs must carry HE_LOCK_LEVEL(<l>)
+                on the declaration line, the (level, file, member) triple
+                must match a manifest row (and vice versa — stale rows
+                fail), and the boundary-token HE_ACQUIRED_AFTER chain in
+                common/thread_annotations.hpp must spell out the same
+                level order as the manifest.
   whitespace    no trailing whitespace, no tabs in C++ sources, no CRLF,
                 final newline present — the formatting floor that holds
                 even where clang-format isn't installed.
@@ -62,9 +78,21 @@ STEADY_CLOCK_ALLOWED = ("src/obs/", "src/runtime/")
 # Checked-in manifest of steady-state per-session files (hotpath rule).
 HOTPATH_MANIFEST = "tools/lint/hotpath_files.txt"
 
+# Layers where the annotated wrappers are mandatory (concurrency rule) and
+# whose header-declared mutexes must appear in the lock-order manifest.
+CONCURRENCY_DIRS = ("src/runtime/", "src/obs/")
+# Checked-in lock hierarchy (lockorder rule).
+LOCK_ORDER_MANIFEST = "tools/lint/lock_order.txt"
+# Defines the wrappers and the boundary-token chain; exempt from the
+# concurrency rule (it IS the sanctioned spelling of the std primitives).
+THREAD_ANNOTATIONS_HEADER = "src/common/thread_annotations.hpp"
+
 LINE_COMMENT = re.compile(r"//.*$")
 
-RULES_HELP = "determinism ownership logging headers suppressions hotpath whitespace"
+RULES_HELP = (
+    "determinism ownership logging headers suppressions hotpath "
+    "concurrency lockorder whitespace"
+)
 
 
 def load_hotpath_manifest(root: Path) -> set[str]:
@@ -77,6 +105,43 @@ def load_hotpath_manifest(root: Path) -> set[str]:
         if entry:
             entries.add(entry.replace("\\", "/"))
     return entries
+
+
+def load_lock_order_manifest(root: Path) -> tuple[list[str], list[dict], list[str]]:
+    """Parse LOCK_ORDER_MANIFEST into (ordered levels, mutex rows, parse
+    errors). Rows are {level, file, member, line}."""
+    manifest = root / LOCK_ORDER_MANIFEST
+    levels: list[str] = []
+    rows: list[dict] = []
+    errors: list[str] = []
+    if not manifest.is_file():
+        return levels, rows, errors
+    for idx, raw in enumerate(manifest.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "level" and len(parts) == 2:
+            if parts[1] in levels:
+                errors.append(f"line {idx}: duplicate level `{parts[1]}`")
+            levels.append(parts[1])
+        elif parts[0] == "mutex" and len(parts) == 4:
+            rows.append(
+                {
+                    "level": parts[1],
+                    "file": parts[2].replace("\\", "/"),
+                    "member": parts[3],
+                    "line": idx,
+                }
+            )
+        else:
+            errors.append(f"line {idx}: expected `level <name>` or `mutex <level> <file> <member>`")
+    for row in rows:
+        if row["level"] not in levels:
+            errors.append(
+                f"line {row['line']}: mutex row uses undeclared level `{row['level']}`"
+            )
+    return levels, rows, errors
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -113,6 +178,12 @@ class Linter:
         self.findings: list[dict] = []
         self.hotpath_files = load_hotpath_manifest(root)
         self.hotpath_seen: set[str] = set()
+        self.lock_levels, self.lock_rows, self.lock_manifest_errors = (
+            load_lock_order_manifest(root)
+        )
+        # he::Mutex member declarations found in concurrency-layer headers:
+        # (rel file, line, member name, level or None).
+        self.mutex_decls: list[tuple[str, int, str, str | None]] = []
 
     def add(self, rule: str, path: Path, line_no: int, message: str) -> None:
         self.findings.append(
@@ -140,6 +211,7 @@ class Linter:
         is_header = path.suffix in {".hpp", ".h"}
         is_library = rel.startswith(LIBRARY_PREFIX)
         steady_ok = rel.startswith(STEADY_CLOCK_ALLOWED)
+        is_concurrency = rel.startswith(CONCURRENCY_DIRS)
         is_hotpath = rel in self.hotpath_files
         if is_hotpath:
             self.hotpath_seen.add(rel)
@@ -178,6 +250,12 @@ class Linter:
                 self.check_determinism(path, idx, code, steady_ok)
                 self.check_ownership(path, idx, code)
                 self.check_logging(path, idx, code)
+            if rel != THREAD_ANNOTATIONS_HEADER:
+                self.check_tsa_suppression(path, idx, code, line)
+            if is_concurrency:
+                self.check_concurrency(path, idx, code)
+                if is_header:
+                    self.collect_mutex_decl(rel, idx, code)
             if is_hotpath:
                 # Suppression directives live in comments: read the raw
                 # line. The rule honors the project's NOLINT-with-reason
@@ -285,6 +363,180 @@ class Linter:
                 "`NOLINT(<check>) -- <why>`",
             )
 
+    # Raw std synchronization primitives banned in the annotated layers
+    # (the wrappers in common/thread_annotations.hpp are the only sanctioned
+    # spelling — a raw primitive is invisible to the thread-safety analysis).
+    RAW_SYNC_PRIMITIVE = re.compile(
+        r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+        r"shared_mutex|shared_timed_mutex|condition_variable|"
+        r"condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    )
+
+    def check_concurrency(self, path: Path, idx: int, code: str) -> None:
+        m = self.RAW_SYNC_PRIMITIVE.search(code)
+        if m:
+            self.add(
+                "concurrency",
+                path,
+                idx,
+                f"raw std::{m.group(1)} in an annotated layer: use he::Mutex/"
+                "he::MutexLock/he::CondVar (common/thread_annotations.hpp) so "
+                "the lock protocol stays machine-checked",
+            )
+
+    # The macro swallows its reason argument, so the string exists purely
+    # for humans + this check — exactly the NOLINT-with-reason policy.
+    TSA_SUPPRESS_USE = re.compile(r"\bHE_NO_THREAD_SAFETY_ANALYSIS\s*\(")
+    TSA_SUPPRESS_WITH_REASON = re.compile(
+        r'\bHE_NO_THREAD_SAFETY_ANALYSIS\(\s*"[^"]+"\s*\)'
+    )
+
+    def check_tsa_suppression(
+        self, path: Path, idx: int, code: str, line: str
+    ) -> None:
+        if not self.TSA_SUPPRESS_USE.search(code):
+            return
+        if not self.TSA_SUPPRESS_WITH_REASON.search(line):
+            self.add(
+                "concurrency",
+                path,
+                idx,
+                "HE_NO_THREAD_SAFETY_ANALYSIS without a reason: write "
+                'HE_NO_THREAD_SAFETY_ANALYSIS("<why the protocol is sound '
+                'but inexpressible>")',
+            )
+
+    # A he::Mutex member declaration; HE_LOCK_LEVEL must ride on the same
+    # line (the project declares them single-line by convention).
+    MUTEX_MEMBER_DECL = re.compile(r"\bhe\s*::\s*Mutex\s+(\w+)")
+    MUTEX_LEVEL = re.compile(r"\bHE_LOCK_LEVEL\(\s*(\w+)\s*\)")
+
+    def collect_mutex_decl(self, rel: str, idx: int, code: str) -> None:
+        m = self.MUTEX_MEMBER_DECL.search(code)
+        if m is None:
+            return
+        level = self.MUTEX_LEVEL.search(code)
+        self.mutex_decls.append(
+            (rel, idx, m.group(1), level.group(1) if level else None)
+        )
+
+    def check_lock_order(self) -> None:
+        manifest = self.root / LOCK_ORDER_MANIFEST
+        for err in self.lock_manifest_errors:
+            self.add("lockorder", manifest, 1, err)
+        if not self.lock_levels:
+            self.add(
+                "lockorder",
+                manifest,
+                1,
+                "missing or empty lock-order manifest: every he::Mutex member "
+                "in src/runtime + src/obs must be declared here",
+            )
+            return
+        rows = {(r["file"], r["member"]): r for r in self.lock_rows}
+        seen: set[tuple[str, str]] = set()
+        for rel, idx, member, level in self.mutex_decls:
+            path = self.root / rel
+            if level is None:
+                self.add(
+                    "lockorder",
+                    path,
+                    idx,
+                    f"he::Mutex member `{member}` without HE_LOCK_LEVEL(<level>) "
+                    "on the declaration line",
+                )
+                continue
+            if level not in self.lock_levels:
+                self.add(
+                    "lockorder",
+                    path,
+                    idx,
+                    f"HE_LOCK_LEVEL({level}) names a level not in "
+                    f"{LOCK_ORDER_MANIFEST}",
+                )
+                continue
+            row = rows.get((rel, member))
+            if row is None:
+                self.add(
+                    "lockorder",
+                    path,
+                    idx,
+                    f"he::Mutex member `{member}` is not listed in "
+                    f"{LOCK_ORDER_MANIFEST}: add `mutex {level} {rel} {member}`",
+                )
+                continue
+            seen.add((rel, member))
+            if row["level"] != level:
+                self.add(
+                    "lockorder",
+                    path,
+                    idx,
+                    f"`{member}` declares HE_LOCK_LEVEL({level}) but the "
+                    f"manifest says `{row['level']}` — fix whichever is wrong",
+                )
+        for key, row in sorted(rows.items()):
+            if key not in seen:
+                self.add(
+                    "lockorder",
+                    manifest,
+                    row["line"],
+                    f"stale manifest row: no he::Mutex member `{row['member']}` "
+                    f"found in {row['file']}",
+                )
+        self.check_boundary_chain(manifest)
+
+    # Boundary tokens in thread_annotations.hpp:
+    #   inline LockLevel below_<level> [HE_ACQUIRED_AFTER(below_<prev>)];
+    BOUNDARY_DECL = re.compile(
+        r"inline\s+LockLevel\s+below_(\w+)"
+        r"(?:\s+HE_ACQUIRED_AFTER\(\s*below_(\w+)\s*\))?\s*;"
+    )
+    LEVEL_MACRO_DEF = re.compile(r"#define\s+HE_LOCK_LEVEL_(\w+)\b")
+
+    def check_boundary_chain(self, manifest: Path) -> None:
+        header = self.root / THREAD_ANNOTATIONS_HEADER
+        if not header.is_file():
+            self.add(
+                "lockorder", manifest, 1, f"{THREAD_ANNOTATIONS_HEADER} not found"
+            )
+            return
+        text = header.read_text(encoding="utf-8", errors="replace")
+        chain = self.BOUNDARY_DECL.findall(text)
+        # Every level except the bottom one owns the boundary token below it,
+        # and each token chains HE_ACQUIRED_AFTER the one above.
+        expected = self.lock_levels[:-1]
+        declared = [name for name, _ in chain]
+        if declared != expected:
+            self.add(
+                "lockorder",
+                header,
+                1,
+                f"boundary tokens {declared} disagree with the manifest level "
+                f"order {self.lock_levels} (expected tokens {expected})",
+            )
+        for pos, (name, after) in enumerate(chain):
+            want = chain[pos - 1][0] if pos > 0 else ""
+            if (after or "") != want:
+                self.add(
+                    "lockorder",
+                    header,
+                    1,
+                    f"boundary token below_{name} must chain "
+                    f"HE_ACQUIRED_AFTER(below_{want})" if want else
+                    f"boundary token below_{name} is the top boundary and "
+                    "must not declare HE_ACQUIRED_AFTER",
+                )
+        macros = set(self.LEVEL_MACRO_DEF.findall(text))
+        for level in self.lock_levels:
+            if level not in macros:
+                self.add(
+                    "lockorder",
+                    header,
+                    1,
+                    f"no #define HE_LOCK_LEVEL_{level} for manifest level "
+                    f"`{level}`",
+                )
+
     HOT_NOLINT_LINE = re.compile(r"NOLINT\([^)]*hotpath[^)]*\)")
     HOT_NOLINT_NEXTLINE = re.compile(r"NOLINTNEXTLINE\([^)]*hotpath[^)]*\)")
     HOT_NOLINT_BEGIN = re.compile(r"NOLINTBEGIN\([^)]*hotpath[^)]*\)")
@@ -367,6 +619,7 @@ class Linter:
             for path in sorted(base.rglob("*")):
                 if path.suffix in CXX_EXTENSIONS and path.is_file():
                     self.lint_file(path)
+        self.check_lock_order()
         # A manifest entry that matches no scanned file is a silent hole in
         # the allocation guard (renamed file, stale path): fail loudly.
         for missing in sorted(self.hotpath_files - self.hotpath_seen):

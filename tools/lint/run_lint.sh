@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One-shot static-analysis driver (DESIGN.md §11): clang-tidy + cppcheck +
-# hyperear_lint + format-check, merged into LINT_report.json at the repo
-# root. Exit 1 on ANY finding so CI and the `lint` ctest label catch
-# regressions; tools that are not installed are reported as "skipped" (the
-# container bakes in the compiler toolchain, not always the clang extras).
+# hyperear_lint + format-check + the thread-safety negative-compile suite,
+# merged into LINT_report.json at the repo root. Exit 1 on ANY finding from
+# a tool that actually ran, so CI and the `lint` ctest label catch
+# regressions; tools that are not installed are reported as "skipped" with
+# a machine-readable `skipped_reason` (the container bakes in the compiler
+# toolchain, not always the clang extras). Each tool's version string is
+# recorded so a report is reproducible evidence, not just a verdict.
 #
 # Usage: tools/lint/run_lint.sh [BUILD_DIR]
 #   BUILD_DIR  a configured build tree with compile_commands.json for
@@ -28,8 +31,19 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
 
 failures=0
 
-# Each tool writes: a findings JSON array (possibly empty) and a status
-# string (clean | findings | skipped).
+# Each tool writes <tool>.json (findings array, possibly empty) and
+# <tool>.meta.json ({status, version[, skipped_reason]}).
+write_meta() {  # <name> <status> <version> [skipped_reason]
+  python3 - "${TMP_DIR}" "$1" "$2" "$3" "${4:-}" <<'EOF'
+import json, sys
+tmp, name, status, version, reason = sys.argv[1:6]
+meta = {"status": status, "version": version if version else None}
+if status == "skipped":
+    meta["skipped_reason"] = reason
+with open(f"{tmp}/{name}.meta.json", "w") as fh:
+    json.dump(meta, fh)
+EOF
+}
 
 # --- hyperear_lint (always available: python3 + the checked-in script) ----
 hl_status=clean
@@ -40,11 +54,12 @@ if ! python3 "${ROOT}/tools/lint/hyperear_lint.py" --root "${ROOT}" \
 fi
 cat "${TMP_DIR}/hyperear_lint.txt"
 [[ -f "${TMP_DIR}/hyperear_lint.json" ]] || echo '[]' > "${TMP_DIR}/hyperear_lint.json"
+write_meta hyperear_lint "${hl_status}" "$(python3 --version 2>&1)"
 
 # --- clang-tidy over src/ (needs compile_commands.json) -------------------
-ct_status=skipped
 echo '[]' > "${TMP_DIR}/clang_tidy.json"
 if command -v clang-tidy > /dev/null 2>&1; then
+  ct_version="$(clang-tidy --version 2> /dev/null | grep -m1 -i version | sed 's/^ *//')"
   if [[ -n "${BUILD_DIR}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
     ct_status=clean
     mapfile -t tidy_files < <(find "${ROOT}/src" -name '*.cpp' | sort)
@@ -67,15 +82,18 @@ with open(sys.argv[1]) as fh:
                              "message": m["msg"]})
 json.dump(findings, open(sys.argv[2], "w"), indent=2)
 EOF
+    write_meta clang_tidy "${ct_status}" "${ct_version}"
   else
     echo "run_lint: clang-tidy present but no compile_commands.json (configure the lint preset first); skipping"
+    write_meta clang_tidy skipped "${ct_version}" \
+        "no compile_commands.json (configure the lint preset first)"
   fi
 else
   echo "run_lint: clang-tidy not installed; skipping (config checked in at .clang-tidy)"
+  write_meta clang_tidy skipped "" "clang-tidy not installed"
 fi
 
 # --- cppcheck over src/ ---------------------------------------------------
-cc_status=skipped
 echo '[]' > "${TMP_DIR}/cppcheck.json"
 if command -v cppcheck > /dev/null 2>&1; then
   cc_status=clean
@@ -101,12 +119,13 @@ with open(sys.argv[1]) as fh:
                              "message": m["msg"]})
 json.dump(findings, open(sys.argv[2], "w"), indent=2)
 EOF
+  write_meta cppcheck "${cc_status}" "$(cppcheck --version 2> /dev/null)"
 else
   echo "run_lint: cppcheck not installed; skipping"
+  write_meta cppcheck skipped "" "cppcheck not installed"
 fi
 
 # --- format-check ---------------------------------------------------------
-fc_status=skipped
 echo '[]' > "${TMP_DIR}/format.json"
 if command -v clang-format > /dev/null 2>&1; then
   fc_status=clean
@@ -131,34 +150,61 @@ with open(sys.argv[1]) as fh:
                              "message": m["msg"]})
 json.dump(findings, open(sys.argv[2], "w"), indent=2)
 EOF
+  write_meta format_check "${fc_status}" "$(clang-format --version 2> /dev/null | sed 's/^ *//')"
 else
   echo "run_lint: clang-format not installed; skipping (whitespace floor enforced by hyperear_lint)"
+  write_meta format_check skipped "" "clang-format not installed"
+fi
+
+# --- thread-safety negative-compile suite (needs clang++) -----------------
+echo '[]' > "${TMP_DIR}/thread_safety.json"
+"${ROOT}/tools/lint/thread_safety_negative.sh" > "${TMP_DIR}/thread_safety.txt" 2>&1
+ts_rc=$?
+cat "${TMP_DIR}/thread_safety.txt"
+if [[ ${ts_rc} -eq 77 ]]; then
+  write_meta thread_safety_negative skipped "" \
+      "clang++ not installed (set HE_CLANGXX to override)"
+elif [[ ${ts_rc} -eq 0 ]]; then
+  write_meta thread_safety_negative clean \
+      "$("${HE_CLANGXX:-clang++}" --version 2> /dev/null | head -n1)"
+else
+  failures=1
+  python3 - "${TMP_DIR}/thread_safety.txt" "${TMP_DIR}/thread_safety.json" <<'EOF'
+import json, sys
+message = open(sys.argv[1]).read().strip() or "negative-compile suite failed"
+json.dump([{"tool": "thread-safety-negative", "rule": "negative-compile",
+            "file": "tests/negative_compile", "line": 0,
+            "message": message[-2000:]}], open(sys.argv[2], "w"), indent=2)
+EOF
+  write_meta thread_safety_negative findings \
+      "$("${HE_CLANGXX:-clang++}" --version 2> /dev/null | head -n1)"
 fi
 
 # --- merge ----------------------------------------------------------------
-python3 - "${REPORT}" "${hl_status}" "${ct_status}" "${cc_status}" "${fc_status}" \
-    "${TMP_DIR}" <<'EOF'
+python3 - "${REPORT}" "${TMP_DIR}" <<'EOF'
 import json, sys
-report_path, hl, ct, cc, fc, tmp = sys.argv[1:7]
-def load(name):
-    with open(f"{tmp}/{name}.json") as fh:
-        return json.load(fh)
-findings = load("hyperear_lint") + load("clang_tidy") + load("cppcheck") + load("format")
-report = {
-    "tools": {
-        "hyperear_lint": hl,
-        "clang-tidy": ct,
-        "cppcheck": cc,
-        "format-check": fc,
-    },
-    "finding_count": len(findings),
-    "findings": findings,
-}
+report_path, tmp = sys.argv[1:3]
+TOOLS = [("hyperear_lint", "hyperear_lint"),
+         ("clang-tidy", "clang_tidy"),
+         ("cppcheck", "cppcheck"),
+         ("format-check", "format_check"),
+         ("thread-safety-negative", "thread_safety_negative")]
+FINDING_FILES = ["hyperear_lint", "clang_tidy", "cppcheck", "format",
+                 "thread_safety"]
+tools = {}
+for name, stem in TOOLS:
+    with open(f"{tmp}/{stem}.meta.json") as fh:
+        tools[name] = json.load(fh)
+findings = []
+for stem in FINDING_FILES:
+    with open(f"{tmp}/{stem}.json") as fh:
+        findings += json.load(fh)
+report = {"tools": tools, "finding_count": len(findings), "findings": findings}
 with open(report_path, "w") as fh:
     json.dump(report, fh, indent=2)
     fh.write("\n")
-print(f"run_lint: wrote {report_path} ({len(findings)} finding(s); "
-      f"tidy={ct}, cppcheck={cc}, format={fc}, hyperear_lint={hl})")
+summary = ", ".join(f"{name}={meta['status']}" for name, meta in tools.items())
+print(f"run_lint: wrote {report_path} ({len(findings)} finding(s); {summary})")
 EOF
 
 exit "${failures}"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Drives the thread-safety negative-compile suite (tests/negative_compile):
+# configures the standalone project with clang++, which runs every
+# try_compile check at configure time. Registered as ctest entry
+# `lint.thread_safety_negative` (label lint, SKIP_RETURN_CODE 77).
+#
+# The suite is clang-only — the HE_* macros expand to nothing elsewhere, so
+# under GCC every case (mis)compiles fine and there is nothing to check.
+# Exit 77 (ctest SKIP) when no clang++ is available; set HE_CLANGXX to point
+# at a specific binary.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+
+CLANGXX="${HE_CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  CLANGXX="$(command -v clang++ || true)"
+fi
+if [[ -z "${CLANGXX}" ]]; then
+  echo "thread_safety_negative: clang++ not found (set HE_CLANGXX to override); skipping"
+  exit 77
+fi
+
+BUILD_DIR="$(mktemp -d)"
+trap 'rm -rf "${BUILD_DIR}"' EXIT
+
+if ! cmake -S "${ROOT}/tests/negative_compile" -B "${BUILD_DIR}" \
+    -DCMAKE_CXX_COMPILER="${CLANGXX}" > "${BUILD_DIR}/configure.log" 2>&1; then
+  cat "${BUILD_DIR}/configure.log"
+  echo "thread_safety_negative: FAILED (see case diagnostics above)"
+  exit 1
+fi
+
+grep -E '^-- (case |thread-safety)' "${BUILD_DIR}/configure.log" || true
+exit 0
